@@ -1,0 +1,45 @@
+// Command flatdd-bench regenerates the tables and figures of the FlatDD
+// paper's evaluation (Section 4). Each experiment id matches DESIGN.md:
+//
+//	flatdd-bench -exp table1                 # Table 1 at container scale
+//	flatdd-bench -exp fig13 -threads 8
+//	flatdd-bench -exp all -scale tiny        # quick smoke run of everything
+//	flatdd-bench -exp table2 -scale paper -timeout 24h   # the real thing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"flatdd/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", fmt.Sprintf("experiment id %v", harness.ExperimentIDs()))
+		scale   = flag.String("scale", "small", "benchmark scale: tiny | small | paper")
+		threads = flag.Int("threads", 16, "worker threads for FlatDD and Quantum++")
+		timeout = flag.Duration("timeout", 5*time.Minute, "per-engine-run cutoff (paper: 24h)")
+		csvDir  = flag.String("csv", "", "also export every table as CSV into this directory")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{
+		Scale:   harness.Scale(*scale),
+		Threads: *threads,
+		Timeout: *timeout,
+		Out:     os.Stdout,
+		CSVDir:  *csvDir,
+	}
+	fmt.Printf("flatdd-bench: exp=%s scale=%s threads=%d timeout=%v GOMAXPROCS=%d\n\n",
+		*exp, *scale, *threads, *timeout, runtime.GOMAXPROCS(0))
+	start := time.Now()
+	if err := harness.RunExperiment(*exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "flatdd-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("done in %v\n", time.Since(start))
+}

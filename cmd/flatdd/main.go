@@ -1,0 +1,225 @@
+// Command flatdd simulates a quantum circuit with the FlatDD hybrid engine
+// (or one of the two baseline engines) and reports the final state.
+//
+// Circuits come either from an OpenQASM 2.0 file (-qasm) or from a built-in
+// workload generator (-circuit, -n). Examples:
+//
+//	flatdd -circuit ghz -n 20 -top 4
+//	flatdd -circuit supremacy -n 16 -threads 8 -trace
+//	flatdd -qasm bench.qasm -engine ddsim
+//	flatdd -circuit dnn -n 14 -fusion dmav -shots 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"flatdd/internal/circuit"
+	"flatdd/internal/core"
+	"flatdd/internal/dd"
+	"flatdd/internal/dmav"
+	"flatdd/internal/harness"
+	"flatdd/internal/qasm"
+	"flatdd/internal/workloads"
+)
+
+func main() {
+	var (
+		qasmPath = flag.String("qasm", "", "OpenQASM 2.0 file to simulate")
+		name     = flag.String("circuit", "", fmt.Sprintf("built-in workload %v", workloads.Names()))
+		n        = flag.Int("n", 16, "qubit count for built-in workloads")
+		seed     = flag.Int64("seed", 1, "workload generator seed")
+		engine   = flag.String("engine", "flatdd", "engine: flatdd | ddsim | statevec")
+		threads  = flag.Int("threads", 4, "worker threads (FlatDD and statevec)")
+		beta     = flag.Float64("beta", 0.9, "EWMA beta (FlatDD)")
+		epsilon  = flag.Float64("epsilon", 2.0, "EWMA epsilon (FlatDD)")
+		fusionF  = flag.String("fusion", "none", "gate fusion: none | dmav | kops (FlatDD)")
+		k        = flag.Int("k", 4, "block size for -fusion kops")
+		cache    = flag.String("cache", "auto", "DMAV caching: auto | always | never")
+		top      = flag.Int("top", 8, "print the K largest final amplitudes")
+		shots    = flag.Int("shots", 0, "sample this many measurement shots")
+		trace    = flag.Bool("trace", false, "print a per-gate trace (FlatDD)")
+		timeout  = flag.Duration("timeout", 0, "abort after this duration (0 = none)")
+		approx   = flag.Float64("approx", 0, "DD-phase state-approximation budget per pruning pass (0 = exact)")
+		emit     = flag.String("emit", "", "write the loaded circuit as OpenQASM 2.0 to this file and exit")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*qasmPath, *name, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flatdd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("circuit %s: %d qubits, %d gates, depth %d\n",
+		c.Name, c.Qubits, c.GateCount(), c.Depth())
+
+	if *emit != "" {
+		f, err := os.Create(*emit)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flatdd:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := qasm.Write(f, c); err != nil {
+			fmt.Fprintln(os.Stderr, "flatdd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *emit)
+		return
+	}
+
+	switch *engine {
+	case "flatdd":
+		opts := core.Options{
+			Threads: *threads, Beta: *beta, Epsilon: *epsilon, K: *k,
+			ApproxBudget: *approx,
+		}
+		switch *fusionF {
+		case "none":
+		case "dmav":
+			opts.Fusion = core.DMAVAware
+		case "kops":
+			opts.Fusion = core.KOps
+		default:
+			fmt.Fprintf(os.Stderr, "flatdd: unknown fusion mode %q\n", *fusionF)
+			os.Exit(1)
+		}
+		switch *cache {
+		case "auto":
+			opts.CacheMode = dmav.Auto
+		case "always":
+			opts.CacheMode = dmav.AlwaysCache
+		case "never":
+			opts.CacheMode = dmav.NeverCache
+		default:
+			fmt.Fprintf(os.Stderr, "flatdd: unknown cache mode %q\n", *cache)
+			os.Exit(1)
+		}
+		if *trace {
+			opts.Trace = func(e core.TraceEvent) {
+				mark := ""
+				if e.Converted {
+					mark = "  <= convert to DMAV"
+				}
+				if e.Phase == core.PhaseDD {
+					fmt.Printf("  gate %4d [dd]   size=%-8d ewma=%-10.1f %v%s\n",
+						e.GateIndex, e.DDSize, e.EWMA, e.Duration, mark)
+				} else {
+					fmt.Printf("  gate %4d [dmav] %v\n", e.GateIndex, e.Duration)
+				}
+			}
+		}
+		if *timeout > 0 {
+			opts.Deadline = time.Now().Add(*timeout)
+		}
+		sim := core.New(c.Qubits, opts)
+		st := sim.Run(c)
+		if st.TimedOut {
+			fmt.Println("TIMED OUT")
+			os.Exit(2)
+		}
+		fmt.Printf("engine: FlatDD (threads=%d, beta=%g, epsilon=%g, fusion=%s)\n",
+			*threads, *beta, *epsilon, *fusionF)
+		if st.ConvertedAtGate >= 0 {
+			fmt.Printf("converted to DMAV at gate %d (DD size %d); conversion took %v\n",
+				st.ConvertedAtGate, st.FinalDDSize, st.ConversionTime)
+			fmt.Printf("phases: dd=%v convert=%v fusion=%v dmav=%v\n",
+				st.DDTime, st.ConversionTime, st.FusionTime, st.DMAVTime)
+			fmt.Printf("dmav: %d gates (%d cached, %d cache hits)\n",
+				st.DMAVStats.Gates, st.DMAVStats.CachedGates, st.DMAVStats.CacheHits)
+		} else {
+			fmt.Println("entire circuit ran in the DD phase (regular state)")
+		}
+		fmt.Printf("total: %v, peak DD nodes: %d, est. memory: %.2f MB\n",
+			st.TotalTime, st.PeakDDNodes, float64(st.MemoryBytes)/1e6)
+		if st.Approximations > 0 {
+			fmt.Printf("approximation: %d pruning passes, fidelity >= %.6f\n",
+				st.Approximations, st.Fidelity)
+		}
+		printTop(sim.TopAmplitudes(*top), c.Qubits)
+		if *shots > 0 {
+			printShots(sim.Sample(rand.New(rand.NewSource(*seed)), *shots), c.Qubits)
+		}
+
+	case "ddsim":
+		res := harness.RunDDSIM(c, *timeout)
+		report(res)
+
+	case "statevec":
+		res := harness.RunStatevec(c, *threads, *timeout)
+		report(res)
+
+	default:
+		fmt.Fprintf(os.Stderr, "flatdd: unknown engine %q\n", *engine)
+		os.Exit(1)
+	}
+}
+
+func loadCircuit(qasmPath, name string, n int, seed int64) (*circuit.Circuit, error) {
+	switch {
+	case qasmPath != "" && name != "":
+		return nil, fmt.Errorf("use either -qasm or -circuit, not both")
+	case qasmPath != "":
+		return qasm.ParseFile(qasmPath)
+	case name != "":
+		return workloads.Build(name, n, seed)
+	default:
+		return nil, fmt.Errorf("nothing to simulate: pass -qasm <file> or -circuit <name>")
+	}
+}
+
+func report(res harness.Result) {
+	if res.TimedOut {
+		fmt.Printf("engine: %s TIMED OUT after %v\n", res.Engine, res.Runtime)
+		os.Exit(2)
+	}
+	fmt.Printf("engine: %s\nruntime: %v, est. memory: %.2f MB\n",
+		res.Engine, res.Runtime, float64(res.Memory)/1e6)
+}
+
+// printTop renders the dominant basis states. In the DD phase the entries
+// come from a branch-and-bound query, so even a 30-qubit GHZ state prints
+// instantly without expanding 2^30 amplitudes.
+func printTop(entries []dd.AmpEntry, n int) {
+	if len(entries) == 0 {
+		return
+	}
+	fmt.Printf("top %d basis states:\n", len(entries))
+	for _, e := range entries {
+		a := e.Amplitude
+		p := real(a)*real(a) + imag(a)*imag(a)
+		fmt.Printf("  |%0*b>  p=%.6f  amp=%v\n", n, e.Index, p, cround(a))
+	}
+}
+
+func printShots(counts map[uint64]int, n int) {
+	type kv struct {
+		idx uint64
+		c   int
+	}
+	var list []kv
+	for i, c := range counts {
+		list = append(list, kv{i, c})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].c > list[j].c })
+	fmt.Println("measurement shots:")
+	for i, e := range list {
+		if i >= 10 {
+			fmt.Printf("  ... and %d more outcomes\n", len(list)-10)
+			break
+		}
+		fmt.Printf("  |%0*b>  %d\n", n, e.idx, e.c)
+	}
+}
+
+func cround(c complex128) complex128 {
+	if cmplx.Abs(c) < 1e-12 {
+		return 0
+	}
+	return c
+}

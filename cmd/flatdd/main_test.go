@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadCircuitFromWorkload(t *testing.T) {
+	c, err := loadCircuit("", "ghz", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Qubits != 8 || c.GateCount() != 8 {
+		t.Fatalf("ghz-8: %d qubits, %d gates", c.Qubits, c.GateCount())
+	}
+}
+
+func TestLoadCircuitFromQASM(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.qasm")
+	if err := os.WriteFile(path, []byte("qreg q[2]; h q[0]; cx q[0],q[1];"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := loadCircuit(path, "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Qubits != 2 || c.GateCount() != 2 {
+		t.Fatalf("qasm: %d qubits, %d gates", c.Qubits, c.GateCount())
+	}
+}
+
+func TestLoadCircuitErrors(t *testing.T) {
+	if _, err := loadCircuit("", "", 0, 0); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if _, err := loadCircuit("x.qasm", "ghz", 4, 0); err == nil {
+		t.Fatal("both sources accepted")
+	}
+	if _, err := loadCircuit("", "nope", 4, 0); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := loadCircuit("/nonexistent/file.qasm", "", 0, 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCround(t *testing.T) {
+	if cround(1e-15+1e-15i) != 0 {
+		t.Fatal("tiny value not rounded to zero")
+	}
+	if cround(1+1i) != 1+1i {
+		t.Fatal("real value altered")
+	}
+}

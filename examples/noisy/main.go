@@ -1,0 +1,49 @@
+// Noisy: simulate a Bell-pair experiment under realistic device noise
+// using the density-matrix decision-diagram engine, and watch entanglement
+// quality degrade as the depolarizing rate grows.
+//
+//	go run ./examples/noisy
+package main
+
+import (
+	"fmt"
+
+	"flatdd/internal/circuit"
+	"flatdd/internal/noise"
+)
+
+func main() {
+	fmt.Println("Bell pair under per-gate depolarizing noise")
+	fmt.Println("p        P(00)    P(11)    P(01)+P(10)  purity")
+	for _, p := range []float64{0, 0.01, 0.05, 0.1, 0.2, 0.5} {
+		model := noise.Model{}
+		if p > 0 {
+			model.GateNoise = []noise.Channel{noise.Depolarizing(p)}
+		}
+		s := noise.New(2, model)
+		c := circuit.New("bell", 2)
+		c.Append(circuit.H(0), circuit.CX(0, 1))
+		s.Run(c)
+		probs := s.Probabilities()
+		fmt.Printf("%-8.2f %-8.4f %-8.4f %-12.4f %.4f\n",
+			p, probs[0], probs[3], probs[1]+probs[2], s.Purity())
+	}
+
+	fmt.Println("\nGHZ-8 with T1 relaxation after every gate")
+	for _, gamma := range []float64{0, 0.02, 0.1} {
+		model := noise.Model{}
+		if gamma > 0 {
+			model.GateNoise = []noise.Channel{noise.AmplitudeDamping(gamma)}
+		}
+		s := noise.New(8, model)
+		c := circuit.New("ghz", 8)
+		c.Append(circuit.H(0))
+		for q := 1; q < 8; q++ {
+			c.Append(circuit.CX(q-1, q))
+		}
+		s.Run(c)
+		probs := s.Probabilities()
+		fmt.Printf("gamma=%-5.2f  P(|0..0>)=%.4f  P(|1..1>)=%.4f  purity=%.4f  DD nodes=%d\n",
+			gamma, probs[0], probs[255], s.Purity(), s.Manager().MSize(s.Rho()))
+	}
+}

@@ -1,0 +1,3 @@
+module flatdd
+
+go 1.24

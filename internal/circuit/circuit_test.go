@@ -1,0 +1,245 @@
+package circuit
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllStandardGatesUnitary(t *testing.T) {
+	gates := []Gate{
+		I(0), H(0), X(0), Y(0), Z(0), S(0), Sdg(0), T(0), Tdg(0),
+		SX(0), SXdg(0), SY(0), SW(0),
+		RX(0.7, 0), RY(1.3, 0), RZ(-2.1, 0), P(0.5, 0),
+		U2(0.3, 0.9, 0), U3(1.1, 0.2, -0.4, 0),
+		CX(0, 1), CY(0, 1), CZ(0, 1), CH(0, 1), CP(0.8, 0, 1),
+		CRX(0.6, 0, 1), CRY(0.6, 0, 1), CRZ(0.6, 0, 1), CU3(0.1, 0.2, 0.3, 0, 1),
+		CCX(0, 1, 2), CCZ(0, 1, 2), MCX([]int{0, 1, 2}, 3),
+		SWAP(0, 1), ISwap(0, 1), FSim(0.4, 0.9, 0, 1), RZZ(0.7, 0, 1),
+	}
+	for _, g := range gates {
+		if !g.IsUnitary(1e-12) {
+			t.Errorf("gate %s is not unitary", g.Name)
+		}
+	}
+}
+
+func TestGateInverses(t *testing.T) {
+	pairs := [][2]Gate{
+		{S(0), Sdg(0)},
+		{T(0), Tdg(0)},
+		{SX(0), SXdg(0)},
+	}
+	for _, p := range pairs {
+		a, b := p[0], p[1]
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				var s complex128
+				for k := 0; k < 2; k++ {
+					s += a.U[i][k] * b.U[k][j]
+				}
+				want := complex128(0)
+				if i == j {
+					want = 1
+				}
+				if cmplx.Abs(s-want) > 1e-12 {
+					t.Errorf("%s*%s not identity at (%d,%d): %v", a.Name, b.Name, i, j, s)
+				}
+			}
+		}
+	}
+}
+
+func TestSquareRootGatesSquareToParent(t *testing.T) {
+	cases := []struct {
+		half   Gate
+		parent Gate
+	}{
+		{SX(0), X(0)},
+		{SY(0), Y(0)},
+		{S(0), Z(0)},
+	}
+	for _, tc := range cases {
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				var s complex128
+				for k := 0; k < 2; k++ {
+					s += tc.half.U[i][k] * tc.half.U[k][j]
+				}
+				if cmplx.Abs(s-tc.parent.U[i][j]) > 1e-12 {
+					t.Errorf("%s^2 != %s at (%d,%d): %v vs %v",
+						tc.half.Name, tc.parent.Name, i, j, s, tc.parent.U[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestSWSquaresToW(t *testing.T) {
+	w := [][]complex128{
+		{0, complex(1/math.Sqrt2, -1/math.Sqrt2)},
+		{complex(1/math.Sqrt2, 1/math.Sqrt2), 0},
+	}
+	g := SW(0)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			var s complex128
+			for k := 0; k < 2; k++ {
+				s += g.U[i][k] * g.U[k][j]
+			}
+			if cmplx.Abs(s-w[i][j]) > 1e-12 {
+				t.Errorf("SW^2 != W at (%d,%d): %v vs %v", i, j, s, w[i][j])
+			}
+		}
+	}
+}
+
+func TestRotationPeriodicity(t *testing.T) {
+	f := func(theta float64) bool {
+		theta = math.Mod(theta, 4*math.Pi)
+		if math.IsNaN(theta) {
+			return true
+		}
+		// RZ(a)·RZ(-a) = I
+		a := RZ(theta, 0)
+		b := RZ(-theta, 0)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				var s complex128
+				for k := 0; k < 2; k++ {
+					s += a.U[i][k] * b.U[k][j]
+				}
+				want := complex128(0)
+				if i == j {
+					want = 1
+				}
+				if cmplx.Abs(s-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Gate
+		ok   bool
+	}{
+		{"valid h", H(0), true},
+		{"target out of range", H(5), false},
+		{"negative target", H(-1), false},
+		{"control==target", Gate{Name: "bad", Targets: []int{0}, Controls: []Control{{Qubit: 0}}, U: m2(0, 1, 1, 0)}, false},
+		{"no targets", Gate{Name: "empty", U: [][]complex128{{1}}}, false},
+		{"wrong dims", Gate{Name: "dims", Targets: []int{0}, U: [][]complex128{{1}}}, false},
+		{"multi-target with controls", Gate{Name: "mixed", Targets: []int{0, 1}, Controls: []Control{{Qubit: 2}},
+			U: SWAP(0, 1).U}, false},
+		{"valid ccx", CCX(0, 1, 2), true},
+	}
+	for _, tc := range cases {
+		err := tc.g.Validate(3)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestCircuitAppendAndCounts(t *testing.T) {
+	c := New("test", 3)
+	c.Append(H(0), CX(0, 1), CX(1, 2), T(2))
+	if c.GateCount() != 4 {
+		t.Fatalf("gate count %d, want 4", c.GateCount())
+	}
+	if c.TwoQubitGateCount() != 2 {
+		t.Fatalf("two-qubit count %d, want 2", c.TwoQubitGateCount())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCircuitDepth(t *testing.T) {
+	c := New("depth", 4)
+	// Layer 1: H(0), H(2); layer 2: CX(0,1), CX(2,3); layer 3: CX(1,2).
+	c.Append(H(0), H(2), CX(0, 1), CX(2, 3), CX(1, 2))
+	if d := c.Depth(); d != 3 {
+		t.Fatalf("depth %d, want 3", d)
+	}
+	if d := New("empty", 2).Depth(); d != 0 {
+		t.Fatalf("empty depth %d, want 0", d)
+	}
+}
+
+func TestAppendPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append accepted an out-of-range gate")
+		}
+	}()
+	New("bad", 2).Append(H(7))
+}
+
+func TestCSwapDecomposition(t *testing.T) {
+	gs := CSwap(2, 0, 1)
+	if len(gs) != 3 {
+		t.Fatalf("CSwap yields %d gates, want 3", len(gs))
+	}
+	c := New("fredkin", 3)
+	c.Append(gs...)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCircuitString(t *testing.T) {
+	c := New("str", 2)
+	c.Append(H(0), CRZ(0.5, 0, 1))
+	s := c.String()
+	for _, want := range []string{"str", "2 qubits", "crz", "controls"} {
+		if !contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func TestGateQubitsOrder(t *testing.T) {
+	g := CCX(3, 1, 0)
+	qs := g.Qubits()
+	if len(qs) != 3 || qs[0] != 0 || qs[1] != 3 || qs[2] != 1 {
+		t.Fatalf("Qubits() = %v, want targets then controls", qs)
+	}
+	if g.Dim() != 2 {
+		t.Fatalf("Dim = %d", g.Dim())
+	}
+	sw := SWAP(2, 5)
+	if sw.Dim() != 4 {
+		t.Fatalf("SWAP dim = %d", sw.Dim())
+	}
+}
+
+func TestIsUnitaryRejectsNonUnitary(t *testing.T) {
+	g := Gate{Name: "bad", Targets: []int{0}, U: [][]complex128{{1, 0}, {0, 2}}}
+	if g.IsUnitary(1e-9) {
+		t.Fatal("diag(1,2) accepted as unitary")
+	}
+}

@@ -1,0 +1,144 @@
+// Package cnum provides a tolerance-based interning table for complex
+// numbers, mirroring the specialized complex-number handling that DD-based
+// quantum circuit simulators use to make decision-diagram nodes
+// hash-consable.
+//
+// Floating-point arithmetic on gate matrices produces values such as
+// 0.7071067811865476 and 0.7071067811865475 that are mathematically the same
+// amplitude. If such values were used directly as edge weights, structurally
+// identical decision-diagram nodes would fail pointer equality and the
+// unique table would explode. The Table snaps every float component to a
+// canonical representative within a configurable tolerance, so that edge
+// weights can be compared bit-exactly and hashed directly.
+package cnum
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultTolerance is the default snapping tolerance. Two float components
+// closer than this are considered the same value. The value matches the
+// tolerance commonly used by DD packages for quantum simulation.
+const DefaultTolerance = 1e-10
+
+// Table interns float64 components of complex numbers. The zero value is not
+// usable; create one with NewTable. A Table is safe for concurrent use.
+type Table struct {
+	mu      sync.RWMutex
+	tol     float64
+	invTol  float64
+	buckets map[int64]float64
+
+	lookups  atomic.Uint64
+	hits     atomic.Uint64
+	inserted atomic.Uint64
+}
+
+// NewTable returns a Table with the given tolerance. A non-positive
+// tolerance selects DefaultTolerance.
+func NewTable(tol float64) *Table {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	t := &Table{
+		tol:     tol,
+		invTol:  1 / tol,
+		buckets: make(map[int64]float64, 1024),
+	}
+	// Seed exact representations of the values that appear in virtually
+	// every circuit so they are canonical from the start.
+	for _, v := range [...]float64{0, 1, -1, 0.5, -0.5, math.Sqrt2 / 2, -math.Sqrt2 / 2} {
+		t.lookupFloatLocked(v)
+	}
+	return t
+}
+
+// Tolerance reports the snapping tolerance of the table.
+func (t *Table) Tolerance() float64 { return t.tol }
+
+// Lookup returns the canonical representative of c. Components within the
+// tolerance of an existing representative are snapped to it; otherwise the
+// component is registered as a new representative. Lookup(Lookup(c)) ==
+// Lookup(c) for every c.
+func (t *Table) Lookup(c complex128) complex128 {
+	re := t.LookupFloat(real(c))
+	im := t.LookupFloat(imag(c))
+	return complex(re, im)
+}
+
+// LookupFloat interns a single float component.
+func (t *Table) LookupFloat(x float64) float64 {
+	if x == 0 { // fast path, avoids -0 issues too
+		return 0
+	}
+	t.lookups.Add(1)
+	t.mu.RLock()
+	v, ok := t.findLocked(x)
+	t.mu.RUnlock()
+	if ok {
+		t.hits.Add(1)
+		return v
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lookupFloatLocked(x)
+}
+
+// findLocked searches the bucket of x and both neighbors for a
+// representative within tolerance. Callers must hold at least a read lock.
+func (t *Table) findLocked(x float64) (float64, bool) {
+	k := int64(math.Round(x * t.invTol))
+	for _, kk := range [3]int64{k, k - 1, k + 1} {
+		if v, ok := t.buckets[kk]; ok && math.Abs(v-x) <= t.tol {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func (t *Table) lookupFloatLocked(x float64) float64 {
+	if v, ok := t.findLocked(x); ok {
+		t.hits.Add(1)
+		return v
+	}
+	k := int64(math.Round(x * t.invTol))
+	t.buckets[k] = x
+	t.inserted.Add(1)
+	return x
+}
+
+// Stats reports counters useful for tests and diagnostics: the number of
+// non-zero lookups, how many hit an existing representative, and how many
+// distinct representatives were inserted.
+func (t *Table) Stats() (lookups, hits, inserted uint64) {
+	return t.lookups.Load(), t.hits.Load(), t.inserted.Load()
+}
+
+// Size returns the number of distinct float representatives stored.
+func (t *Table) Size() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.buckets)
+}
+
+// ApproxEqual reports whether a and b are within tol of each other in both
+// components. It is the comparison the rest of the simulator uses when
+// checking numerical results against references.
+func ApproxEqual(a, b complex128, tol float64) bool {
+	return math.Abs(real(a)-real(b)) <= tol && math.Abs(imag(a)-imag(b)) <= tol
+}
+
+// IsZero reports whether c is exactly the canonical zero.
+func IsZero(c complex128) bool { return c == 0 }
+
+// Key packs a canonical complex value into a comparable, hashable key.
+// It must only be used on values returned by Lookup, where bit equality
+// coincides with semantic equality.
+type Key struct{ Re, Im uint64 }
+
+// KeyOf returns the Key of a canonical complex value.
+func KeyOf(c complex128) Key {
+	return Key{math.Float64bits(real(c)), math.Float64bits(imag(c))}
+}

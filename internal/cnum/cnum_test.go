@@ -1,0 +1,162 @@
+package cnum
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupSnapsNearbyValues(t *testing.T) {
+	tbl := NewTable(1e-10)
+	a := tbl.Lookup(complex(math.Sqrt2/2, 0))
+	b := tbl.Lookup(complex(0.70710678118654757, 0)) // one ulp-ish away
+	if a != b {
+		t.Fatalf("nearby values not snapped: %v vs %v", a, b)
+	}
+}
+
+func TestLookupDistinguishesFarValues(t *testing.T) {
+	tbl := NewTable(1e-10)
+	a := tbl.Lookup(complex(0.5, 0))
+	b := tbl.Lookup(complex(0.5+1e-6, 0))
+	if a == b {
+		t.Fatalf("distinct values wrongly merged: %v", a)
+	}
+}
+
+func TestLookupZeroIsCanonical(t *testing.T) {
+	tbl := NewTable(0)
+	if z := tbl.Lookup(complex(math.Copysign(0, -1), 0)); z != 0 {
+		t.Fatalf("negative zero not canonicalized: %v", z)
+	}
+	if z := tbl.Lookup(0); z != 0 {
+		t.Fatalf("zero not canonical: %v", z)
+	}
+}
+
+func TestLookupIdempotent(t *testing.T) {
+	tbl := NewTable(0)
+	f := func(re, im float64) bool {
+		if math.IsNaN(re) || math.IsInf(re, 0) || math.IsNaN(im) || math.IsInf(im, 0) {
+			return true
+		}
+		// Keep magnitudes in the range amplitudes actually occupy.
+		re = math.Mod(re, 2)
+		im = math.Mod(im, 2)
+		c := complex(re, im)
+		once := tbl.Lookup(c)
+		twice := tbl.Lookup(once)
+		return once == twice
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupWithinTolerance(t *testing.T) {
+	tbl := NewTable(1e-10)
+	f := func(re, im float64) bool {
+		if math.IsNaN(re) || math.IsInf(re, 0) || math.IsNaN(im) || math.IsInf(im, 0) {
+			return true
+		}
+		re = math.Mod(re, 2)
+		im = math.Mod(im, 2)
+		c := complex(re, im)
+		got := tbl.Lookup(c)
+		return cmplx.Abs(got-c) <= 2*tbl.Tolerance()*math.Sqrt2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeededConstantsExact(t *testing.T) {
+	tbl := NewTable(0)
+	cases := []float64{0, 1, -1, 0.5, -0.5, math.Sqrt2 / 2, -math.Sqrt2 / 2}
+	for _, v := range cases {
+		if got := tbl.LookupFloat(v); got != v {
+			t.Errorf("seeded constant %v mapped to %v", v, got)
+		}
+	}
+}
+
+func TestConcurrentLookupStable(t *testing.T) {
+	tbl := NewTable(1e-10)
+	const workers = 8
+	const perWorker = 500
+	results := make([][]complex128, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]complex128, perWorker)
+			for i := 0; i < perWorker; i++ {
+				// Every worker hits the same value sequence.
+				v := complex(math.Sin(float64(i)), math.Cos(float64(i)))
+				out[i] = tbl.Lookup(v)
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range results[0] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d disagrees at %d: %v vs %v", w, i, results[w][i], results[0][i])
+			}
+		}
+	}
+}
+
+func TestKeyOfDistinguishesCanonicalValues(t *testing.T) {
+	tbl := NewTable(0)
+	a := tbl.Lookup(complex(0.25, 0.75))
+	b := tbl.Lookup(complex(0.75, 0.25))
+	if KeyOf(a) == KeyOf(b) {
+		t.Fatal("distinct canonical values share a key")
+	}
+	if KeyOf(a) != KeyOf(tbl.Lookup(a)) {
+		t.Fatal("key not stable under re-lookup")
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1+1i, 1+1i, 0) {
+		t.Fatal("identical values not approx-equal")
+	}
+	if !ApproxEqual(1, 1+1e-12, 1e-10) {
+		t.Fatal("values within tol not approx-equal")
+	}
+	if ApproxEqual(1, 1.1, 1e-10) {
+		t.Fatal("values beyond tol approx-equal")
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	tbl := NewTable(1e-10)
+	tbl.Lookup(complex(0.123456, 0.654321))
+	tbl.Lookup(complex(0.123456, 0.654321))
+	lookups, hits, inserted := tbl.Stats()
+	if lookups == 0 || inserted == 0 {
+		t.Fatalf("stats not tracking: lookups=%d inserted=%d", lookups, inserted)
+	}
+	if hits == 0 {
+		t.Fatalf("repeated lookup should hit, stats: lookups=%d hits=%d", lookups, hits)
+	}
+	if tbl.Size() == 0 {
+		t.Fatal("size should be positive")
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	tbl := NewTable(1e-10)
+	v := complex(math.Sqrt2/2, -math.Sqrt2/2)
+	tbl.Lookup(v)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(v)
+	}
+}

@@ -1,0 +1,246 @@
+// Package convert implements the conversion of a state vector from
+// decision-diagram to flat-array representation (Section 3.1.2 of the
+// FlatDD paper).
+//
+// Sequential is the DDSIM-style baseline: a depth-first traversal writing
+// one amplitude per nonzero path. Parallel adds the paper's two
+// optimizations:
+//
+//   - load balancing (Figure 4a): threads divide across the two outgoing
+//     edges of each node, but if one edge is zero all threads follow the
+//     nonzero edge, so none idles on a zero sub-tree;
+//   - scalar multiplication (Figure 4b): when a node's two children are
+//     the same node, the second half of the output region is the first
+//     half scaled by the ratio of the edge weights — the first half is
+//     converted once and the second filled with a SIMD-style scalar
+//     multiply, parallelized across the available threads.
+package convert
+
+import (
+	"fmt"
+	"sync"
+
+	"flatdd/internal/dd"
+)
+
+// Sequential converts a state DD to a flat array with the sequential
+// depth-first algorithm (the conversion baseline of Figure 13).
+func Sequential(m *dd.Manager, e dd.VEdge, n int) []complex128 {
+	return m.ToArray(e, n)
+}
+
+// Parallel converts a state DD to a freshly allocated flat array using
+// `threads` worker goroutines.
+func Parallel(e dd.VEdge, n, threads int) []complex128 {
+	out := make([]complex128, uint64(1)<<uint(n))
+	ParallelInto(e, n, threads, out)
+	return out
+}
+
+// ParallelInto converts a state DD into out, which must have length 2^n
+// and be zeroed (freshly allocated or cleared) — entries under zero edges
+// are skipped, exactly like the sequential algorithm.
+func ParallelInto(e dd.VEdge, n, threads int, out []complex128) {
+	if uint64(len(out)) != uint64(1)<<uint(n) {
+		panic(fmt.Sprintf("convert: output length %d, want %d", len(out), uint64(1)<<uint(n)))
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if e.IsZero() {
+		return
+	}
+	var wg sync.WaitGroup
+	convRec(e.N, e.W, out, threads, &wg)
+	wg.Wait()
+}
+
+// convRec converts the sub-vector of node nd (reached with weight product
+// w) into out, with budget worker goroutines available for this sub-tree.
+func convRec(nd *dd.VNode, w complex128, out []complex128, budget int, wg *sync.WaitGroup) {
+	if budget <= 1 {
+		convSeq(nd, w, out)
+		return
+	}
+	for {
+		if nd.Level == dd.TerminalLevel {
+			out[0] = w
+			return
+		}
+		half := len(out) / 2
+		e0, e1 := nd.E[0], nd.E[1]
+		switch {
+		case e0.IsZero() && e1.IsZero():
+			return
+		case e1.IsZero():
+			// Load balancing: all threads proceed along the nonzero edge.
+			w *= e0.W
+			nd = e0.N
+			out = out[:half]
+		case e0.IsZero():
+			w *= e1.W
+			nd = e1.N
+			out = out[half:]
+		case e0.N == e1.N:
+			// Scalar-multiplication optimization: convert the first half
+			// (waiting for every worker it spawns — the scaling below reads
+			// it), then derive the second by scaling with e1.W/e0.W.
+			lo := out[:half]
+			hi := out[half:]
+			var sub sync.WaitGroup
+			convRec(e0.N, w*e0.W, lo, budget, &sub)
+			sub.Wait()
+			parallelScalarMul(hi, lo, e1.W/e0.W, budget, wg)
+			return
+		default:
+			if budget <= 1 {
+				convSeq(nd, w, out)
+				return
+			}
+			// Divide the threads across the two edges.
+			b0 := budget / 2
+			b1 := budget - b0
+			lo := out[:half]
+			e0w := w * e0.W
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var sub sync.WaitGroup
+				convRec(e0.N, e0w, lo, b0, &sub)
+				sub.Wait()
+			}()
+			w *= e1.W
+			nd = e1.N
+			out = out[half:]
+			budget = b1
+		}
+	}
+}
+
+// convSeq is the single-threaded conversion of a sub-tree: no goroutines,
+// no WaitGroups, but still applying the scalar-multiplication shortcut.
+func convSeq(nd *dd.VNode, w complex128, out []complex128) {
+	for {
+		if nd.Level == dd.TerminalLevel {
+			out[0] = w
+			return
+		}
+		half := len(out) / 2
+		e0, e1 := nd.E[0], nd.E[1]
+		switch {
+		case e0.IsZero() && e1.IsZero():
+			return
+		case e1.IsZero():
+			w *= e0.W
+			nd = e0.N
+			out = out[:half]
+		case e0.IsZero():
+			w *= e1.W
+			nd = e1.N
+			out = out[half:]
+		case e0.N == e1.N:
+			convSeq(e0.N, w*e0.W, out[:half])
+			scalarMul(out[half:], out[:half], e1.W/e0.W)
+			return
+		default:
+			convSeq(e0.N, w*e0.W, out[:half])
+			w *= e1.W
+			nd = e1.N
+			out = out[half:]
+		}
+	}
+}
+
+// ParallelNaiveInto is the ablation variant of ParallelInto: threads are
+// divided blindly across both outgoing edges of every node (threads routed
+// to a zero edge idle, Figure 4a's problem) and the scalar-multiplication
+// shortcut is disabled. It quantifies what the two optimizations buy.
+func ParallelNaiveInto(e dd.VEdge, n, threads int, out []complex128) {
+	if uint64(len(out)) != uint64(1)<<uint(n) {
+		panic(fmt.Sprintf("convert: output length %d, want %d", len(out), uint64(1)<<uint(n)))
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if e.IsZero() {
+		return
+	}
+	var wg sync.WaitGroup
+	naiveRec(e.N, e.W, out, threads, &wg)
+	wg.Wait()
+}
+
+func naiveRec(nd *dd.VNode, w complex128, out []complex128, budget int, wg *sync.WaitGroup) {
+	if nd.Level == dd.TerminalLevel {
+		out[0] = w
+		return
+	}
+	half := len(out) / 2
+	e0, e1 := nd.E[0], nd.E[1]
+	if budget <= 1 {
+		if !e0.IsZero() {
+			naiveRec(e0.N, w*e0.W, out[:half], 1, wg)
+		}
+		if !e1.IsZero() {
+			naiveRec(e1.N, w*e1.W, out[half:], 1, wg)
+		}
+		return
+	}
+	// Blind split: half the threads to each edge, zero or not.
+	b0 := budget / 2
+	b1 := budget - b0
+	if !e0.IsZero() {
+		lo := out[:half]
+		e0w := w * e0.W
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sub sync.WaitGroup
+			naiveRec(e0.N, e0w, lo, b0, &sub)
+			sub.Wait()
+		}()
+	}
+	if !e1.IsZero() {
+		naiveRec(e1.N, w*e1.W, out[half:], b1, wg)
+	}
+}
+
+// parallelScalarMul fills dst = src * f, splitting the work across budget
+// goroutines registered on wg.
+func parallelScalarMul(dst, src []complex128, f complex128, budget int, wg *sync.WaitGroup) {
+	n := len(dst)
+	if budget > n {
+		budget = n
+	}
+	if budget <= 1 || n < 1024 {
+		scalarMul(dst, src, f)
+		return
+	}
+	chunk := n / budget
+	for i := 0; i < budget; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if i == budget-1 {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			scalarMul(dst[lo:hi], src[lo:hi], f)
+		}(lo, hi)
+	}
+}
+
+// scalarMul is the unrolled scaling kernel (the SIMD stand-in).
+func scalarMul(dst, src []complex128, f complex128) {
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = src[i] * f
+		dst[i+1] = src[i+1] * f
+		dst[i+2] = src[i+2] * f
+		dst[i+3] = src[i+3] * f
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = src[i] * f
+	}
+}

@@ -1,0 +1,475 @@
+// Package core implements FlatDD, the hybrid quantum circuit simulator of
+// the paper (Figure 3). A simulation starts in the DD phase — a sequential
+// DDSIM-style engine whose state vector is a decision diagram — while an
+// EWMA controller watches the state-DD size. The first time the size grows
+// drastically beyond its moving average, the state is converted to a flat
+// array with the parallel DD-to-array algorithm and the remaining gates run
+// as parallel DMAV products, optionally after a DMAV-aware gate-fusion
+// pass.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"time"
+
+	"flatdd/internal/circuit"
+	"flatdd/internal/convert"
+	"flatdd/internal/dd"
+	"flatdd/internal/ddsim"
+	"flatdd/internal/dmav"
+	"flatdd/internal/ewma"
+	"flatdd/internal/fusion"
+	"flatdd/internal/statevec"
+)
+
+// Phase identifies which engine produced a result or trace event.
+type Phase int
+
+const (
+	// PhaseDD is the DDSIM-style front phase.
+	PhaseDD Phase = iota
+	// PhaseDMAV is the flat-array phase after conversion.
+	PhaseDMAV
+)
+
+func (p Phase) String() string {
+	if p == PhaseDD {
+		return "dd"
+	}
+	return "dmav"
+}
+
+// FusionMode selects the gate-fusion pass applied to the DMAV phase.
+type FusionMode int
+
+const (
+	// NoFusion applies the remaining gates one DMAV at a time.
+	NoFusion FusionMode = iota
+	// DMAVAware is the paper's Algorithm 3.
+	DMAVAware
+	// KOps is the k-operations baseline [100].
+	KOps
+)
+
+func (f FusionMode) String() string {
+	switch f {
+	case NoFusion:
+		return "none"
+	case DMAVAware:
+		return "dmav-aware"
+	case KOps:
+		return "k-operations"
+	default:
+		return fmt.Sprintf("FusionMode(%d)", int(f))
+	}
+}
+
+// Options configures a FlatDD simulator. The zero value gives the paper's
+// defaults: β=0.9, ε=2, auto caching, no fusion, one thread.
+type Options struct {
+	// Threads is the worker count for conversion and DMAV (rounded down to
+	// a power of two by the DMAV engine).
+	Threads int
+	// Beta and Epsilon parameterize the EWMA conversion controller
+	// (defaults 0.9 and 2).
+	Beta, Epsilon float64
+	// CacheMode sets the DMAV caching policy (default: cost-model Auto).
+	CacheMode dmav.Mode
+	// Fusion selects the gate-fusion pass for the DMAV phase.
+	Fusion FusionMode
+	// K is the block size for FusionMode KOps (default 4).
+	K int
+	// ForceConvertAfter forces conversion right after this many gates,
+	// bypassing the controller (used by experiments). Negative means "use
+	// the controller".
+	ForceConvertAfter int
+	// DisableConversion pins the simulation to the DD phase (the pure
+	// DDSIM behaviour), regardless of the controller.
+	DisableConversion bool
+	// SequentialConversion uses the sequential DDSIM-style DD-to-array
+	// conversion instead of the parallel algorithm (Figure 13 ablation).
+	SequentialConversion bool
+	// Trace, when non-nil, receives one event per gate.
+	Trace func(TraceEvent)
+	// Deadline, when non-zero, aborts the run once exceeded (checked
+	// between gates); Stats.TimedOut reports the abort. It plays the role
+	// of the paper's 24-hour cutoff.
+	Deadline time.Time
+	// GCThreshold overrides the DD manager's node-count GC trigger.
+	GCThreshold int
+	// ApproxBudget, when positive, enables DD state approximation [97]
+	// during the DD phase: whenever the state DD exceeds ApproxThreshold
+	// nodes, edges carrying up to ApproxBudget probability mass are pruned.
+	// The cumulative fidelity is reported in Stats.Fidelity. This is an
+	// extension beyond the paper (which simulates exactly); it trades
+	// bounded fidelity loss for a smaller DD and a later conversion.
+	ApproxBudget float64
+	// ApproxThreshold is the node count above which approximation kicks in
+	// (default 256 when ApproxBudget > 0).
+	ApproxThreshold int
+}
+
+func (o *Options) withDefaults() Options {
+	v := *o
+	if v.Threads < 1 {
+		v.Threads = 1
+	}
+	if v.K < 1 {
+		v.K = 4
+	}
+	if v.ForceConvertAfter == 0 && !v.DisableConversion {
+		// Zero value means "controller decides" unless explicitly set; we
+		// reserve negative for that and treat 0 as unset.
+		v.ForceConvertAfter = -1
+	}
+	if v.ApproxBudget > 0 && v.ApproxThreshold <= 0 {
+		v.ApproxThreshold = 256
+	}
+	return v
+}
+
+// TraceEvent records the execution of one gate (Figures 3 and 11).
+type TraceEvent struct {
+	GateIndex int
+	Phase     Phase
+	DDSize    int // state-DD node count after the gate (DD phase only)
+	EWMA      float64
+	Duration  time.Duration
+	Converted bool // true on the gate that triggered conversion
+}
+
+// Stats summarizes one Run.
+type Stats struct {
+	Gates           int
+	ConvertedAtGate int // index of the first DMAV gate; -1 if never converted
+	DDTime          time.Duration
+	ConversionTime  time.Duration
+	// FusionTime covers preparing the DMAV phase: building the remaining
+	// gate matrices as DDs and, when enabled, the fusion pass itself.
+	FusionTime time.Duration
+	DMAVTime   time.Duration
+	TotalTime  time.Duration
+
+	PeakDDNodes   int
+	FusedGates    int // gates executed in the DMAV phase after fusion
+	DMAVStats     dmav.Stats
+	MemoryBytes   uint64 // working-set estimate (DD nodes + flat arrays)
+	FusionResult  *fusion.Result
+	FinalDDSize   int // state-DD size at conversion (or at the end if never converted)
+	ModeledCost   float64
+	ControllerEnd float64 // EWMA value when conversion fired
+	TimedOut      bool
+	// Fidelity is a guaranteed lower bound on |<exact|simulated>|^2 after
+	// any state approximations (1 when approximation is off). Per-step
+	// fidelities f_i compose through the angle metric:
+	// F >= cos^2(sum_i arccos(sqrt(f_i))).
+	Fidelity float64
+	// Approximations counts how many pruning passes ran.
+	Approximations int
+}
+
+// Simulator is a FlatDD hybrid simulator for one register size.
+type Simulator struct {
+	n    int
+	opts Options
+
+	m   *dd.Manager
+	sim *ddsim.Simulator
+	eng *dmav.Engine
+
+	phase Phase
+	state []complex128 // valid in PhaseDMAV
+	buf   []complex128
+
+	// approxAngle accumulates arccos(sqrt(f_i)) over approximation steps.
+	approxAngle float64
+
+	stats Stats
+}
+
+// New returns a simulator for n qubits.
+func New(n int, opts Options) *Simulator {
+	o := opts.withDefaults()
+	m := dd.New(n)
+	if o.GCThreshold > 0 {
+		m.SetGCThreshold(o.GCThreshold)
+	}
+	return &Simulator{
+		n:    n,
+		opts: o,
+		m:    m,
+		sim:  ddsim.NewWithManager(m, n),
+	}
+}
+
+// Qubits returns the register size.
+func (s *Simulator) Qubits() int { return s.n }
+
+// Phase returns the current engine phase.
+func (s *Simulator) Phase() Phase { return s.phase }
+
+// Stats returns the statistics of the last Run.
+func (s *Simulator) Stats() Stats { return s.stats }
+
+// Run simulates the circuit from |0...0> and returns the final statistics.
+// Run may be called once per Simulator.
+func (s *Simulator) Run(c *circuit.Circuit) Stats {
+	if c.Qubits != s.n {
+		panic(fmt.Sprintf("core: circuit on %d qubits, simulator has %d", c.Qubits, s.n))
+	}
+	start := time.Now()
+	s.stats = Stats{Gates: c.GateCount(), ConvertedAtGate: -1, Fidelity: 1}
+	ctl := ewma.New(s.opts.Beta, s.opts.Epsilon)
+
+	// Phase 1: DD-based simulation with conversion monitoring.
+	i := 0
+	for ; i < len(c.Gates); i++ {
+		if s.expired() {
+			s.stats.TimedOut = true
+			s.finishStats(start)
+			return s.stats
+		}
+		gStart := time.Now()
+		size := s.sim.ApplyGate(&c.Gates[i])
+		if s.opts.ApproxBudget > 0 && size > s.opts.ApproxThreshold {
+			approx, fid := s.m.Approximate(s.sim.State(), s.n, s.opts.ApproxBudget)
+			if fid < 1 {
+				s.sim.SetState(approx)
+				s.approxAngle += math.Acos(math.Sqrt(math.Max(0, math.Min(1, fid))))
+				s.stats.Approximations++
+				size = s.m.VSize(approx)
+			}
+		}
+		convertNow := ctl.Observe(size)
+		if s.opts.DisableConversion {
+			convertNow = false
+		} else if s.opts.ForceConvertAfter >= 0 {
+			convertNow = i+1 >= s.opts.ForceConvertAfter
+		}
+		if s.opts.Trace != nil {
+			s.opts.Trace(TraceEvent{
+				GateIndex: i, Phase: PhaseDD, DDSize: size, EWMA: ctl.Average(),
+				Duration: time.Since(gStart), Converted: convertNow && i+1 < len(c.Gates),
+			})
+		}
+		if convertNow && i+1 < len(c.Gates) {
+			i++
+			break
+		}
+	}
+	s.stats.DDTime = time.Since(start)
+	s.stats.FinalDDSize = s.sim.StateSize()
+	s.stats.ControllerEnd = ctl.Average()
+
+	if i >= len(c.Gates) {
+		// Whole circuit ran in the DD phase.
+		s.finishStats(start)
+		return s.stats
+	}
+
+	// Phase 2: convert the state DD to a flat array.
+	s.stats.ConvertedAtGate = i
+	convStart := time.Now()
+	s.state = make([]complex128, uint64(1)<<uint(s.n))
+	if s.opts.SequentialConversion {
+		s.m.FillArray(s.sim.State(), s.n, s.state)
+	} else {
+		convert.ParallelInto(s.sim.State(), s.n, s.opts.Threads, s.state)
+	}
+	s.stats.ConversionTime = time.Since(convStart)
+	s.phase = PhaseDMAV
+	s.buf = make([]complex128, len(s.state))
+	s.eng = dmav.New(s.m, s.n, s.opts.Threads, s.opts.CacheMode)
+
+	// Release the DD state: only gate matrices stay live from here on.
+	s.sim.SetState(s.m.VZeroEdge())
+	s.m.Collect(dd.Roots{})
+
+	// Phase 3: build (and optionally fuse) the remaining gate matrices.
+	fuseStart := time.Now()
+	remaining := make([]dd.MEdge, 0, len(c.Gates)-i)
+	roots := dd.Roots{}
+	for j := i; j < len(c.Gates); j++ {
+		g := ddsim.BuildGateDD(s.m, s.n, &c.Gates[j])
+		remaining = append(remaining, g)
+		roots.M = append(roots.M, g)
+		s.m.CollectIfNeeded(roots)
+	}
+	costFn := func(g dd.MEdge) float64 { return s.eng.EvaluateCost(g).Cost() }
+	switch s.opts.Fusion {
+	case DMAVAware:
+		res := fusion.Fuse(s.m, remaining, costFn)
+		s.stats.FusionResult = &res
+		remaining = res.Gates
+	case KOps:
+		res := fusion.KOperations(s.m, remaining, s.opts.K, costFn)
+		s.stats.FusionResult = &res
+		remaining = res.Gates
+	}
+	s.stats.FusionTime = time.Since(fuseStart)
+	s.stats.FusedGates = len(remaining)
+
+	// Phase 4: DMAV over the flat state.
+	dmavStart := time.Now()
+	gateIdx := i
+	for _, g := range remaining {
+		if s.expired() {
+			s.stats.TimedOut = true
+			break
+		}
+		gStart := time.Now()
+		cost := s.eng.Apply(g, s.state, s.buf)
+		s.state, s.buf = s.buf, s.state
+		s.stats.ModeledCost += cost.Cost()
+		if s.opts.Trace != nil {
+			s.opts.Trace(TraceEvent{
+				GateIndex: gateIdx, Phase: PhaseDMAV, Duration: time.Since(gStart),
+			})
+		}
+		gateIdx++
+	}
+	s.stats.DMAVTime = time.Since(dmavStart)
+	s.stats.DMAVStats = s.eng.Stats()
+	s.finishStats(start)
+	return s.stats
+}
+
+func (s *Simulator) finishStats(start time.Time) {
+	s.stats.TotalTime = time.Since(start)
+	if s.approxAngle > 0 {
+		a := math.Min(s.approxAngle, math.Pi/2)
+		c := math.Cos(a)
+		s.stats.Fidelity = c * c
+	}
+	s.stats.PeakDDNodes = s.m.PeakNodeCount()
+	// Working-set estimate: DD nodes (vector nodes: 2 edges of 24 bytes +
+	// header ≈ 64 B; matrix nodes ≈ 112 B; use 96 B as a blended figure)
+	// plus the flat arrays of the DMAV phase.
+	mem := uint64(s.stats.PeakDDNodes) * 96
+	if s.phase == PhaseDMAV {
+		mem += uint64(len(s.state)) * 16 * 2 // state + scratch
+	}
+	s.stats.MemoryBytes = mem
+}
+
+func (s *Simulator) expired() bool {
+	return !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline)
+}
+
+// Amplitude returns one amplitude of the final state.
+func (s *Simulator) Amplitude(idx uint64) complex128 {
+	if s.phase == PhaseDMAV {
+		return s.state[idx]
+	}
+	return s.sim.Amplitude(idx)
+}
+
+// Amplitudes returns the full final state vector. In the DD phase the
+// state is converted on demand (parallel algorithm).
+func (s *Simulator) Amplitudes() []complex128 {
+	if s.phase == PhaseDMAV {
+		return s.state
+	}
+	return convert.Parallel(s.sim.State(), s.n, s.opts.Threads)
+}
+
+// StateDDSize returns the node count of the state DD (0 after conversion).
+func (s *Simulator) StateDDSize() int {
+	if s.phase == PhaseDMAV {
+		return 0
+	}
+	return s.sim.StateSize()
+}
+
+// ProbabilityOfQubit returns P(qubit q = 1) of the current state,
+// whichever representation it lives in.
+func (s *Simulator) ProbabilityOfQubit(q int) float64 {
+	if s.phase == PhaseDD {
+		return s.sim.ProbabilityOfQubit(q)
+	}
+	mask := uint64(1) << uint(q)
+	var p1 float64
+	for i, a := range s.state {
+		if uint64(i)&mask != 0 {
+			p1 += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p1
+}
+
+// MeasureQubit projectively measures one qubit of the final state,
+// collapsing it in place, and returns the outcome. In the DD phase the
+// collapse operates on the decision diagram; after conversion it operates
+// on the flat array.
+func (s *Simulator) MeasureQubit(q int, rng *rand.Rand) int {
+	if s.phase == PhaseDD {
+		return s.sim.MeasureQubit(q, rng)
+	}
+	sv := statevecView(s.state, s.n)
+	return sv.MeasureQubit(q, rng)
+}
+
+// statevecView wraps the DMAV-phase amplitude array in a statevec.State so
+// the measurement machinery is shared.
+func statevecView(amps []complex128, n int) *statevec.State {
+	return statevec.FromAmplitudes(amps, 1)
+}
+
+// TopAmplitudes returns the k largest-magnitude basis states of the final
+// state. In the DD phase this is a branch-and-bound query on the diagram
+// (no 2^n expansion); after conversion it scans the flat array.
+func (s *Simulator) TopAmplitudes(k int) []dd.AmpEntry {
+	if s.phase == PhaseDD {
+		return s.m.TopAmplitudes(s.sim.State(), s.n, k)
+	}
+	if k <= 0 {
+		return nil
+	}
+	entries := make([]dd.AmpEntry, 0, len(s.state))
+	for i, a := range s.state {
+		if a != 0 {
+			entries = append(entries, dd.AmpEntry{Index: uint64(i), Amplitude: a})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return cmplx.Abs(entries[i].Amplitude) > cmplx.Abs(entries[j].Amplitude)
+	})
+	if k > len(entries) {
+		k = len(entries)
+	}
+	return entries[:k]
+}
+
+// Probabilities returns |amplitude|^2 for every basis state.
+func (s *Simulator) Probabilities() []float64 {
+	amps := s.Amplitudes()
+	out := make([]float64, len(amps))
+	for i, a := range amps {
+		out[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return out
+}
+
+// Sample draws basis states from the final distribution.
+func (s *Simulator) Sample(rng *rand.Rand, shots int) map[uint64]int {
+	probs := s.Probabilities()
+	counts := make(map[uint64]int)
+	for k := 0; k < shots; k++ {
+		x := rng.Float64()
+		acc := 0.0
+		idx := uint64(len(probs) - 1)
+		for i, p := range probs {
+			acc += p
+			if x < acc {
+				idx = uint64(i)
+				break
+			}
+		}
+		counts[idx]++
+	}
+	return counts
+}

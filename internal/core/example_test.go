@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"fmt"
+
+	"flatdd/internal/circuit"
+	"flatdd/internal/core"
+)
+
+// ExampleSimulator_Run builds a Bell pair and reads its amplitudes.
+func ExampleSimulator_Run() {
+	c := circuit.New("bell", 2)
+	c.Append(circuit.H(0), circuit.CX(0, 1))
+
+	sim := core.New(2, core.Options{})
+	stats := sim.Run(c)
+
+	fmt.Printf("converted: %v\n", stats.ConvertedAtGate >= 0)
+	fmt.Printf("P(00) = %.2f\n", sim.Probabilities()[0])
+	fmt.Printf("P(11) = %.2f\n", sim.Probabilities()[3])
+	// Output:
+	// converted: false
+	// P(00) = 0.50
+	// P(11) = 0.50
+}
+
+// ExampleOptions_forceConversion shows driving the hybrid engine straight
+// into the DMAV phase.
+func ExampleOptions() {
+	c := circuit.New("chain", 3)
+	c.Append(circuit.H(0), circuit.CX(0, 1), circuit.CX(1, 2), circuit.X(0))
+
+	sim := core.New(3, core.Options{ForceConvertAfter: 2, Threads: 2})
+	stats := sim.Run(c)
+	fmt.Printf("converted at gate %d of %d\n", stats.ConvertedAtGate, stats.Gates)
+	fmt.Printf("phase: %v\n", sim.Phase())
+	// Output:
+	// converted at gate 2 of 4
+	// phase: dmav
+}

@@ -1,0 +1,139 @@
+package dd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// State approximation following Zulehner, Hillmich, Markov, Wille:
+// "Approximation of quantum states using decision diagrams" (ASP-DAC'20),
+// reference [97] of the FlatDD paper. Edges whose total downstream
+// probability contribution is small are removed from the state DD, which
+// shrinks the diagram at a controlled fidelity loss: removing edges of
+// total mass b and renormalizing yields a state with fidelity
+// |<orig|approx>|^2 = 1 - b.
+
+// edgeRef identifies one outgoing edge of a vector node.
+type edgeRef struct {
+	n   *VNode
+	idx int
+}
+
+// Approximate prunes low-contribution edges of the n-qubit state e until
+// the removed probability mass would exceed budget (0 <= budget < 1), then
+// renormalizes. It returns the approximated state and the fidelity
+// |<e|approx>|^2 = 1 - removed mass. A budget of 0 returns e unchanged.
+func (m *Manager) Approximate(e VEdge, n int, budget float64) (VEdge, float64) {
+	if budget < 0 || budget >= 1 {
+		panic(fmt.Sprintf("dd: approximation budget %v outside [0,1)", budget))
+	}
+	if e.IsZero() || budget == 0 {
+		return e, 1
+	}
+
+	// Downward pass: the probability mass flowing into each node. Thanks
+	// to the sum-of-squares normalization every sub-tree is a unit vector,
+	// so an edge's total contribution is mass(parent) * |w|^2.
+	mass := map[*VNode]float64{e.N: abs2(e.W)}
+	order := m.topoOrder(e.N)
+	type candidate struct {
+		ref  edgeRef
+		mass float64
+	}
+	var cands []candidate
+	for _, nd := range order {
+		nm := mass[nd]
+		for i := 0; i < 2; i++ {
+			c := nd.E[i]
+			if c.IsZero() {
+				continue
+			}
+			em := nm * abs2(c.W)
+			if c.N.Level != TerminalLevel {
+				mass[c.N] += em
+			}
+			cands = append(cands, candidate{edgeRef{nd, i}, em})
+		}
+	}
+
+	// Greedy: remove the smallest contributions first. Contributions of
+	// distinct edges can overlap only through shared parents higher up;
+	// since we remove whole edges the removed masses are disjoint path
+	// sets as long as we do not remove both edges under the same removed
+	// ancestor — double counting only makes the estimate conservative.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].mass < cands[j].mass })
+	removed := make(map[edgeRef]bool)
+	removedMass := 0.0
+	for _, c := range cands {
+		if removedMass+c.mass > budget {
+			break
+		}
+		removed[c.ref] = true
+		removedMass += c.mass
+	}
+	if len(removed) == 0 {
+		return e, 1
+	}
+
+	// Rebuild the DD without the removed edges.
+	memo := make(map[*VNode]VEdge)
+	var rebuild func(nd *VNode) VEdge
+	rebuild = func(nd *VNode) VEdge {
+		if v, ok := memo[nd]; ok {
+			return v
+		}
+		var ch [2]VEdge
+		for i := 0; i < 2; i++ {
+			c := nd.E[i]
+			switch {
+			case c.IsZero(), removed[edgeRef{nd, i}]:
+				ch[i] = m.VZeroEdge()
+			case c.N.Level == TerminalLevel:
+				ch[i] = c
+			default:
+				ch[i] = m.scaleV(rebuild(c.N), c.W)
+			}
+		}
+		r := m.MakeVNode(int(nd.Level), ch[0], ch[1])
+		memo[nd] = r
+		return r
+	}
+	res := m.scaleV(rebuild(e.N), e.W)
+	if res.IsZero() {
+		// Degenerate: everything pruned (possible only with a budget close
+		// to 1); return the original state.
+		return e, 1
+	}
+	// Renormalize to unit norm, keeping the root phase.
+	norm := m.Norm(res)
+	res = m.scaleV(res, complex(1/norm, 0))
+	return res, norm * norm / abs2(e.W)
+}
+
+// topoOrder returns the unique nodes reachable from root in descending
+// level order (parents before children), so one pass can accumulate
+// downward masses.
+func (m *Manager) topoOrder(root *VNode) []*VNode {
+	seen := make(map[*VNode]bool)
+	var out []*VNode
+	var walk func(n *VNode)
+	walk = func(n *VNode) {
+		if n.Level == TerminalLevel || seen[n] {
+			return
+		}
+		seen[n] = true
+		out = append(out, n)
+		for _, c := range n.E {
+			if !c.IsZero() {
+				walk(c.N)
+			}
+		}
+	}
+	walk(root)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Level > out[j].Level })
+	return out
+}
+
+func abs2(c complex128) float64 {
+	return real(c)*real(c) + imag(c)*imag(c)
+}

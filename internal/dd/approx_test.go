@@ -1,0 +1,142 @@
+package dd
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// skewedAmps returns a normalized vector dominated by a few large
+// amplitudes plus a tail of tiny ones — the regime state approximation is
+// designed for.
+func skewedAmps(rng *rand.Rand, n int, heavy int) []complex128 {
+	amps := make([]complex128, 1<<uint(n))
+	for i := range amps {
+		amps[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * 1e-3
+	}
+	for k := 0; k < heavy; k++ {
+		amps[rng.Intn(len(amps))] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	var norm float64
+	for _, a := range amps {
+		norm += real(a)*real(a) + imag(a)*imag(a)
+	}
+	norm = math.Sqrt(norm)
+	for i := range amps {
+		amps[i] /= complex(norm, 0)
+	}
+	return amps
+}
+
+func TestApproximateZeroBudgetIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := New(8)
+	e := m.VectorFromAmplitudes(skewedAmps(rng, 8, 4))
+	got, fid := m.Approximate(e, 8, 0)
+	if got != e || fid != 1 {
+		t.Fatalf("zero budget changed the state (fid=%v)", fid)
+	}
+}
+
+func TestApproximateFidelityMatchesInnerProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 6; trial++ {
+		n := 6 + rng.Intn(4)
+		m := New(n)
+		e := m.VectorFromAmplitudes(skewedAmps(rng, n, 3))
+		budget := 0.01 + 0.1*rng.Float64()
+		approx, fid := m.Approximate(e, n, budget)
+		// The reported fidelity must equal |<e|approx>|^2.
+		ip := m.InnerProduct(e, approx, n)
+		if math.Abs(real(ip*cmplx.Conj(ip))-fid) > 1e-9 {
+			t.Fatalf("trial %d: reported fidelity %v, actual %v", trial, fid, real(ip*cmplx.Conj(ip)))
+		}
+		if fid < 1-budget-1e-9 {
+			t.Fatalf("trial %d: fidelity %v below guarantee %v", trial, fid, 1-budget)
+		}
+		if norm := m.Norm(approx); math.Abs(norm-1) > 1e-9 {
+			t.Fatalf("trial %d: approximated state norm %v", trial, norm)
+		}
+	}
+}
+
+func TestApproximateShrinksSkewedStates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 10
+	m := New(n)
+	e := m.VectorFromAmplitudes(skewedAmps(rng, n, 2))
+	before := m.VSize(e)
+	approx, fid := m.Approximate(e, n, 0.05)
+	after := m.VSize(approx)
+	if after >= before {
+		t.Fatalf("approximation did not shrink the DD: %d -> %d", before, after)
+	}
+	if fid < 0.95 {
+		t.Fatalf("fidelity %v below budgeted 0.95", fid)
+	}
+	// The tail was tiny: most of it should have been pruned.
+	if after > before/2 {
+		t.Logf("note: only modest shrink %d -> %d", before, after)
+	}
+}
+
+func TestApproximatePreservesDominantAmplitudes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 8
+	m := New(n)
+	amps := skewedAmps(rng, n, 2)
+	e := m.VectorFromAmplitudes(amps)
+	approx, _ := m.Approximate(e, n, 0.02)
+	out := m.ToArray(approx, n)
+	for i, a := range amps {
+		if cmplx.Abs(a) > 0.3 { // the heavy components must survive
+			if cmplx.Abs(out[i]-a) > 0.05 {
+				t.Fatalf("dominant amplitude %d drifted: %v -> %v", i, a, out[i])
+			}
+		}
+	}
+}
+
+func TestApproximateBadBudgetPanics(t *testing.T) {
+	m := New(3)
+	e := m.ZeroState(3)
+	for _, b := range []float64{-0.1, 1.0, 2.0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("budget %v did not panic", b)
+				}
+			}()
+			m.Approximate(e, 3, b)
+		}()
+	}
+}
+
+func TestApproximateZeroStateNoop(t *testing.T) {
+	m := New(4)
+	got, fid := m.Approximate(m.VZeroEdge(), 4, 0.5)
+	if !got.IsZero() || fid != 1 {
+		t.Fatal("zero edge mishandled")
+	}
+}
+
+func TestApproximateGHZUntouchable(t *testing.T) {
+	// GHZ has two equal-mass branches (0.5 each): any budget below 0.5
+	// must leave it bit-exact.
+	m := New(8)
+	e := m.BasisState(8, 0)
+	h := m.SingleGate(8, Matrix2{
+		{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)},
+		{complex(1/math.Sqrt2, 0), complex(-1/math.Sqrt2, 0)},
+	}, 0)
+	e = m.MulMV(h, e)
+	for q := 1; q < 8; q++ {
+		cx := m.ControlledGate(8, Matrix2{{0, 1}, {1, 0}}, q, []Control{{Qubit: q - 1}})
+		e = m.MulMV(cx, e)
+	}
+	approx, fid := m.Approximate(e, 8, 0.3)
+	if approx.N != e.N || fid != 1 {
+		t.Fatalf("GHZ pruned despite budget < branch mass (fid=%v)", fid)
+	}
+}

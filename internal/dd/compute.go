@@ -1,0 +1,75 @@
+package dd
+
+import "hash/maphash"
+
+// ctBits sets the compute-table capacity to 2^ctBits entries. Compute
+// tables are direct-mapped with overwrite-on-collision, the classic DD
+// package design: memory stays bounded while the hit rate on the repetitive
+// sub-computations of structured circuits stays high.
+const ctBits = 17
+
+type ctEntry[K comparable, V any] struct {
+	key   K
+	value V
+	valid bool
+}
+
+// ctable is a direct-mapped memoization cache for DD operations.
+type ctable[K comparable, V any] struct {
+	seed    maphash.Seed
+	entries []ctEntry[K, V]
+
+	lookups uint64
+	hits    uint64
+}
+
+func (c *ctable[K, V]) init() {
+	c.seed = maphash.MakeSeed()
+	c.entries = make([]ctEntry[K, V], 1<<ctBits)
+}
+
+func (c *ctable[K, V]) slot(k K) *ctEntry[K, V] {
+	h := maphash.Comparable(c.seed, k)
+	return &c.entries[h&(1<<ctBits-1)]
+}
+
+func (c *ctable[K, V]) get(k K) (V, bool) {
+	c.lookups++
+	e := c.slot(k)
+	if e.valid && e.key == k {
+		c.hits++
+		return e.value, true
+	}
+	var zero V
+	return zero, false
+}
+
+func (c *ctable[K, V]) put(k K, v V) {
+	e := c.slot(k)
+	*e = ctEntry[K, V]{key: k, value: v, valid: true}
+}
+
+func (c *ctable[K, V]) clear() {
+	clear(c.entries)
+	c.lookups = 0
+	c.hits = 0
+}
+
+func (c *ctable[K, V]) stats() (lookups, hits uint64) { return c.lookups, c.hits }
+
+// ComputeTableStats reports aggregate lookup/hit counters across the
+// manager's four compute tables, for diagnostics and tests.
+func (m *Manager) ComputeTableStats() (lookups, hits uint64) {
+	for _, s := range [][2]uint64{
+		sliceStats(m.addCT.stats()),
+		sliceStats(m.maddCT.stats()),
+		sliceStats(m.mvCT.stats()),
+		sliceStats(m.mmCT.stats()),
+	} {
+		lookups += s[0]
+		hits += s[1]
+	}
+	return
+}
+
+func sliceStats(l, h uint64) [2]uint64 { return [2]uint64{l, h} }

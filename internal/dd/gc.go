@@ -1,0 +1,90 @@
+package dd
+
+// Garbage collection. DD packages conventionally reference-count nodes; we
+// instead run a mark-and-sweep over the unique tables from a set of live
+// roots. Compute tables hold raw node pointers, so they are cleared on every
+// collection — a stale entry whose node was swept could otherwise alias a
+// newly allocated node.
+
+// Roots is the set of live DD roots a caller wants preserved across a
+// collection.
+type Roots struct {
+	V []VEdge
+	M []MEdge
+}
+
+// Collect sweeps every node not reachable from roots out of the unique
+// tables and clears the compute tables. It returns the number of nodes
+// removed.
+func (m *Manager) Collect(roots Roots) int {
+	for _, e := range roots.V {
+		if !e.IsZero() {
+			markV(e.N)
+		}
+	}
+	for _, e := range roots.M {
+		if !e.IsZero() {
+			markM(e.N)
+		}
+	}
+	removed := 0
+	for k, n := range m.vUnique {
+		if !n.marked {
+			delete(m.vUnique, k)
+			removed++
+		} else {
+			n.marked = false
+		}
+	}
+	for k, n := range m.mUnique {
+		if !n.marked {
+			delete(m.mUnique, k)
+			removed++
+		} else {
+			n.marked = false
+		}
+	}
+	m.addCT.clear()
+	m.maddCT.clear()
+	m.mvCT.clear()
+	m.mmCT.clear()
+	return removed
+}
+
+// SetGCThreshold sets the node count above which CollectIfNeeded runs a
+// collection. Non-positive values disable automatic collection.
+func (m *Manager) SetGCThreshold(n int) { m.gcThreshold = n }
+
+// CollectIfNeeded runs Collect(roots) when the node count exceeds the GC
+// threshold. It returns the number of nodes removed (0 when no collection
+// ran).
+func (m *Manager) CollectIfNeeded(roots Roots) int {
+	if m.gcThreshold <= 0 || m.NodeCount() <= m.gcThreshold {
+		return 0
+	}
+	return m.Collect(roots)
+}
+
+func markV(n *VNode) {
+	if n.Level == TerminalLevel || n.marked {
+		return
+	}
+	n.marked = true
+	for _, c := range n.E {
+		if !c.IsZero() {
+			markV(c.N)
+		}
+	}
+}
+
+func markM(n *MNode) {
+	if n.Level == TerminalLevel || n.marked {
+		return
+	}
+	n.marked = true
+	for _, c := range n.E {
+		if !c.IsZero() {
+			markM(c.N)
+		}
+	}
+}

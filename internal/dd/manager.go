@@ -1,0 +1,244 @@
+package dd
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"flatdd/internal/cnum"
+)
+
+// Manager owns the unique tables, compute tables and complex-number table of
+// one DD universe. Edges from different managers must never be mixed.
+//
+// A Manager is safe for concurrent reads of existing DDs (traversals); DD
+// construction (Make*, arithmetic, gate builders) must be externally
+// serialized. This matches the simulator's phase structure: DDs are built by
+// the sequential DD engine and then traversed read-only by the parallel
+// DMAV and conversion kernels.
+type Manager struct {
+	C *cnum.Table
+
+	nQubits int
+
+	vUnique map[vKey]*VNode
+	mUnique map[mKey]*MNode
+
+	vTerminal *VNode
+	mTerminal *MNode
+
+	addCT  ctable[addKey, VEdge]
+	maddCT ctable[maddKey, MEdge]
+	mvCT   ctable[mvKey, VEdge]
+	mmCT   ctable[mmKey, MEdge]
+
+	// gcThreshold triggers automatic collection inside CollectIfNeeded.
+	gcThreshold int
+
+	peakNodes int
+}
+
+type vKey struct {
+	level  int8
+	w0, w1 cnum.Key
+	n0, n1 *VNode
+}
+
+type mKey struct {
+	level          int8
+	w0, w1, w2, w3 cnum.Key
+	n0, n1, n2, n3 *MNode
+}
+
+type addKey struct {
+	a, b  *VNode
+	ratio cnum.Key
+}
+
+type maddKey struct {
+	a, b  *MNode
+	ratio cnum.Key
+}
+
+type mvKey struct {
+	m *MNode
+	v *VNode
+}
+
+type mmKey struct {
+	a, b *MNode
+}
+
+// New returns a Manager for circuits of up to nQubits qubits with the
+// default weight tolerance.
+func New(nQubits int) *Manager {
+	return NewWithTolerance(nQubits, cnum.DefaultTolerance)
+}
+
+// NewWithTolerance returns a Manager whose complex table snaps weights at
+// the given tolerance.
+func NewWithTolerance(nQubits int, tol float64) *Manager {
+	if nQubits < 0 || nQubits > 62 {
+		panic(fmt.Sprintf("dd: unsupported qubit count %d", nQubits))
+	}
+	m := &Manager{
+		C:           cnum.NewTable(tol),
+		nQubits:     nQubits,
+		vUnique:     make(map[vKey]*VNode, 1<<10),
+		mUnique:     make(map[mKey]*MNode, 1<<10),
+		gcThreshold: 1 << 22,
+	}
+	m.vTerminal = &VNode{Level: TerminalLevel}
+	m.mTerminal = &MNode{Level: TerminalLevel}
+	m.addCT.init()
+	m.maddCT.init()
+	m.mvCT.init()
+	m.mmCT.init()
+	return m
+}
+
+// Qubits returns the number of qubits this manager was created for.
+func (m *Manager) Qubits() int { return m.nQubits }
+
+// VTerminal returns the shared vector terminal node.
+func (m *Manager) VTerminal() *VNode { return m.vTerminal }
+
+// MTerminal returns the shared matrix terminal node.
+func (m *Manager) MTerminal() *MNode { return m.mTerminal }
+
+// VZeroEdge returns the canonical zero vector edge.
+func (m *Manager) VZeroEdge() VEdge { return VEdge{0, m.vTerminal} }
+
+// VOneEdge returns the weight-1 terminal vector edge (scalar 1).
+func (m *Manager) VOneEdge() VEdge { return VEdge{1, m.vTerminal} }
+
+// MZeroEdge returns the canonical zero matrix edge.
+func (m *Manager) MZeroEdge() MEdge { return MEdge{0, m.mTerminal} }
+
+// MOneEdge returns the weight-1 terminal matrix edge (scalar 1).
+func (m *Manager) MOneEdge() MEdge { return MEdge{1, m.mTerminal} }
+
+// NodeCount returns the number of live unique nodes (vector + matrix),
+// excluding terminals.
+func (m *Manager) NodeCount() int { return len(m.vUnique) + len(m.mUnique) }
+
+// PeakNodeCount returns the largest NodeCount observed at node creation.
+func (m *Manager) PeakNodeCount() int { return m.peakNodes }
+
+// MakeVNode builds (or reuses) the canonical vector node at the given level
+// with the given children and returns its normalized incoming edge. The
+// returned edge weight carries the norm and phase factored out of the
+// children: the child weights of the stored node have 2-norm 1 and the
+// first nonzero child weight is real positive.
+func (m *Manager) MakeVNode(level int, e0, e1 VEdge) VEdge {
+	if level < 0 || level >= 64 {
+		panic(fmt.Sprintf("dd: bad vector node level %d", level))
+	}
+	e0 = m.normalizeVChild(e0)
+	e1 = m.normalizeVChild(e1)
+	if e0.IsZero() && e1.IsZero() {
+		return m.VZeroEdge()
+	}
+	// Factor out the 2-norm and the phase of the first nonzero child.
+	a0 := cmplx.Abs(e0.W)
+	a1 := cmplx.Abs(e1.W)
+	norm := pythag(a0, a1)
+	var phase complex128
+	if !e0.IsZero() {
+		phase = e0.W / complex(a0, 0)
+	} else {
+		phase = e1.W / complex(a1, 0)
+	}
+	top := m.C.Lookup(complex(norm, 0) * phase)
+	if top == 0 {
+		// Numerically dead after snapping: the whole sub-vector is zero.
+		return m.VZeroEdge()
+	}
+	e0.W = m.C.Lookup(e0.W / top)
+	e1.W = m.C.Lookup(e1.W / top)
+	if e0.W == 0 {
+		e0 = m.VZeroEdge()
+	}
+	if e1.W == 0 {
+		e1 = m.VZeroEdge()
+	}
+	k := vKey{int8(level), cnum.KeyOf(e0.W), cnum.KeyOf(e1.W), e0.N, e1.N}
+	n, ok := m.vUnique[k]
+	if !ok {
+		n = &VNode{E: [2]VEdge{e0, e1}, Level: int8(level)}
+		m.vUnique[k] = n
+		if c := m.NodeCount(); c > m.peakNodes {
+			m.peakNodes = c
+		}
+	}
+	return VEdge{top, n}
+}
+
+// normalizeVChild snaps an edge weight and canonicalizes dead edges.
+func (m *Manager) normalizeVChild(e VEdge) VEdge {
+	if e.N == nil {
+		panic("dd: nil child node")
+	}
+	e.W = m.C.Lookup(e.W)
+	if e.W == 0 {
+		return m.VZeroEdge()
+	}
+	return e
+}
+
+// MakeMNode builds (or reuses) the canonical matrix node at the given level
+// with children in row-major order and returns its normalized incoming
+// edge. Normalization divides by the first child weight of maximal
+// magnitude, which therefore becomes exactly 1 (classic QMDD form; it
+// reproduces the Hadamard decomposition of Figure 2a).
+func (m *Manager) MakeMNode(level int, e [4]MEdge) MEdge {
+	if level < 0 || level >= 64 {
+		panic(fmt.Sprintf("dd: bad matrix node level %d", level))
+	}
+	maxMag := 0.0
+	maxIdx := -1
+	for i := range e {
+		if e[i].N == nil {
+			panic("dd: nil child node")
+		}
+		e[i].W = m.C.Lookup(e[i].W)
+		if e[i].W == 0 {
+			e[i] = m.MZeroEdge()
+			continue
+		}
+		if a := cmplx.Abs(e[i].W); a > maxMag {
+			maxMag = a
+			maxIdx = i
+		}
+	}
+	if maxIdx < 0 {
+		return m.MZeroEdge()
+	}
+	top := e[maxIdx].W
+	for i := range e {
+		if !e[i].IsZero() {
+			e[i].W = m.C.Lookup(e[i].W / top)
+			if e[i].W == 0 {
+				e[i] = m.MZeroEdge()
+			}
+		}
+	}
+	k := mKey{
+		int8(level),
+		cnum.KeyOf(e[0].W), cnum.KeyOf(e[1].W), cnum.KeyOf(e[2].W), cnum.KeyOf(e[3].W),
+		e[0].N, e[1].N, e[2].N, e[3].N,
+	}
+	n, ok := m.mUnique[k]
+	if !ok {
+		n = &MNode{E: e, Level: int8(level)}
+		m.mUnique[k] = n
+		if c := m.NodeCount(); c > m.peakNodes {
+			m.peakNodes = c
+		}
+	}
+	return MEdge{top, n}
+}
+
+// pythag returns sqrt(a^2+b^2) without undue overflow.
+func pythag(a, b float64) float64 {
+	return cmplx.Abs(complex(a, b))
+}

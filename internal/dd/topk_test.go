@@ -1,0 +1,150 @@
+package dd
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bruteTopK is the oracle: expand the full array and sort.
+func bruteTopK(m *Manager, e VEdge, n, k int) []AmpEntry {
+	amps := m.ToArray(e, n)
+	entries := make([]AmpEntry, 0, len(amps))
+	for i, a := range amps {
+		if a != 0 {
+			entries = append(entries, AmpEntry{uint64(i), a})
+		}
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		return cmplx.Abs(entries[i].Amplitude) > cmplx.Abs(entries[j].Amplitude)
+	})
+	if k > len(entries) {
+		k = len(entries)
+	}
+	return entries[:k]
+}
+
+func TestTopAmplitudesMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		m := New(n)
+		e := m.VectorFromAmplitudes(randAmps(rng, n))
+		for _, k := range []int{1, 3, 8} {
+			got := m.TopAmplitudes(e, n, k)
+			want := bruteTopK(m, e, n, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d k=%d: %d entries, want %d", trial, k, len(got), len(want))
+			}
+			for i := range got {
+				// Ties can permute equal magnitudes; compare magnitudes and
+				// verify the amplitude matches the index.
+				gm := cmplx.Abs(got[i].Amplitude)
+				wm := cmplx.Abs(want[i].Amplitude)
+				if gm-wm > 1e-12 || wm-gm > 1e-12 {
+					t.Fatalf("trial %d k=%d rank %d: |%v| vs |%v|", trial, k, i, gm, wm)
+				}
+				if a := m.Amplitude(e, n, got[i].Index); !approx(a, got[i].Amplitude) {
+					t.Fatalf("trial %d: entry %d reports wrong amplitude", trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTopAmplitudesSparseState(t *testing.T) {
+	m := New(12)
+	amps := make([]complex128, 1<<12)
+	amps[100] = 0.8
+	amps[2000] = complex(0, 0.5)
+	amps[7] = 0.2
+	amps[4095] = 0.27
+	e := m.VectorFromAmplitudes(amps)
+	top := m.TopAmplitudes(e, 12, 3)
+	if len(top) != 3 {
+		t.Fatalf("got %d entries", len(top))
+	}
+	if top[0].Index != 100 || top[1].Index != 2000 || top[2].Index != 4095 {
+		t.Fatalf("order wrong: %+v", top)
+	}
+}
+
+func TestTopAmplitudesGHZ(t *testing.T) {
+	m := New(10)
+	e := m.BasisState(10, 0)
+	h := m.SingleGate(10, matH, 0)
+	e = m.MulMV(h, e)
+	for q := 1; q < 10; q++ {
+		cx := m.ControlledGate(10, matX, q, []Control{{Qubit: q - 1}})
+		e = m.MulMV(cx, e)
+	}
+	top := m.TopAmplitudes(e, 10, 5)
+	// Only two nonzero amplitudes exist.
+	if len(top) != 2 {
+		t.Fatalf("GHZ top-5 returned %d entries", len(top))
+	}
+	idxs := map[uint64]bool{top[0].Index: true, top[1].Index: true}
+	if !idxs[0] || !idxs[1023] {
+		t.Fatalf("GHZ support wrong: %+v", top)
+	}
+}
+
+func TestTopAmplitudesEdgeCases(t *testing.T) {
+	m := New(4)
+	if got := m.TopAmplitudes(m.VZeroEdge(), 4, 3); got != nil {
+		t.Fatal("zero state returned entries")
+	}
+	e := m.BasisState(4, 9)
+	if got := m.TopAmplitudes(e, 4, 0); got != nil {
+		t.Fatal("k=0 returned entries")
+	}
+	// k beyond the state dimension clamps.
+	got := m.TopAmplitudes(e, 4, 100)
+	if len(got) != 1 {
+		t.Fatalf("basis state has 1 nonzero, got %d", len(got))
+	}
+	if got[0].Index != 9 {
+		t.Fatalf("index %d", got[0].Index)
+	}
+}
+
+func TestMaxAmplitude(t *testing.T) {
+	m := New(6)
+	rng := rand.New(rand.NewSource(9))
+	amps := randAmps(rng, 6)
+	e := m.VectorFromAmplitudes(amps)
+	got, err := m.MaxAmplitude(e, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestIdx, bestMag := 0, 0.0
+	for i, a := range amps {
+		if mag := cmplx.Abs(a); mag > bestMag {
+			bestMag, bestIdx = mag, i
+		}
+	}
+	if got.Index != uint64(bestIdx) {
+		t.Fatalf("max at %d, want %d", got.Index, bestIdx)
+	}
+	if _, err := m.MaxAmplitude(m.VZeroEdge(), 6); err == nil {
+		t.Fatal("zero state max accepted")
+	}
+}
+
+func BenchmarkTopAmplitudesSkewed16(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := New(16)
+	amps := make([]complex128, 1<<16)
+	for i := range amps {
+		amps[i] = complex(rng.NormFloat64(), 0) * 1e-4
+	}
+	for j := 0; j < 20; j++ {
+		amps[rng.Intn(len(amps))] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	e := m.VectorFromAmplitudes(amps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TopAmplitudes(e, 16, 10)
+	}
+}

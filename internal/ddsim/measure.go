@@ -1,0 +1,123 @@
+package ddsim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"flatdd/internal/dd"
+)
+
+// ProbabilityOfQubit returns P(qubit q = 1) of the current state, computed
+// directly on the DD: thanks to the sum-of-squares node normalization, the
+// probability mass of each sub-tree is the squared magnitude of the weight
+// product on its path, so one memoized upward pass suffices.
+func (s *Simulator) ProbabilityOfQubit(q int) float64 {
+	if q < 0 || q >= s.n {
+		panic(fmt.Sprintf("ddsim: qubit %d out of range", q))
+	}
+	memo := make(map[*dd.VNode]float64)
+	var mass func(n *dd.VNode, level int) float64
+	// mass returns the fraction of the sub-tree's probability that has
+	// qubit q = 1 (sub-trees are normalized, so their total mass is 1).
+	mass = func(n *dd.VNode, level int) float64 {
+		if level < q {
+			// Entirely below the measured qubit: by normalization the
+			// sub-vector is a unit vector, and q's value was fixed above.
+			return 0
+		}
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		var p float64
+		for i := 0; i < 2; i++ {
+			e := n.E[i]
+			if e.IsZero() {
+				continue
+			}
+			w := real(e.W)*real(e.W) + imag(e.W)*imag(e.W)
+			if level == q {
+				if i == 1 {
+					p += w
+				}
+			} else {
+				p += w * mass(e.N, level-1)
+			}
+		}
+		memo[n] = p
+		return p
+	}
+	e := s.state
+	if e.IsZero() {
+		return 0
+	}
+	norm2 := real(e.W)*real(e.W) + imag(e.W)*imag(e.W)
+	return norm2 * mass(e.N, s.n-1)
+}
+
+// MeasureQubit performs a projective measurement of qubit q on the DD
+// state: draw an outcome, project the DD, renormalize.
+func (s *Simulator) MeasureQubit(q int, rng *rand.Rand) int {
+	p1 := s.ProbabilityOfQubit(q)
+	outcome := 0
+	if rng.Float64() < p1 {
+		outcome = 1
+	}
+	s.ForceOutcome(q, outcome)
+	return outcome
+}
+
+// ForceOutcome projects qubit q onto the given outcome and renormalizes.
+// It panics if the outcome has zero probability.
+func (s *Simulator) ForceOutcome(q, outcome int) {
+	if q < 0 || q >= s.n {
+		panic(fmt.Sprintf("ddsim: qubit %d out of range", q))
+	}
+	memo := make(map[*dd.VNode]dd.VEdge)
+	var project func(n *dd.VNode, level int) dd.VEdge
+	project = func(n *dd.VNode, level int) dd.VEdge {
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		var res dd.VEdge
+		if level == q {
+			kill := 1 - outcome
+			e0, e1 := n.E[0], n.E[1]
+			if kill == 0 {
+				e0 = s.m.VZeroEdge()
+			} else {
+				e1 = s.m.VZeroEdge()
+			}
+			res = s.m.MakeVNode(level, e0, e1)
+		} else {
+			var ch [2]dd.VEdge
+			for i := 0; i < 2; i++ {
+				e := n.E[i]
+				if e.IsZero() {
+					ch[i] = s.m.VZeroEdge()
+					continue
+				}
+				sub := project(e.N, level-1)
+				ch[i] = s.m.ScaleV(sub, e.W)
+			}
+			res = s.m.MakeVNode(level, ch[0], ch[1])
+		}
+		memo[n] = res
+		return res
+	}
+	e := s.state
+	if e.IsZero() {
+		panic("ddsim: measuring the zero state")
+	}
+	proj := s.m.ScaleV(project(e.N, s.n-1), e.W)
+	norm := cmplx.Abs(proj.W)
+	if norm < 1e-12 {
+		panic(fmt.Sprintf("ddsim: outcome %d on qubit %d has zero probability", outcome, q))
+	}
+	// Renormalize: divide the root weight's magnitude out, keeping phase.
+	s.state = s.m.ScaleV(proj, complex(1/norm, 0))
+	if math.Abs(s.m.Norm(s.state)-1) > 1e-9 {
+		panic("ddsim: collapse did not renormalize")
+	}
+}

@@ -1,0 +1,105 @@
+package ddsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flatdd/internal/circuit"
+	"flatdd/internal/statevec"
+)
+
+func TestProbabilityOfQubitMatchesArray(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(6)
+		c := randomCircuit(rng, n, 30)
+		s := New(n)
+		s.Run(c)
+		sv := statevec.New(n, 1)
+		sv.ApplyCircuit(c)
+		for q := 0; q < n; q++ {
+			pd := s.ProbabilityOfQubit(q)
+			pa := sv.ProbabilityOfQubit(q)
+			if math.Abs(pd-pa) > 1e-9 {
+				t.Fatalf("trial %d qubit %d: DD %v vs array %v", trial, q, pd, pa)
+			}
+		}
+	}
+}
+
+func TestForceOutcomeMatchesArrayCollapse(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 6; trial++ {
+		n := 3 + rng.Intn(4)
+		c := randomCircuit(rng, n, 25)
+		s := New(n)
+		s.Run(c)
+		sv := statevec.New(n, 1)
+		sv.ApplyCircuit(c)
+		q := rng.Intn(n)
+		p1 := s.ProbabilityOfQubit(q)
+		outcome := 0
+		if p1 > 0.5 {
+			outcome = 1 // pick the likelier branch so it's never zero-prob
+		}
+		s.ForceOutcome(q, outcome)
+		sv.ForceOutcome(q, outcome)
+		got := s.ToArray()
+		want := sv.Amplitudes()
+		for i := range want {
+			// Compare up to global phase (collapse normalizes phase
+			// differently in the two engines).
+			if math.Abs(absC(got[i])-absC(want[i])) > 1e-9 {
+				t.Fatalf("trial %d: collapsed magnitude differs at %d: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+		// And the post-collapse probability must be deterministic.
+		if p := s.ProbabilityOfQubit(q); math.Abs(p-float64(outcome)) > 1e-9 {
+			t.Fatalf("post-collapse P=%v, want %d", p, outcome)
+		}
+	}
+}
+
+func absC(c complex128) float64 {
+	return math.Hypot(real(c), imag(c))
+}
+
+func TestMeasureGHZCorrelations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ones, zeros := 0, 0
+	for trial := 0; trial < 100; trial++ {
+		n := 6
+		s := New(n)
+		g := circuit.H(0)
+		s.ApplyGate(&g)
+		for q := 1; q < n; q++ {
+			cx := circuit.CX(q-1, q)
+			s.ApplyGate(&cx)
+		}
+		first := s.MeasureQubit(0, rng)
+		if first == 1 {
+			ones++
+		} else {
+			zeros++
+		}
+		for q := 1; q < n; q++ {
+			if m := s.MeasureQubit(q, rng); m != first {
+				t.Fatalf("GHZ correlation broken at qubit %d", q)
+			}
+		}
+	}
+	if ones < 25 || zeros < 25 {
+		t.Fatalf("biased GHZ outcomes: %d/%d", zeros, ones)
+	}
+}
+
+func TestForceOutcomeZeroProbabilityPanics(t *testing.T) {
+	s := New(2) // |00>: qubit 0 = 1 has zero probability
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-probability collapse did not panic")
+		}
+	}()
+	s.ForceOutcome(0, 1)
+}

@@ -1,0 +1,472 @@
+// Package dmav implements DMAV, the paper's core contribution:
+// multiplication of a DD-represented gate matrix with a flat-array state
+// vector, parallelized over worker goroutines.
+//
+// Two execution modes exist, selected per gate by the MAC-operation cost
+// model of Section 3.2.3:
+//
+//   - without caching (Algorithm 1): Assign splits the top log2(t) DD
+//     levels across t threads in row space; Run is the recursive kernel that
+//     performs one multiply-accumulate per nonzero matrix entry, with
+//     constant-time indexing along the DD structure;
+//   - with caching (Algorithm 2): AssignCache splits in column space,
+//     threads with non-overlapping partial outputs share zero-initialized
+//     buffers, each thread caches the result sub-vector of every border
+//     node it computes, and a repeated node is reused through one scalar
+//     multiplication instead of a full recursive multiply.
+package dmav
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"flatdd/internal/dd"
+)
+
+// DefaultSIMDWidth is the default d of Equation 6 — the number of data
+// elements a SIMD lane processes at once (AVX2 in the paper; the unrolled
+// Go kernels in kernels.go play that role here).
+const DefaultSIMDWidth = 4
+
+// Mode selects the caching policy of an Engine.
+type Mode int
+
+const (
+	// Auto picks caching per gate with the cost model (the paper's FlatDD).
+	Auto Mode = iota
+	// NeverCache always runs Algorithm 1.
+	NeverCache
+	// AlwaysCache always runs Algorithm 2.
+	AlwaysCache
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case NeverCache:
+		return "never"
+	case AlwaysCache:
+		return "always"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// task is one border-level multiplication task: an h x h sub-matrix (its DD
+// edge), the start index of the paired sub-vector, and the weight product
+// accumulated above the edge (exclusive of the edge's own weight).
+type task struct {
+	edge dd.MEdge
+	idx  uint64 // start index in V (Algorithm 1) or the partial output (Algorithm 2)
+	f    complex128
+}
+
+// GateCost is the cost-model evaluation of one gate matrix (Section 3.2.3).
+type GateCost struct {
+	K1      int64   // MACs without caching
+	K2      int64   // MACs unrelated to caching (unique border subtrees)
+	Hits    int64   // H: cache hits across all threads
+	Buffers int     // b: shared partial-output buffers
+	C1      float64 // Equation 5
+	C2      float64 // Equation 6
+}
+
+// UseCache reports whether the model prefers Algorithm 2 (C1 > C2).
+func (c GateCost) UseCache() bool { return c.C1 > c.C2 }
+
+// Cost returns min(C1, C2), the modeled cost of the DMAV.
+func (c GateCost) Cost() float64 {
+	if c.C2 < c.C1 {
+		return c.C2
+	}
+	return c.C1
+}
+
+// Stats accumulates per-engine counters.
+type Stats struct {
+	Gates       int
+	CachedGates int
+	CacheHits   int64
+	MACsModeled float64 // sum of min(C1,C2) over applied gates
+	MACsC1      float64 // sum of C1 (Equation 5) — the no-caching cost
+}
+
+// Engine executes DMAV products over a fixed register size. It reuses its
+// buffers across gates; an Engine is not safe for concurrent use (the
+// parallelism is internal).
+type Engine struct {
+	m    *dd.Manager
+	n    int
+	dim  uint64
+	mode Mode
+
+	threads int // power of two, <= 2^n
+	logT    uint
+	h       uint64 // 2^n / threads
+	simd    int
+
+	tasks   [][]task // per-thread task lists, reused
+	buffers [][]complex128
+	bufOf   []int // thread -> buffer index
+	caches  []map[*dd.MNode]cacheEntry
+
+	// noBufferShare disables the shared-partial-output optimization of
+	// Algorithm 2 (every thread gets a private buffer); used by the
+	// ablation experiments.
+	noBufferShare bool
+
+	stats Stats
+}
+
+type cacheEntry struct {
+	f     complex128 // full weight product of the cached result (incl. edge weight)
+	start uint64     // start index of the cached sub-vector in the thread's buffer
+}
+
+// New returns a DMAV engine for n qubits. The thread count is rounded down
+// to the largest power of two not exceeding max(1, threads) and capped at
+// 2^n, as Assign splits threads in halves level by level.
+func New(m *dd.Manager, n, threads int, mode Mode) *Engine {
+	if n < 1 || n > 34 {
+		panic(fmt.Sprintf("dmav: unsupported qubit count %d", n))
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	t := 1
+	for t*2 <= threads && t*2 <= 1<<uint(n) {
+		t *= 2
+	}
+	e := &Engine{
+		m:       m,
+		n:       n,
+		dim:     uint64(1) << uint(n),
+		mode:    mode,
+		threads: t,
+		logT:    uint(bits.TrailingZeros(uint(t))),
+		simd:    DefaultSIMDWidth,
+	}
+	e.h = e.dim >> e.logT
+	e.tasks = make([][]task, t)
+	e.bufOf = make([]int, t)
+	e.caches = make([]map[*dd.MNode]cacheEntry, t)
+	for i := range e.caches {
+		e.caches[i] = make(map[*dd.MNode]cacheEntry)
+	}
+	return e
+}
+
+// Threads returns the effective (power-of-two) worker count.
+func (e *Engine) Threads() int { return e.threads }
+
+// Mode returns the caching policy.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// SetBufferSharing enables or disables the shared partial-output buffers
+// of Algorithm 2 (enabled by default; disabling is for ablation studies).
+func (e *Engine) SetBufferSharing(on bool) { e.noBufferShare = !on }
+
+// SetSIMDWidth overrides the d parameter of Equation 6.
+func (e *Engine) SetSIMDWidth(d int) {
+	if d < 1 {
+		d = 1
+	}
+	e.simd = d
+}
+
+// Stats returns the accumulated counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// borderLevel is n - log2(t) - 1 (Section 3.2.1): Assign stops there and
+// Run starts there.
+func (e *Engine) borderLevel() int { return e.n - int(e.logT) - 1 }
+
+// Apply computes W = M·V, choosing the execution mode per the engine
+// policy. V and W must have length 2^n and must not alias. It returns the
+// cost-model evaluation used for the decision.
+func (e *Engine) Apply(M dd.MEdge, V, W []complex128) GateCost {
+	if uint64(len(V)) != e.dim || uint64(len(W)) != e.dim {
+		panic(fmt.Sprintf("dmav: vector length %d/%d, want %d", len(V), len(W), e.dim))
+	}
+	if &V[0] == &W[0] {
+		panic("dmav: V and W must not alias")
+	}
+	zero(W)
+	if M.IsZero() {
+		return GateCost{}
+	}
+	cost := e.EvaluateCost(M)
+	useCache := cost.UseCache()
+	switch e.mode {
+	case NeverCache:
+		useCache = false
+	case AlwaysCache:
+		useCache = true
+	}
+	if useCache {
+		hits := e.applyCached(M, V, W)
+		e.stats.CachedGates++
+		e.stats.CacheHits += hits
+	} else {
+		e.applyUncached(M, V, W)
+	}
+	e.stats.Gates++
+	e.stats.MACsModeled += cost.Cost()
+	e.stats.MACsC1 += cost.C1
+	return cost
+}
+
+// EvaluateCost runs the Section 3.2.3 cost model on a gate matrix without
+// executing the multiplication.
+func (e *Engine) EvaluateCost(M dd.MEdge) GateCost {
+	var c GateCost
+	if M.IsZero() {
+		return c
+	}
+	c.K1 = dd.MACCount(M)
+	c.C1 = float64(c.K1) / float64(e.threads)
+
+	// Dry-run the caching assignment to obtain K2, H and b.
+	e.assignCache(M)
+	memo := make(map[*dd.MNode]int64)
+	seen := make(map[*dd.MNode]bool)
+	nBuf := 0
+	for u := range e.tasks {
+		clear(seen)
+		for _, tk := range e.tasks[u] {
+			if seen[tk.edge.N] {
+				c.Hits++
+				continue
+			}
+			seen[tk.edge.N] = true
+			c.K2 += dd.MACCountNode(tk.edge.N, memo)
+		}
+		if e.bufOf[u]+1 > nBuf {
+			nBuf = e.bufOf[u] + 1
+		}
+	}
+	c.Buffers = nBuf
+	t := float64(e.threads)
+	d := float64(e.simd)
+	c.C2 = float64(c.K2)/t + float64(e.dim)/(d*t)*(float64(c.Hits)/t+float64(c.Buffers))
+	return c
+}
+
+// applyUncached is Algorithm 1: DMAV without caching.
+func (e *Engine) applyUncached(M dd.MEdge, V, W []complex128) {
+	e.assign(M)
+	var wg sync.WaitGroup
+	for u := 0; u < e.threads; u++ {
+		if len(e.tasks[u]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			iw := uint64(u) * e.h
+			for _, tk := range e.tasks[u] {
+				run(tk.edge, V, W, tk.idx, iw, tk.f)
+			}
+		}(u)
+	}
+	wg.Wait()
+}
+
+// assign populates e.tasks with the row-space border tasks of Algorithm 1's
+// Assign: thread bits come from row indices, V offsets from column indices.
+func (e *Engine) assign(M dd.MEdge) {
+	for u := range e.tasks {
+		e.tasks[u] = e.tasks[u][:0]
+	}
+	border := e.borderLevel()
+	var rec func(edge dd.MEdge, f complex128, u int, iv uint64, l int)
+	rec = func(edge dd.MEdge, f complex128, u int, iv uint64, l int) {
+		if edge.IsZero() {
+			return
+		}
+		if l == border {
+			e.tasks[u] = append(e.tasks[u], task{edge, iv, f})
+			return
+		}
+		// Splitting factor t / 2^(n-l): at the top level each row bit
+		// selects one half of the threads, one quarter a level below, ...
+		step := e.threads >> uint(e.n-l)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				rec(edge.N.Child(i, j), f*edge.W, u+i*step, iv+uint64(j)<<uint(l), l-1)
+			}
+		}
+	}
+	rec(M, 1, 0, 0, e.n-1)
+}
+
+// run is the recursive kernel of Algorithm 1. The weight product f excludes
+// the current edge's weight; a terminal edge performs the MAC
+// W[iw] += f·w·V[iv]. Indexing descends the DD with one shift-or per level
+// — the constant-average-cost access pattern DMAV's speed over generic
+// array simulators comes from.
+func run(edge dd.MEdge, V, W []complex128, iv, iw uint64, f complex128) {
+	n := edge.N
+	if n.Level == dd.TerminalLevel {
+		W[iw] += f * edge.W * V[iv]
+		return
+	}
+	l := uint(n.Level)
+	fw := f * edge.W
+	if c := n.E[0]; !c.IsZero() {
+		run(c, V, W, iv, iw, fw)
+	}
+	if c := n.E[1]; !c.IsZero() {
+		run(c, V, W, iv+1<<l, iw, fw)
+	}
+	if c := n.E[2]; !c.IsZero() {
+		run(c, V, W, iv, iw+1<<l, fw)
+	}
+	if c := n.E[3]; !c.IsZero() {
+		run(c, V, W, iv+1<<l, iw+1<<l, fw)
+	}
+}
+
+// applyCached is Algorithm 2: DMAV with caching. It returns the number of
+// cache hits.
+func (e *Engine) applyCached(M dd.MEdge, V, W []complex128) int64 {
+	e.assignCache(M)
+	nBuf := 0
+	for _, b := range e.bufOf {
+		if b+1 > nBuf {
+			nBuf = b + 1
+		}
+	}
+	// (Re)allocate and zero the shared partial-output buffers.
+	for len(e.buffers) < nBuf {
+		e.buffers = append(e.buffers, make([]complex128, e.dim))
+	}
+	for b := 0; b < nBuf; b++ {
+		zero(e.buffers[b])
+	}
+
+	var hits int64
+	var hitMu sync.Mutex
+	var wg sync.WaitGroup
+	for u := 0; u < e.threads; u++ {
+		if len(e.tasks[u]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			buf := e.buffers[e.bufOf[u]]
+			cache := e.caches[u]
+			clear(cache)
+			iv := uint64(u) * e.h // the thread's column block in V
+			var local int64
+			for _, tk := range e.tasks[u] {
+				fFull := tk.f * tk.edge.W
+				if r, ok := cache[tk.edge.N]; ok {
+					// Reuse: the repeated node's result is the cached
+					// sub-vector scaled by the ratio of full weights.
+					scalarMulInto(buf[tk.idx:tk.idx+e.h], buf[r.start:r.start+e.h], fFull/r.f)
+					local++
+					continue
+				}
+				run(tk.edge, V, buf, iv, tk.idx, tk.f)
+				cache[tk.edge.N] = cacheEntry{f: fFull, start: tk.idx}
+			}
+			if local > 0 {
+				hitMu.Lock()
+				hits += local
+				hitMu.Unlock()
+			}
+		}(u)
+	}
+	wg.Wait()
+
+	// Sum the partial buffers into W, parallel over row chunks.
+	var wg2 sync.WaitGroup
+	for u := 0; u < e.threads; u++ {
+		wg2.Add(1)
+		go func(u int) {
+			defer wg2.Done()
+			lo := uint64(u) * e.h
+			hi := lo + e.h
+			for b := 0; b < nBuf; b++ {
+				addInto(W[lo:hi], e.buffers[b][lo:hi])
+			}
+		}(u)
+	}
+	wg2.Wait()
+	return hits
+}
+
+// assignCache populates e.tasks with column-space border tasks
+// (AssignCache of Algorithm 2) and assigns each thread a partial-output
+// buffer, sharing buffers between threads whose output row segments do not
+// overlap.
+func (e *Engine) assignCache(M dd.MEdge) {
+	for u := range e.tasks {
+		e.tasks[u] = e.tasks[u][:0]
+	}
+	border := e.borderLevel()
+	var rec func(edge dd.MEdge, f complex128, u int, ip uint64, l int)
+	rec = func(edge dd.MEdge, f complex128, u int, ip uint64, l int) {
+		if edge.IsZero() {
+			return
+		}
+		if l == border {
+			e.tasks[u] = append(e.tasks[u], task{edge, ip, f})
+			return
+		}
+		step := e.threads >> uint(e.n-l)
+		// Column-major: the column bit j selects the thread, the row bit i
+		// the partial-output segment.
+		for j := 0; j < 2; j++ {
+			for i := 0; i < 2; i++ {
+				rec(edge.N.Child(i, j), f*edge.W, u+j*step, ip+uint64(i)<<uint(l), l-1)
+			}
+		}
+	}
+	rec(M, 1, 0, 0, e.n-1)
+
+	if e.noBufferShare {
+		for u := range e.bufOf {
+			e.bufOf[u] = u
+		}
+		return
+	}
+
+	// Greedy buffer sharing: quantum gate matrices are sparse, so the
+	// partial outputs of different threads frequently occupy disjoint row
+	// segments and can live in one buffer.
+	type segset map[uint64]struct{}
+	var occupied []segset
+	for u := 0; u < e.threads; u++ {
+		mine := make(segset, len(e.tasks[u]))
+		for _, tk := range e.tasks[u] {
+			mine[tk.idx] = struct{}{}
+		}
+		placed := -1
+		for b, occ := range occupied {
+			conflict := false
+			for s := range mine {
+				if _, ok := occ[s]; ok {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				placed = b
+				break
+			}
+		}
+		if placed < 0 {
+			occupied = append(occupied, make(segset))
+			placed = len(occupied) - 1
+		}
+		for s := range mine {
+			occupied[placed][s] = struct{}{}
+		}
+		e.bufOf[u] = placed
+	}
+}

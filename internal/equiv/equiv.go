@@ -1,0 +1,155 @@
+// Package equiv implements decision-diagram-based quantum circuit
+// equivalence checking, the flagship DD application the FlatDD paper cites
+// (Burgholzer & Wille, "Advanced equivalence checking for quantum
+// circuits" [11]). It demonstrates that the repository's DD kernel is a
+// complete QMDD package, not just a simulator backend.
+//
+// Two checks are provided:
+//
+//   - Matrices: build U1 and U2 as full matrix DDs via DDMM and compare
+//     them up to global phase. Exact but worst-case exponential.
+//   - Alternating: exploit that U2† · U1 = I when the circuits are
+//     equivalent. Starting from the identity DD, gates of circuit 1 are
+//     applied from the left and inverted gates of circuit 2 from the
+//     right, keeping the intermediate DD close to the identity for
+//     similar circuits — the "G1 → I ← G2" scheme of [11].
+package equiv
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"flatdd/internal/circuit"
+	"flatdd/internal/dd"
+	"flatdd/internal/ddsim"
+)
+
+// Result reports an equivalence check.
+type Result struct {
+	Equivalent bool
+	// Phase is the global phase e^{i θ} with U1 = Phase · U2 when
+	// Equivalent (1 for strict equality).
+	Phase complex128
+	// PeakNodes is the largest DD node count observed, a proxy for the
+	// check's memory cost.
+	PeakNodes int
+}
+
+// Tolerance for matrix-entry comparisons.
+const tol = 1e-9
+
+// Matrices checks equivalence by building both circuit unitaries as matrix
+// DDs and comparing them up to global phase.
+func Matrices(c1, c2 *circuit.Circuit) (Result, error) {
+	if c1.Qubits != c2.Qubits {
+		return Result{}, fmt.Errorf("equiv: circuits on %d vs %d qubits", c1.Qubits, c2.Qubits)
+	}
+	n := c1.Qubits
+	m := dd.New(n)
+	u1 := buildUnitary(m, c1)
+	u2 := buildUnitary(m, c2)
+	res := Result{PeakNodes: m.PeakNodeCount()}
+	if u1.N == u2.N {
+		// Canonical structure matches: equivalence up to the root weight.
+		if u2.W == 0 {
+			res.Equivalent = u1.W == 0
+			res.Phase = 1
+			return res, nil
+		}
+		phase := u1.W / u2.W
+		if math.Abs(cmplx.Abs(phase)-1) < tol {
+			res.Equivalent = true
+			res.Phase = phase
+		}
+		return res, nil
+	}
+	// Hash-consing missed (numerical drift can split canonical nodes):
+	// fall back to the trace criterion — for unitaries |tr(U1†·U2)| = 2^n
+	// iff U1 = e^{iθ}·U2, with tr = 2^n·e^{-iθ}.
+	prod := m.MulMM(m.ConjTranspose(u1), u2)
+	res.PeakNodes = m.PeakNodeCount()
+	dim := float64(uint64(1) << uint(n))
+	tr := m.Trace(prod, n)
+	if math.Abs(cmplx.Abs(tr)-dim) < tol*dim {
+		res.Equivalent = true
+		res.Phase = cmplx.Conj(tr / complex(dim, 0))
+	}
+	return res, nil
+}
+
+// Alternating checks equivalence with the alternating scheme: it applies
+// gates of c1 from the left and inverses of c2's gates from the right to
+// an identity DD; the circuits are equivalent iff the final DD is the
+// identity up to a global phase. Gates are interleaved proportionally to
+// the two gate counts so the intermediate product stays near the identity.
+func Alternating(c1, c2 *circuit.Circuit) (Result, error) {
+	if c1.Qubits != c2.Qubits {
+		return Result{}, fmt.Errorf("equiv: circuits on %d vs %d qubits", c1.Qubits, c2.Qubits)
+	}
+	n := c1.Qubits
+	m := dd.New(n)
+	acc := m.Identity(n)
+	i, j := 0, 0
+	n1, n2 := len(c1.Gates), len(c2.Gates)
+	for i < n1 || j < n2 {
+		// Proportional interleaving: pick the side that is behind.
+		takeLeft := j >= n2 || (i < n1 && i*max(n2, 1) <= j*max(n1, 1))
+		if takeLeft {
+			g := ddsim.BuildGateDD(m, n, &c1.Gates[i])
+			acc = m.MulMM(g, acc)
+			i++
+		} else {
+			g := ddsim.BuildGateDD(m, n, invert(&c2.Gates[j]))
+			acc = m.MulMM(acc, g)
+			j++
+		}
+		m.CollectIfNeeded(dd.Roots{M: []dd.MEdge{acc}})
+	}
+	res := Result{PeakNodes: m.PeakNodeCount()}
+	id := m.Identity(n)
+	if acc.N == id.N {
+		phase := acc.W / id.W
+		if math.Abs(cmplx.Abs(phase)-1) < tol {
+			res.Equivalent = true
+			res.Phase = phase
+		}
+		return res, nil
+	}
+	// Numerical-drift fallback: U1·U2† = e^{iθ}·I iff its trace has
+	// magnitude 2^n.
+	dim := float64(uint64(1) << uint(n))
+	tr := m.Trace(acc, n)
+	if math.Abs(cmplx.Abs(tr)-dim) < tol*dim {
+		res.Equivalent = true
+		res.Phase = tr / complex(dim, 0)
+	}
+	return res, nil
+}
+
+// buildUnitary multiplies all gate DDs of a circuit into one matrix DD.
+func buildUnitary(m *dd.Manager, c *circuit.Circuit) dd.MEdge {
+	acc := m.Identity(c.Qubits)
+	for i := range c.Gates {
+		g := ddsim.BuildGateDD(m, c.Qubits, &c.Gates[i])
+		acc = m.MulMM(g, acc)
+	}
+	return acc
+}
+
+// invert returns the inverse gate (conjugate transpose of the unitary,
+// controls unchanged).
+func invert(g *circuit.Gate) *circuit.Gate {
+	d := g.Dim()
+	u := make([][]complex128, d)
+	for r := 0; r < d; r++ {
+		u[r] = make([]complex128, d)
+		for c := 0; c < d; c++ {
+			u[r][c] = cmplx.Conj(g.U[c][r])
+		}
+	}
+	inv := *g
+	inv.Name = g.Name + "_dg"
+	inv.U = u
+	return &inv
+}

@@ -1,0 +1,208 @@
+package equiv
+
+import (
+	"math/rand"
+	"testing"
+
+	"flatdd/internal/circuit"
+	"flatdd/internal/workloads"
+)
+
+type checker func(c1, c2 *circuit.Circuit) (Result, error)
+
+var checkers = map[string]checker{
+	"matrices":    Matrices,
+	"alternating": Alternating,
+}
+
+func TestIdenticalCircuitsEquivalent(t *testing.T) {
+	c := workloads.QFT(6)
+	for name, check := range checkers {
+		res, err := check(c, c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Equivalent {
+			t.Errorf("%s: identical circuits reported non-equivalent", name)
+		}
+	}
+}
+
+func TestKnownIdentities(t *testing.T) {
+	// H X H == Z, and CX decomposed through H/CZ/H.
+	cases := []struct {
+		name   string
+		c1, c2 func() *circuit.Circuit
+	}{
+		{
+			"HXH=Z",
+			func() *circuit.Circuit {
+				c := circuit.New("hxh", 2)
+				return c.Append(circuit.H(0), circuit.X(0), circuit.H(0))
+			},
+			func() *circuit.Circuit {
+				c := circuit.New("z", 2)
+				return c.Append(circuit.Z(0))
+			},
+		},
+		{
+			"CX=H-CZ-H",
+			func() *circuit.Circuit {
+				c := circuit.New("cx", 2)
+				return c.Append(circuit.CX(0, 1))
+			},
+			func() *circuit.Circuit {
+				c := circuit.New("hczh", 2)
+				return c.Append(circuit.H(1), circuit.CZ(0, 1), circuit.H(1))
+			},
+		},
+		{
+			"SS=Z",
+			func() *circuit.Circuit {
+				c := circuit.New("ss", 1)
+				return c.Append(circuit.S(0), circuit.S(0))
+			},
+			func() *circuit.Circuit {
+				c := circuit.New("z", 1)
+				return c.Append(circuit.Z(0))
+			},
+		},
+		{
+			"SWAP=3CX",
+			func() *circuit.Circuit {
+				c := circuit.New("swap", 2)
+				return c.Append(circuit.SWAP(0, 1))
+			},
+			func() *circuit.Circuit {
+				c := circuit.New("3cx", 2)
+				return c.Append(circuit.CX(0, 1), circuit.CX(1, 0), circuit.CX(0, 1))
+			},
+		},
+	}
+	for _, tc := range cases {
+		for name, check := range checkers {
+			res, err := check(tc.c1(), tc.c2())
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, name, err)
+			}
+			if !res.Equivalent {
+				t.Errorf("%s/%s: not recognized as equivalent", tc.name, name)
+			}
+		}
+	}
+}
+
+func TestGlobalPhaseEquivalence(t *testing.T) {
+	// X = e^{i pi/2} RX(pi): equivalent only up to phase i.
+	c1 := circuit.New("x", 1)
+	c1.Append(circuit.X(0))
+	c2 := circuit.New("rx", 1)
+	c2.Append(circuit.RX(3.141592653589793, 0))
+	for name, check := range checkers {
+		res, err := check(c1, c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equivalent {
+			t.Errorf("%s: phase-equivalent circuits rejected", name)
+			continue
+		}
+		if real(res.Phase) > 1e-6 || imag(res.Phase) < 0.999 {
+			t.Errorf("%s: phase = %v, want i", name, res.Phase)
+		}
+	}
+}
+
+func TestNonEquivalentDetected(t *testing.T) {
+	c1 := circuit.New("a", 3)
+	c1.Append(circuit.H(0), circuit.CX(0, 1))
+	c2 := circuit.New("b", 3)
+	c2.Append(circuit.H(0), circuit.CX(0, 2)) // different target
+	for name, check := range checkers {
+		res, err := check(c1, c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Equivalent {
+			t.Errorf("%s: distinct circuits reported equivalent", name)
+		}
+	}
+}
+
+func TestSingleGatePerturbationDetected(t *testing.T) {
+	// A single extra T gate buried in a QFT must flip the verdict.
+	base := workloads.QFT(5)
+	perturbed := circuit.New("qft-p", 5)
+	perturbed.Append(base.Gates[:7]...)
+	perturbed.Append(circuit.T(2))
+	perturbed.Append(base.Gates[7:]...)
+	for name, check := range checkers {
+		res, err := check(base, perturbed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Equivalent {
+			t.Errorf("%s: perturbed QFT reported equivalent", name)
+		}
+	}
+}
+
+func TestMismatchedWidthsRejected(t *testing.T) {
+	c1 := circuit.New("a", 2)
+	c2 := circuit.New("b", 3)
+	for name, check := range checkers {
+		if _, err := check(c1, c2); err == nil {
+			t.Errorf("%s: width mismatch accepted", name)
+		}
+	}
+}
+
+func TestRandomCircuitSelfEquivalenceWithReorderedCommutingGates(t *testing.T) {
+	// Diagonal gates on disjoint qubits commute; a shuffled ordering must
+	// stay equivalent.
+	rng := rand.New(rand.NewSource(4))
+	n := 5
+	var gates []circuit.Gate
+	for q := 0; q < n; q++ {
+		gates = append(gates, circuit.RZ(rng.NormFloat64(), q))
+	}
+	c1 := circuit.New("ordered", n)
+	c1.Append(gates...)
+	c2 := circuit.New("shuffled", n)
+	perm := rng.Perm(len(gates))
+	for _, i := range perm {
+		c2.Append(gates[i])
+	}
+	for name, check := range checkers {
+		res, err := check(c1, c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equivalent {
+			t.Errorf("%s: commuting reorder rejected", name)
+		}
+	}
+}
+
+func TestAlternatingKeepsDDSmallOnEqualCircuits(t *testing.T) {
+	// The point of the alternating scheme: checking a circuit against
+	// itself never builds the full unitary. Compare peak node counts.
+	c := workloads.SupremacyGrid(6, 5, 3)
+	alt, err := Alternating(c, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alt.Equivalent {
+		t.Fatal("self-equivalence rejected")
+	}
+	mat, err := Matrices(c, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equivalent {
+		t.Fatal("self-equivalence rejected by matrix check")
+	}
+	if alt.PeakNodes >= mat.PeakNodes {
+		t.Fatalf("alternating peak %d not below matrix peak %d", alt.PeakNodes, mat.PeakNodes)
+	}
+}

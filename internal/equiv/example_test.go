@@ -1,0 +1,26 @@
+package equiv_test
+
+import (
+	"fmt"
+
+	"flatdd/internal/circuit"
+	"flatdd/internal/equiv"
+)
+
+// ExampleAlternating verifies the textbook identity CX = (I⊗H)·CZ·(I⊗H).
+func ExampleAlternating() {
+	c1 := circuit.New("cx", 2)
+	c1.Append(circuit.CX(0, 1))
+
+	c2 := circuit.New("h-cz-h", 2)
+	c2.Append(circuit.H(1), circuit.CZ(0, 1), circuit.H(1))
+
+	res, err := equiv.Alternating(c1, c2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("equivalent:", res.Equivalent)
+	// Output:
+	// equivalent: true
+}

@@ -1,0 +1,132 @@
+package ewma
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantSeriesNeverConverts(t *testing.T) {
+	c := New(0.9, 2.0)
+	for i := 0; i < 1000; i++ {
+		if c.Observe(500) {
+			t.Fatalf("constant series triggered conversion at gate %d", i+1)
+		}
+	}
+}
+
+func TestSlowGrowthNeverConverts(t *testing.T) {
+	// 5% growth per gate is below the ~12.5% threshold implied by
+	// β=0.9, ε=2 in steady state.
+	c := New(0.9, 2.0)
+	s := 100.0
+	for i := 0; i < 60; i++ {
+		if c.Observe(int(s)) {
+			t.Fatalf("slow growth triggered conversion at gate %d (size %.0f)", i+1, s)
+		}
+		s *= 1.05
+	}
+}
+
+func TestExponentialBlowupConverts(t *testing.T) {
+	c := New(0.9, 2.0)
+	// Flat history, then the DD starts doubling.
+	for i := 0; i < 20; i++ {
+		if c.Observe(100) {
+			t.Fatal("converted during flat history")
+		}
+	}
+	s := 100
+	converted := false
+	for i := 0; i < 12; i++ {
+		s *= 2
+		if c.Observe(s) {
+			converted = true
+			break
+		}
+	}
+	if !converted {
+		t.Fatal("doubling DD size never triggered conversion")
+	}
+}
+
+func TestWarmupSuppressesEarlyTrigger(t *testing.T) {
+	// Without warm-up, v_1 = (1-β)s makes ε·v_1 < s_1 for the default
+	// parameters; the controller must not fire on gate 1.
+	c := New(0.9, 2.0)
+	if c.Observe(1000) {
+		t.Fatal("controller fired on the very first observation")
+	}
+}
+
+func TestMinSizeGuard(t *testing.T) {
+	c := New(0.9, 2.0)
+	c.Warmup = 0
+	for i := 0; i < 50; i++ {
+		if c.Observe(2) { // tiny DDs: 2 nodes, below MinSize
+			t.Fatal("fired on tiny DD")
+		}
+	}
+	// A jump beyond MinSize must now fire (history average is tiny).
+	if !c.Observe(1000) {
+		t.Fatal("did not fire on a drastic jump past MinSize")
+	}
+}
+
+func TestEquation4Exact(t *testing.T) {
+	c := New(0.5, 2.0)
+	sizes := []int{100, 200, 50}
+	var v float64
+	for _, s := range sizes {
+		c.Observe(s)
+		v = 0.5*v + 0.5*float64(s)
+	}
+	if math.Abs(c.Average()-v) > 1e-12 {
+		t.Fatalf("EWMA %v, want %v", c.Average(), v)
+	}
+	if c.Observations() != 3 {
+		t.Fatalf("observations = %d", c.Observations())
+	}
+}
+
+func TestDefaultsOnBadParams(t *testing.T) {
+	c := New(-1, 0)
+	if c.Beta != DefaultBeta || c.Epsilon != DefaultEpsilon {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	c2 := New(1.5, -2)
+	if c2.Beta != DefaultBeta || c2.Epsilon != DefaultEpsilon {
+		t.Fatalf("defaults not applied: %+v", c2)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(0.9, 2.0)
+	c.Observe(100)
+	c.Reset()
+	if c.Average() != 0 || c.Observations() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestEWMABoundedByMaxProperty(t *testing.T) {
+	// The EWMA of a non-negative series never exceeds its running maximum.
+	f := func(raw []uint16) bool {
+		c := New(0.9, 2.0)
+		maxSeen := 0.0
+		for _, r := range raw {
+			s := int(r)
+			c.Observe(s)
+			if float64(s) > maxSeen {
+				maxSeen = float64(s)
+			}
+			if c.Average() > maxSeen+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

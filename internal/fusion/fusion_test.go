@@ -1,0 +1,225 @@
+package fusion
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"flatdd/internal/circuit"
+	"flatdd/internal/dd"
+	"flatdd/internal/ddsim"
+	"flatdd/internal/dmav"
+)
+
+const eps = 1e-9
+
+func approx(a, b complex128) bool { return cmplx.Abs(a-b) < eps }
+
+func randAmps(rng *rand.Rand, n int) []complex128 {
+	amps := make([]complex128, 1<<uint(n))
+	var norm float64
+	for i := range amps {
+		amps[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		norm += real(amps[i])*real(amps[i]) + imag(amps[i])*imag(amps[i])
+	}
+	norm = math.Sqrt(norm)
+	for i := range amps {
+		amps[i] /= complex(norm, 0)
+	}
+	return amps
+}
+
+func gateDDs(m *dd.Manager, c *circuit.Circuit) []dd.MEdge {
+	out := make([]dd.MEdge, len(c.Gates))
+	for i := range c.Gates {
+		out[i] = ddsim.BuildGateDD(m, c.Qubits, &c.Gates[i])
+	}
+	return out
+}
+
+// applySeq multiplies a vector through a gate-DD sequence with DMAV.
+func applySeq(m *dd.Manager, n int, gates []dd.MEdge, v []complex128) []complex128 {
+	e := dmav.New(m, n, 2, dmav.Auto)
+	cur := append([]complex128(nil), v...)
+	next := make([]complex128, len(v))
+	for _, g := range gates {
+		e.Apply(g, cur, next)
+		cur, next = next, cur
+	}
+	return cur
+}
+
+func randomCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New("rand", n)
+	for len(c.Gates) < gates {
+		switch rng.Intn(5) {
+		case 0:
+			c.Append(circuit.H(rng.Intn(n)))
+		case 1:
+			c.Append(circuit.RZ(rng.NormFloat64(), rng.Intn(n)))
+		case 2:
+			c.Append(circuit.RY(rng.NormFloat64(), rng.Intn(n)))
+		case 3:
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				c.Append(circuit.CX(a, b))
+			}
+		default:
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				c.Append(circuit.CZ(a, b))
+			}
+		}
+	}
+	return c
+}
+
+func costFn(m *dd.Manager, n int) CostFunc {
+	e := dmav.New(m, n, 2, dmav.Auto)
+	return func(g dd.MEdge) float64 { return e.EvaluateCost(g).Cost() }
+}
+
+func TestFusePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 6; trial++ {
+		n := 3 + rng.Intn(4)
+		m := dd.New(n)
+		c := randomCircuit(rng, n, 30)
+		gates := gateDDs(m, c)
+		res := Fuse(m, gates, costFn(m, n))
+		v := randAmps(rng, n)
+		want := applySeq(m, n, gates, v)
+		got := applySeq(m, n, res.Gates, v)
+		for i := range want {
+			if !approx(got[i], want[i]) {
+				t.Fatalf("trial %d: fused sequence diverges at %d: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+		if len(res.Gates) > len(gates) {
+			t.Fatalf("fusion grew the sequence: %d -> %d", len(gates), len(res.Gates))
+		}
+	}
+}
+
+func TestFuseMergesDiagonalGates(t *testing.T) {
+	// A run of RZ/CZ diagonal gates fuses into few matrices: the product
+	// of diagonals is diagonal with the same MAC count as one gate.
+	n := 6
+	m := dd.New(n)
+	c := circuit.New("diag", n)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		if i%3 == 2 {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				b = (a + 1) % n
+			}
+			c.Append(circuit.CZ(a, b))
+		} else {
+			c.Append(circuit.RZ(rng.NormFloat64(), rng.Intn(n)))
+		}
+	}
+	gates := gateDDs(m, c)
+	res := Fuse(m, gates, costFn(m, n))
+	if len(res.Gates) != 1 {
+		t.Fatalf("20 diagonal gates fused into %d matrices, want 1", len(res.Gates))
+	}
+	if res.CostAfter >= res.CostBefore {
+		t.Fatalf("fusion did not reduce cost: %v -> %v", res.CostBefore, res.CostAfter)
+	}
+	if res.Fusions != 19 {
+		t.Fatalf("fusions = %d, want 19", res.Fusions)
+	}
+}
+
+func TestFuseAvoidsHarmfulFusion(t *testing.T) {
+	// Hadamards on all qubits: fusing them all yields a dense 2^n x 2^n
+	// matrix with 4^n MACs; sequential costs n·2^(n+1)... wait, each
+	// H(q) has 2^(n+1) MACs. Algorithm 3 must stop fusing well before the
+	// full dense product.
+	n := 8
+	m := dd.New(n)
+	c := circuit.New("hwall", n)
+	for q := 0; q < n; q++ {
+		c.Append(circuit.H(q))
+	}
+	gates := gateDDs(m, c)
+	res := Fuse(m, gates, costFn(m, n))
+	if res.CostAfter > res.CostBefore {
+		t.Fatalf("fusion increased cost: %v -> %v", res.CostBefore, res.CostAfter)
+	}
+	// The full fusion of all n Hadamards costs 4^n/t; the algorithm must
+	// keep the output cost far below that.
+	full := math.Pow(4, float64(n)) / 2
+	if res.CostAfter >= full {
+		t.Fatalf("fusion produced a dense product: cost %v >= %v", res.CostAfter, full)
+	}
+}
+
+func TestFuseEmptyAndSingle(t *testing.T) {
+	m := dd.New(3)
+	res := Fuse(m, nil, costFn(m, 3))
+	if len(res.Gates) != 0 {
+		t.Fatal("empty input produced gates")
+	}
+	g := circuit.H(1)
+	one := []dd.MEdge{ddsim.BuildGateDD(m, 3, &g)}
+	res = Fuse(m, one, costFn(m, 3))
+	if len(res.Gates) != 1 || res.Gates[0] != one[0] {
+		t.Fatal("single gate not passed through")
+	}
+	if res.Fusions != 0 {
+		t.Fatal("single gate counted a fusion")
+	}
+}
+
+func TestKOperationsPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 5
+	m := dd.New(n)
+	c := randomCircuit(rng, n, 23) // not a multiple of k: tail block
+	gates := gateDDs(m, c)
+	for _, k := range []int{1, 2, 4, 7} {
+		res := KOperations(m, gates, k, costFn(m, n))
+		wantLen := (len(gates) + k - 1) / k
+		if len(res.Gates) != wantLen {
+			t.Fatalf("k=%d: %d fused gates, want %d", k, len(res.Gates), wantLen)
+		}
+		v := randAmps(rng, n)
+		want := applySeq(m, n, gates, v)
+		got := applySeq(m, n, res.Gates, v)
+		for i := range want {
+			if !approx(got[i], want[i]) {
+				t.Fatalf("k=%d diverges at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestKOperationsBadK(t *testing.T) {
+	m := dd.New(3)
+	g := circuit.H(0)
+	gates := []dd.MEdge{ddsim.BuildGateDD(m, 3, &g)}
+	res := KOperations(m, gates, 0, costFn(m, 3))
+	if len(res.Gates) != 1 {
+		t.Fatal("k=0 not clamped")
+	}
+}
+
+func TestFuseBeatsKOperationsOnMixedCircuit(t *testing.T) {
+	// The DMAV-aware criterion should never end up with higher modeled
+	// cost than blind k-operations fusion on the same circuit (it can
+	// decline exactly the merges that hurt).
+	rng := rand.New(rand.NewSource(40))
+	n := 7
+	m := dd.New(n)
+	c := randomCircuit(rng, n, 60)
+	gates := gateDDs(m, c)
+	cf := costFn(m, n)
+	aware := Fuse(m, gates, cf)
+	kops := KOperations(m, gates, 4, cf)
+	if aware.CostAfter > kops.CostAfter*1.05 {
+		t.Fatalf("DMAV-aware fusion cost %v worse than k-operations %v", aware.CostAfter, kops.CostAfter)
+	}
+}

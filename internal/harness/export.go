@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteCSV emits the table as CSV (header row first).
+func (t *Table) WriteCSV(w *csv.Writer) error {
+	if err := w.Write(t.headers); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// emit renders the table to the config's writer and, when CSVDir is set,
+// also saves it as <CSVDir>/<id>.csv so the figures can be re-plotted.
+func emit(cfg Config, id string, tbl *Table) {
+	tbl.Render(cfg.Out)
+	if cfg.CSVDir == "" {
+		return
+	}
+	if err := os.MkdirAll(cfg.CSVDir, 0o755); err != nil {
+		fmt.Fprintf(cfg.Out, "csv export failed: %v\n", err)
+		return
+	}
+	path := filepath.Join(cfg.CSVDir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(cfg.Out, "csv export failed: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := tbl.WriteCSV(csv.NewWriter(f)); err != nil {
+		fmt.Fprintf(cfg.Out, "csv export failed: %v\n", err)
+	}
+}

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"time"
+)
+
+// sparkLevels are the eighth-block characters used for inline charts.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a compact inline chart of the series, linearly scaled
+// between the series min and max. Non-finite values render as spaces. An
+// empty series yields an empty string.
+func Sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	lo := math.Inf(1)
+	hi := math.Inf(-1)
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) { // nothing finite
+		return strings.Repeat(" ", len(vals))
+	}
+	var b strings.Builder
+	span := hi - lo
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			b.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkLevels)-1))
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// LogSparkline is Sparkline on log10 of the values, which suits the
+// per-gate runtime series of Figures 3 and 11 (they span orders of
+// magnitude). Non-positive values render as the lowest level.
+func LogSparkline(vals []float64) string {
+	logs := make([]float64, len(vals))
+	minPos := math.Inf(1)
+	for _, v := range vals {
+		if v > 0 {
+			minPos = math.Min(minPos, v)
+		}
+	}
+	if math.IsInf(minPos, 1) {
+		minPos = 1
+	}
+	for i, v := range vals {
+		if v <= 0 {
+			v = minPos
+		}
+		logs[i] = math.Log10(v)
+	}
+	return Sparkline(logs)
+}
+
+// DurationSeries converts durations to seconds for sparkline rendering.
+func DurationSeries(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// Downsample reduces a series to at most width points by bucket-averaging,
+// so long per-gate traces fit a terminal line.
+func Downsample(vals []float64, width int) []float64 {
+	if width <= 0 || len(vals) <= width {
+		return vals
+	}
+	out := make([]float64, width)
+	for b := 0; b < width; b++ {
+		lo := b * len(vals) / width
+		hi := (b + 1) * len(vals) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range vals[lo:hi] {
+			sum += v
+		}
+		out[b] = sum / float64(hi-lo)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+func TestSparklineBasic(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("length %d, want 8", utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Fatalf("extremes wrong: %s", s)
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("monotone series produced non-monotone sparkline: %s", s)
+		}
+	}
+}
+
+func TestSparklineConstantSeries(t *testing.T) {
+	s := Sparkline([]float64{5, 5, 5})
+	if s != "▁▁▁" {
+		t.Fatalf("constant series: %q", s)
+	}
+}
+
+func TestSparklineEmptyAndNaN(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty series should render empty")
+	}
+	s := Sparkline([]float64{math.NaN(), math.Inf(1)})
+	if strings.TrimSpace(s) != "" {
+		t.Fatalf("non-finite-only series: %q", s)
+	}
+	s = Sparkline([]float64{1, math.NaN(), 3})
+	if utf8.RuneCountInString(s) != 3 {
+		t.Fatalf("NaN should render one cell: %q", s)
+	}
+}
+
+func TestLogSparklineSpansDecades(t *testing.T) {
+	// 1µs .. 1s per-gate times: log scale must use the full range.
+	s := []rune(LogSparkline([]float64{1e-6, 1e-3, 1}))
+	if s[0] != '▁' || s[2] != '█' {
+		t.Fatalf("log scaling wrong: %s", string(s))
+	}
+	// Middle decade lands mid-scale, not at an extreme.
+	if s[1] == '▁' || s[1] == '█' {
+		t.Fatalf("log midpoint at extreme: %s", string(s))
+	}
+}
+
+func TestLogSparklineHandlesZeros(t *testing.T) {
+	s := LogSparkline([]float64{0, 1e-3, 1})
+	if utf8.RuneCountInString(s) != 3 {
+		t.Fatalf("length wrong: %q", s)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	ds := Downsample(vals, 10)
+	if len(ds) != 10 {
+		t.Fatalf("len %d", len(ds))
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i] <= ds[i-1] {
+			t.Fatal("bucket averages should stay increasing")
+		}
+	}
+	// Short series pass through.
+	if got := Downsample(vals[:5], 10); len(got) != 5 {
+		t.Fatalf("short series resampled: %d", len(got))
+	}
+}
+
+func TestDurationSeries(t *testing.T) {
+	ds := DurationSeries([]time.Duration{time.Second, 500 * time.Millisecond})
+	if ds[0] != 1 || ds[1] != 0.5 {
+		t.Fatalf("conversion wrong: %v", ds)
+	}
+}

@@ -1,0 +1,24 @@
+package noise_test
+
+import (
+	"fmt"
+
+	"flatdd/internal/circuit"
+	"flatdd/internal/noise"
+)
+
+// ExampleSimulator shows a Bell pair degrading under depolarizing noise.
+func ExampleSimulator() {
+	model := noise.Model{GateNoise: []noise.Channel{noise.Depolarizing(0.1)}}
+	s := noise.New(2, model)
+
+	c := circuit.New("bell", 2)
+	c.Append(circuit.H(0), circuit.CX(0, 1))
+	s.Run(c)
+
+	fmt.Printf("trace  = %.4f\n", real(s.Trace()))
+	fmt.Printf("purity < 1: %v\n", s.Purity() < 0.999)
+	// Output:
+	// trace  = 1.0000
+	// purity < 1: true
+}

@@ -1,0 +1,286 @@
+package noise
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"flatdd/internal/circuit"
+	"flatdd/internal/statevec"
+)
+
+const eps = 1e-9
+
+func TestChannelsAreTracePreserving(t *testing.T) {
+	// Σ K†K = I for every channel constructor.
+	channels := []Channel{
+		Depolarizing(0.3), AmplitudeDamping(0.4), PhaseFlip(0.2), BitFlip(0.7),
+		Depolarizing(0), Depolarizing(1), AmplitudeDamping(1),
+	}
+	for _, ch := range channels {
+		var sum [2][2]complex128
+		for _, k := range ch.Kraus {
+			for i := 0; i < 2; i++ {
+				for j := 0; j < 2; j++ {
+					for l := 0; l < 2; l++ {
+						sum[i][j] += cmplx.Conj(k[l][i]) * k[l][j]
+					}
+				}
+			}
+		}
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				want := complex128(0)
+				if i == j {
+					want = 1
+				}
+				if cmplx.Abs(sum[i][j]-want) > eps {
+					t.Errorf("%s: sum K†K entry (%d,%d) = %v", ch.Name, i, j, sum[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestNoiselessMatchesStatevec(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := circuit.New("r", 4)
+	for i := 0; i < 20; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			c.Append(circuit.H(rng.Intn(4)))
+		case 1:
+			c.Append(circuit.U3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.Intn(4)))
+		default:
+			a, b := rng.Intn(4), rng.Intn(4)
+			if a != b {
+				c.Append(circuit.CX(a, b))
+			}
+		}
+	}
+	s := New(4, Model{})
+	s.Run(c)
+	sv := statevec.New(4, 1)
+	sv.ApplyCircuit(c)
+	probs := s.Probabilities()
+	for i, a := range sv.Amplitudes() {
+		want := real(a)*real(a) + imag(a)*imag(a)
+		if math.Abs(probs[i]-want) > eps {
+			t.Fatalf("P(%d) = %v, statevec %v", i, probs[i], want)
+		}
+	}
+	if p := s.Purity(); math.Abs(p-1) > eps {
+		t.Fatalf("noiseless purity %v, want 1", p)
+	}
+}
+
+func TestTracePreservedUnderNoise(t *testing.T) {
+	s := New(3, Model{GateNoise: []Channel{Depolarizing(0.1), AmplitudeDamping(0.05)}})
+	c := circuit.New("bell+", 3)
+	c.Append(circuit.H(0), circuit.CX(0, 1), circuit.CX(1, 2), circuit.T(2))
+	s.Run(c)
+	if tr := s.Trace(); cmplx.Abs(tr-1) > 1e-8 {
+		t.Fatalf("trace drifted to %v", tr)
+	}
+}
+
+func TestNoiseReducesPurity(t *testing.T) {
+	clean := New(2, Model{})
+	noisy := New(2, Model{GateNoise: []Channel{Depolarizing(0.2)}})
+	c := circuit.New("bell", 2)
+	c.Append(circuit.H(0), circuit.CX(0, 1))
+	clean.Run(c)
+	noisy.Run(c)
+	if noisy.Purity() >= clean.Purity()-eps {
+		t.Fatalf("noise did not reduce purity: %v vs %v", noisy.Purity(), clean.Purity())
+	}
+}
+
+func TestFullDepolarizationGivesMaximallyMixed(t *testing.T) {
+	s := New(2, Model{})
+	h := circuit.H(0)
+	s.ApplyGate(&h)
+	// Depolarize both qubits hard, several rounds.
+	for round := 0; round < 10; round++ {
+		s.ApplyChannel(Depolarizing(0.9), 0)
+		s.ApplyChannel(Depolarizing(0.9), 1)
+	}
+	probs := s.Probabilities()
+	for i, p := range probs {
+		if math.Abs(p-0.25) > 1e-3 {
+			t.Fatalf("P(%d) = %v, want 0.25", i, p)
+		}
+	}
+	if pu := s.Purity(); math.Abs(pu-0.25) > 1e-3 {
+		t.Fatalf("purity %v, want 1/4", pu)
+	}
+}
+
+func TestAmplitudeDampingRelaxesToGround(t *testing.T) {
+	s := New(1, Model{})
+	x := circuit.X(0)
+	s.ApplyGate(&x) // |1>
+	s.ApplyChannel(AmplitudeDamping(1), 0)
+	probs := s.Probabilities()
+	if math.Abs(probs[0]-1) > eps || probs[1] > eps {
+		t.Fatalf("gamma=1 damping did not relax: %v", probs)
+	}
+}
+
+func TestBitFlipAnalytic(t *testing.T) {
+	p := 0.3
+	s := New(1, Model{})
+	s.ApplyChannel(BitFlip(p), 0)
+	probs := s.Probabilities()
+	if math.Abs(probs[1]-p) > eps || math.Abs(probs[0]-(1-p)) > eps {
+		t.Fatalf("bit flip p=%v: %v", p, probs)
+	}
+}
+
+func TestPhaseFlipKillsCoherence(t *testing.T) {
+	// |+> under full dephasing has the same diagonal but zero coherence:
+	// a following H does NOT restore |0>.
+	s := New(1, Model{})
+	h := circuit.H(0)
+	s.ApplyGate(&h)
+	s.ApplyChannel(PhaseFlip(0.5), 0) // p=0.5 is complete dephasing
+	s.ApplyGate(&h)
+	probs := s.Probabilities()
+	if math.Abs(probs[0]-0.5) > eps {
+		t.Fatalf("dephased interference: %v", probs)
+	}
+}
+
+func TestStructuredMixedStateStaysCompact(t *testing.T) {
+	// A GHZ density matrix with mild dephasing keeps a small DD — the
+	// point of DD-based noise simulation.
+	n := 8
+	s := New(n, Model{GateNoise: []Channel{PhaseFlip(0.01)}})
+	c := circuit.New("ghz", n)
+	c.Append(circuit.H(0))
+	for q := 1; q < n; q++ {
+		c.Append(circuit.CX(q-1, q))
+	}
+	s.Run(c)
+	if size := s.Manager().MSize(s.Rho()); size > 8*n {
+		t.Fatalf("noisy GHZ density DD has %d nodes, expected O(n)", size)
+	}
+	if tr := s.Trace(); cmplx.Abs(tr-1) > 1e-8 {
+		t.Fatalf("trace %v", tr)
+	}
+}
+
+func TestProbabilityOfQubit(t *testing.T) {
+	s := New(2, Model{})
+	h := circuit.H(1)
+	s.ApplyGate(&h)
+	if p := s.ProbabilityOfQubit(1); math.Abs(p-0.5) > eps {
+		t.Fatalf("P(q1) = %v", p)
+	}
+	if p := s.ProbabilityOfQubit(0); p > eps {
+		t.Fatalf("P(q0) = %v", p)
+	}
+}
+
+func TestBadChannelParamsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { Depolarizing(-0.1) },
+		func() { AmplitudeDamping(1.5) },
+		func() { PhaseFlip(2) },
+		func() { BitFlip(-1) },
+		func() { New(0, Model{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad parameter accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKrausViaDDMatchesDenseReference(t *testing.T) {
+	// Cross-check the DD channel application against a dense density
+	// matrix computation on 3 qubits.
+	rng := rand.New(rand.NewSource(8))
+	n := 3
+	s := New(n, Model{})
+	c := circuit.New("prep", n)
+	for i := 0; i < 8; i++ {
+		c.Append(circuit.U3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.Intn(n)))
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			c.Append(circuit.CX(a, b))
+		}
+	}
+	s.Run(c)
+	// Dense reference: rho = |psi><psi| then the channel on qubit 1.
+	sv := statevec.New(n, 1)
+	sv.ApplyCircuit(c)
+	amps := sv.Amplitudes()
+	dim := 1 << uint(n)
+	rho := make([][]complex128, dim)
+	for i := range rho {
+		rho[i] = make([]complex128, dim)
+		for j := 0; j < dim; j++ {
+			rho[i][j] = amps[i] * cmplx.Conj(amps[j])
+		}
+	}
+	ch := AmplitudeDamping(0.37)
+	q := 1
+	dense := applyChannelDense(rho, ch, q, n)
+	s.ApplyChannel(ch, q)
+	got := s.Manager().ToDense(s.Rho(), n)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			if cmplx.Abs(got[i][j]-dense[i][j]) > 1e-8 {
+				t.Fatalf("rho[%d][%d] = %v, dense %v", i, j, got[i][j], dense[i][j])
+			}
+		}
+	}
+}
+
+func applyChannelDense(rho [][]complex128, ch Channel, q, n int) [][]complex128 {
+	dim := len(rho)
+	out := make([][]complex128, dim)
+	for i := range out {
+		out[i] = make([]complex128, dim)
+	}
+	for _, k := range ch.Kraus {
+		// Full operator K on qubit q.
+		K := make([][]complex128, dim)
+		for r := range K {
+			K[r] = make([]complex128, dim)
+			for c := 0; c < dim; c++ {
+				if r&^(1<<uint(q)) == c&^(1<<uint(q)) {
+					K[r][c] = k[r>>uint(q)&1][c>>uint(q)&1]
+				}
+			}
+		}
+		// out += K rho K†
+		tmp := make([][]complex128, dim)
+		for i := range tmp {
+			tmp[i] = make([]complex128, dim)
+			for j := 0; j < dim; j++ {
+				var acc complex128
+				for l := 0; l < dim; l++ {
+					acc += K[i][l] * rho[l][j]
+				}
+				tmp[i][j] = acc
+			}
+		}
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				var acc complex128
+				for l := 0; l < dim; l++ {
+					acc += tmp[i][l] * cmplx.Conj(K[j][l])
+				}
+				out[i][j] += acc
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+// Package observable computes expectation values of Pauli-string
+// observables on the states produced by any of the repository's engines:
+// flat amplitude arrays (statevec / FlatDD after conversion), vector DDs
+// (ddsim / FlatDD in the DD phase), and density-matrix DDs (noise).
+//
+// An observable is a weighted sum of Pauli strings such as
+// "ZZII" or "+0.5 XX - 1.5 ZI". Expectation values are computed exactly:
+//
+//	<psi| P |psi>        for pure states,
+//	tr(P rho)            for mixed states.
+package observable
+
+import (
+	"fmt"
+	"math/cmplx"
+	"strconv"
+	"strings"
+
+	"flatdd/internal/dd"
+)
+
+// Pauli is one single-qubit Pauli operator.
+type Pauli byte
+
+// The Pauli alphabet.
+const (
+	I Pauli = 'I'
+	X Pauli = 'X'
+	Y Pauli = 'Y'
+	Z Pauli = 'Z'
+)
+
+// Term is a weighted Pauli string. Ops[k] acts on qubit k (Ops[0] is the
+// least significant qubit), so the string "XZ" means X on qubit 0 and Z on
+// qubit 1.
+type Term struct {
+	Coefficient float64
+	Ops         []Pauli
+}
+
+// Observable is a real linear combination of Pauli strings over a fixed
+// register width.
+type Observable struct {
+	Qubits int
+	Terms  []Term
+}
+
+// New returns an empty observable over n qubits.
+func New(n int) *Observable {
+	if n < 1 {
+		panic(fmt.Sprintf("observable: bad qubit count %d", n))
+	}
+	return &Observable{Qubits: n}
+}
+
+// Add appends a weighted Pauli string given as a letter sequence with
+// Ops[0] = qubit 0, e.g. Add(0.5, "XZI"). It returns the observable for
+// chaining.
+func (o *Observable) Add(coeff float64, ops string) *Observable {
+	if len(ops) != o.Qubits {
+		panic(fmt.Sprintf("observable: term %q has %d ops, want %d", ops, len(ops), o.Qubits))
+	}
+	t := Term{Coefficient: coeff, Ops: make([]Pauli, len(ops))}
+	for i := 0; i < len(ops); i++ {
+		switch p := Pauli(ops[i]); p {
+		case I, X, Y, Z:
+			t.Ops[i] = p
+		default:
+			panic(fmt.Sprintf("observable: bad Pauli %q in %q", ops[i], ops))
+		}
+	}
+	o.Terms = append(o.Terms, t)
+	return o
+}
+
+// Parse builds an observable from a human-readable sum such as
+// "ZZ + 0.5 XX - 1.5 IZ" over n qubits.
+func Parse(n int, s string) (*Observable, error) {
+	o := New(n)
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return o, nil
+	}
+	// Tokenize into signed terms.
+	s = strings.ReplaceAll(s, "-", "+-")
+	for _, chunk := range strings.Split(s, "+") {
+		chunk = strings.TrimSpace(chunk)
+		if chunk == "" {
+			continue
+		}
+		sign := 1.0
+		if strings.HasPrefix(chunk, "-") {
+			sign = -1
+			chunk = strings.TrimSpace(chunk[1:])
+		}
+		fields := strings.Fields(chunk)
+		coeff := 1.0
+		ops := ""
+		switch len(fields) {
+		case 1:
+			ops = fields[0]
+		case 2:
+			c, err := strconv.ParseFloat(fields[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("observable: bad coefficient %q", fields[0])
+			}
+			coeff = c
+			ops = fields[1]
+		default:
+			return nil, fmt.Errorf("observable: cannot parse term %q", chunk)
+		}
+		if len(ops) != n {
+			return nil, fmt.Errorf("observable: term %q has %d ops, want %d", ops, len(ops), n)
+		}
+		for _, r := range ops {
+			switch Pauli(r) {
+			case I, X, Y, Z:
+			default:
+				return nil, fmt.Errorf("observable: bad Pauli %q in %q", r, ops)
+			}
+		}
+		o.Add(sign*coeff, ops)
+	}
+	return o, nil
+}
+
+// pauliMat returns the 2x2 matrix of a Pauli.
+func pauliMat(p Pauli) [2][2]complex128 {
+	switch p {
+	case X:
+		return [2][2]complex128{{0, 1}, {1, 0}}
+	case Y:
+		return [2][2]complex128{{0, -1i}, {1i, 0}}
+	case Z:
+		return [2][2]complex128{{1, 0}, {0, -1}}
+	default:
+		return [2][2]complex128{{1, 0}, {0, 1}}
+	}
+}
+
+// ExpectationArray computes <psi|O|psi> for a flat amplitude array. Each
+// term is evaluated by streaming over the amplitudes once: a Pauli string
+// maps basis state i to a single partner j with a +-1/i phase, so no
+// operator matrix is ever materialized.
+func (o *Observable) ExpectationArray(amps []complex128) float64 {
+	if len(amps) != 1<<uint(o.Qubits) {
+		panic(fmt.Sprintf("observable: state length %d, want %d", len(amps), 1<<uint(o.Qubits)))
+	}
+	total := 0.0
+	for _, t := range o.Terms {
+		var flipMask uint64
+		for q, p := range t.Ops {
+			if p == X || p == Y {
+				flipMask |= 1 << uint(q)
+			}
+		}
+		var sum complex128
+		for i, a := range amps {
+			if a == 0 {
+				continue
+			}
+			j := uint64(i) ^ flipMask
+			// phase = prod over qubits of the (j_q, i_q) entry of P_q.
+			phase := complex128(1)
+			for q, p := range t.Ops {
+				bi := uint64(i) >> uint(q) & 1
+				bj := j >> uint(q) & 1
+				m := pauliMat(p)
+				phase *= m[bj][bi]
+			}
+			sum += cmplx.Conj(amps[j]) * phase * a
+		}
+		total += t.Coefficient * real(sum)
+	}
+	return total
+}
+
+// ExpectationDD computes <psi|O|psi> for a vector DD by building each
+// Pauli string as a (Kronecker-chain) matrix DD and contracting
+// <psi|P|psi> with the kernel's inner product.
+func (o *Observable) ExpectationDD(m *dd.Manager, state dd.VEdge) float64 {
+	total := 0.0
+	for _, t := range o.Terms {
+		P := o.termDD(m, t)
+		total += t.Coefficient * real(m.InnerProduct(state, m.MulMV(P, state), o.Qubits))
+	}
+	return total
+}
+
+// ExpectationRho computes tr(O·rho) for a density-matrix DD.
+func (o *Observable) ExpectationRho(m *dd.Manager, rho dd.MEdge) float64 {
+	total := 0.0
+	for _, t := range o.Terms {
+		P := o.termDD(m, t)
+		total += t.Coefficient * real(m.Trace(m.MulMM(P, rho), o.Qubits))
+	}
+	return total
+}
+
+func (o *Observable) termDD(m *dd.Manager, t Term) dd.MEdge {
+	blocks := make([]dd.Matrix2, o.Qubits)
+	for q, p := range t.Ops {
+		pm := pauliMat(p)
+		blocks[q] = dd.Matrix2{{pm[0][0], pm[0][1]}, {pm[1][0], pm[1][1]}}
+	}
+	return m.KronChain(blocks)
+}
+
+// String renders the observable.
+func (o *Observable) String() string {
+	if len(o.Terms) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(o.Terms))
+	for i, t := range o.Terms {
+		ops := make([]byte, len(t.Ops))
+		for q, p := range t.Ops {
+			ops[q] = byte(p)
+		}
+		parts[i] = fmt.Sprintf("%+g %s", t.Coefficient, ops)
+	}
+	return strings.Join(parts, " ")
+}

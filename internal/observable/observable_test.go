@@ -1,0 +1,236 @@
+package observable
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flatdd/internal/circuit"
+	"flatdd/internal/ddsim"
+	"flatdd/internal/noise"
+	"flatdd/internal/statevec"
+)
+
+const eps = 1e-9
+
+func TestSingleQubitExpectations(t *testing.T) {
+	// |0>: <Z>=1, <X>=0; |+>: <X>=1, <Z>=0; |1>: <Z>=-1.
+	zero := []complex128{1, 0}
+	plus := []complex128{complex(1/math.Sqrt2, 0), complex(1/math.Sqrt2, 0)}
+	one := []complex128{0, 1}
+
+	z := New(1).Add(1, "Z")
+	x := New(1).Add(1, "X")
+	y := New(1).Add(1, "Y")
+
+	cases := []struct {
+		name  string
+		o     *Observable
+		state []complex128
+		want  float64
+	}{
+		{"<0|Z|0>", z, zero, 1},
+		{"<0|X|0>", x, zero, 0},
+		{"<+|X|+>", x, plus, 1},
+		{"<+|Z|+>", z, plus, 0},
+		{"<1|Z|1>", z, one, -1},
+		{"<+|Y|+>", y, plus, 0},
+	}
+	for _, tc := range cases {
+		if got := tc.o.ExpectationArray(tc.state); math.Abs(got-tc.want) > eps {
+			t.Errorf("%s = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// |i> = (|0> + i|1>)/sqrt2 has <Y> = 1.
+	iState := []complex128{complex(1/math.Sqrt2, 0), complex(0, 1/math.Sqrt2)}
+	if got := y.ExpectationArray(iState); math.Abs(got-1) > eps {
+		t.Errorf("<i|Y|i> = %v, want 1", got)
+	}
+}
+
+func TestBellCorrelations(t *testing.T) {
+	// Bell state: <ZZ> = <XX> = 1, <ZI> = 0, <YY> = -1.
+	bell := []complex128{complex(1/math.Sqrt2, 0), 0, 0, complex(1/math.Sqrt2, 0)}
+	cases := map[string]float64{"ZZ": 1, "XX": 1, "YY": -1, "ZI": 0, "IZ": 0, "XY": 0}
+	for ops, want := range cases {
+		o := New(2).Add(1, ops)
+		if got := o.ExpectationArray(bell); math.Abs(got-want) > eps {
+			t.Errorf("<Bell|%s|Bell> = %v, want %v", ops, got, want)
+		}
+	}
+}
+
+func TestArrayAndDDAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 6; trial++ {
+		n := 2 + rng.Intn(4)
+		c := circuit.New("r", n)
+		for i := 0; i < 15; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				c.Append(circuit.U3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.Intn(n)))
+			case 1:
+				c.Append(circuit.H(rng.Intn(n)))
+			default:
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a != b {
+					c.Append(circuit.CX(a, b))
+				}
+			}
+		}
+		sim := ddsim.New(n)
+		sim.Run(c)
+		sv := statevec.New(n, 1)
+		sv.ApplyCircuit(c)
+
+		// Random 3-term observable.
+		o := New(n)
+		letters := []byte("IXYZ")
+		for k := 0; k < 3; k++ {
+			ops := make([]byte, n)
+			for q := range ops {
+				ops[q] = letters[rng.Intn(4)]
+			}
+			o.Add(rng.NormFloat64(), string(ops))
+		}
+		ea := o.ExpectationArray(sv.Amplitudes())
+		ed := o.ExpectationDD(sim.Manager(), sim.State())
+		if math.Abs(ea-ed) > 1e-8 {
+			t.Fatalf("trial %d: array %v vs DD %v for %s", trial, ea, ed, o)
+		}
+	}
+}
+
+func TestRhoExpectationMatchesPureState(t *testing.T) {
+	// For a noiseless density matrix, tr(P rho) == <psi|P|psi>.
+	n := 3
+	c := circuit.New("ghz3", n)
+	c.Append(circuit.H(0), circuit.CX(0, 1), circuit.CX(1, 2))
+	ns := noise.New(n, noise.Model{})
+	ns.Run(c)
+	sv := statevec.New(n, 1)
+	sv.ApplyCircuit(c)
+	o := New(n).Add(1, "ZZZ").Add(0.5, "XXX").Add(-2, "IZI")
+	er := o.ExpectationRho(ns.Manager(), ns.Rho())
+	ea := o.ExpectationArray(sv.Amplitudes())
+	if math.Abs(er-ea) > 1e-8 {
+		t.Fatalf("rho %v vs array %v", er, ea)
+	}
+}
+
+func TestDepolarizedExpectationShrinks(t *testing.T) {
+	// Depolarizing noise pulls <ZZ> of a Bell pair toward 0.
+	n := 2
+	c := circuit.New("bell", n)
+	c.Append(circuit.H(0), circuit.CX(0, 1))
+	clean := noise.New(n, noise.Model{})
+	clean.Run(c)
+	noisy := noise.New(n, noise.Model{GateNoise: []noise.Channel{noise.Depolarizing(0.2)}})
+	noisy.Run(c)
+	o := New(n).Add(1, "ZZ")
+	ec := o.ExpectationRho(clean.Manager(), clean.Rho())
+	en := o.ExpectationRho(noisy.Manager(), noisy.Rho())
+	if math.Abs(ec-1) > eps {
+		t.Fatalf("clean <ZZ> = %v", ec)
+	}
+	if en >= ec-0.05 || en < 0 {
+		t.Fatalf("noisy <ZZ> = %v, want in (0, %v)", en, ec)
+	}
+}
+
+func TestParse(t *testing.T) {
+	o, err := Parse(2, "ZZ + 0.5 XX - 1.5 IZ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Terms) != 3 {
+		t.Fatalf("terms = %d", len(o.Terms))
+	}
+	if o.Terms[1].Coefficient != 0.5 || o.Terms[2].Coefficient != -1.5 {
+		t.Fatalf("coefficients wrong: %s", o)
+	}
+	bell := []complex128{complex(1/math.Sqrt2, 0), 0, 0, complex(1/math.Sqrt2, 0)}
+	want := 1.0 + 0.5*1 - 1.5*0
+	if got := o.ExpectationArray(bell); math.Abs(got-want) > eps {
+		t.Fatalf("parsed observable expectation %v, want %v", got, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"Z", "ZZZ", "QQ", "x ZZ", "1.5"} {
+		if _, err := Parse(2, bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+	if o, err := Parse(2, ""); err != nil || len(o.Terms) != 0 {
+		t.Error("empty observable rejected")
+	}
+}
+
+func TestAddPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0) },
+		func() { New(2).Add(1, "Z") },
+		func() { New(1).Add(1, "Q") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad input accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIsingEnergyMatchesVQEExample(t *testing.T) {
+	// The observable package must agree with the hand-rolled energy
+	// computation of examples/vqe on a small transverse-field Ising model.
+	n := 4
+	const J, h = 1.0, 0.5
+	o := New(n)
+	for i := 0; i+1 < n; i++ {
+		ops := []byte("IIII")
+		ops[i], ops[i+1] = 'Z', 'Z'
+		o.Add(-J, string(ops))
+	}
+	for i := 0; i < n; i++ {
+		ops := []byte("IIII")
+		ops[i] = 'X'
+		o.Add(-h, string(ops))
+	}
+	rng := rand.New(rand.NewSource(7))
+	amps := make([]complex128, 1<<uint(n))
+	var norm float64
+	for i := range amps {
+		amps[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		norm += real(amps[i])*real(amps[i]) + imag(amps[i])*imag(amps[i])
+	}
+	norm = math.Sqrt(norm)
+	for i := range amps {
+		amps[i] /= complex(norm, 0)
+	}
+	got := o.ExpectationArray(amps)
+	// Direct dense evaluation.
+	want := 0.0
+	for idx, a := range amps {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		for i := 0; i+1 < n; i++ {
+			zi := 1.0 - 2.0*float64(idx>>uint(i)&1)
+			zj := 1.0 - 2.0*float64(idx>>uint(i+1)&1)
+			want += -J * zi * zj * p
+		}
+	}
+	for i := 0; i < n; i++ {
+		x := 0.0
+		for idx, a := range amps {
+			b := amps[idx^1<<uint(i)]
+			x += real(a)*real(b) + imag(a)*imag(b)
+		}
+		want += -h * x
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Ising energy %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,45 @@
+package qasm_test
+
+import (
+	"fmt"
+	"os"
+
+	"flatdd/internal/circuit"
+	"flatdd/internal/qasm"
+)
+
+// ExampleParse parses a program with a custom gate definition.
+func ExampleParse() {
+	c, err := qasm.Parse(`
+OPENQASM 2.0;
+include "qelib1.inc";
+gate bell a, b { h a; cx a, b; }
+qreg q[4];
+bell q[0], q[1];
+bell q[2], q[3];
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d qubits, %d gates\n", c.Qubits, c.GateCount())
+	// Output:
+	// 4 qubits, 4 gates
+}
+
+// ExampleWrite emits a circuit as OpenQASM 2.0.
+func ExampleWrite() {
+	c := circuit.New("demo", 2)
+	c.Append(circuit.H(0), circuit.CX(0, 1), circuit.RZ(0.25, 1))
+	if err := qasm.Write(os.Stdout, c); err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// OPENQASM 2.0;
+	// include "qelib1.inc";
+	// // demo: 2 qubits, 3 gates
+	// qreg q[2];
+	// h q[0];
+	// cx q[0],q[1];
+	// rz(0.25) q[1];
+}

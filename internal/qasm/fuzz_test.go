@@ -1,0 +1,48 @@
+package qasm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary source to the parser; any input must either
+// produce a valid circuit or a clean error — never a panic or a circuit
+// that fails validation. Run with `go test -fuzz=FuzzParse ./internal/qasm`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+		"qreg q[1]; rz(pi/2) q[0];",
+		"gate foo(a) x,y { cx x,y; rz(a) y; } qreg r[3]; foo(0.5) r[0],r[2];",
+		"qreg a[2]; qreg b[2]; cx a,b;",
+		"creg c[2]; qreg q[2]; measure q[0] -> c[0];",
+		"qreg q[1]; u3(1,2,3) q[0]; // comment",
+		"include \"qelib1.inc\";",
+		"qreg q[1]; rz(sin(cos(pi))) q[0];",
+		"barrier q; qreg q[1];",
+		"qreg q[999999999];",
+		"gate g q { g q; }", // direct recursion in the body
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Guard against pathological blowup from broadcast over giant
+		// registers: cap the input size.
+		if len(src) > 4096 {
+			return
+		}
+		c, err := Parse(src)
+		if err != nil {
+			if !strings.Contains(err.Error(), "qasm:") {
+				t.Fatalf("error without package prefix: %v", err)
+			}
+			return
+		}
+		if c == nil {
+			t.Fatal("nil circuit without error")
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("parser produced invalid circuit: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+// Package qasm parses a practical subset of OpenQASM 2.0 into the circuit
+// IR, so that real benchmark files (QASMBench, MQT Bench — the suites the
+// paper evaluates on) can be fed to every engine in this repository.
+//
+// Supported: OPENQASM/include headers, multiple qreg/creg declarations,
+// the builtin U and CX gates, the full qelib1 standard-gate set, custom
+// gate definitions (macro-expanded, with parameter substitution), constant
+// parameter expressions (+ - * / ^, parentheses, unary minus, pi, and the
+// functions sin/cos/tan/exp/ln/sqrt), whole-register broadcast, barrier
+// (ignored) and measure (recorded, since this simulator computes the full
+// final state). Not supported: if statements, reset, and opaque gates.
+package qasm
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) [ ] { } , ; -> + - * / ^ ==
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// errSyntax is the error type raised by the lexer/parser internals.
+type errSyntax struct {
+	line int
+	msg  string
+}
+
+func (e errSyntax) Error() string { return fmt.Sprintf("qasm: line %d: %s", e.line, e.msg) }
+
+func (l *lexer) errorf(format string, args ...any) {
+	panic(errSyntax{l.line, fmt.Sprintf(format, args...)})
+}
+
+func (l *lexer) next() token {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		for l.pos < len(l.src) && (isIdentChar(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{tokIdent, l.src[start:l.pos], l.line}
+	case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+		seenE := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if unicode.IsDigit(rune(ch)) || ch == '.' {
+				l.pos++
+				continue
+			}
+			if (ch == 'e' || ch == 'E') && !seenE {
+				seenE = true
+				l.pos++
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+				continue
+			}
+			break
+		}
+		return token{tokNumber, l.src[start:l.pos], l.line}
+	case c == '"':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\n' {
+				l.errorf("unterminated string")
+			}
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			l.errorf("unterminated string")
+		}
+		l.pos++
+		return token{tokString, l.src[start+1 : l.pos-1], l.line}
+	case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '>':
+		l.pos += 2
+		return token{tokSymbol, "->", l.line}
+	case c == '=' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '=':
+		l.pos += 2
+		return token{tokSymbol, "==", l.line}
+	case strings.ContainsRune("()[]{},;+-*/^", rune(c)):
+		l.pos++
+		return token{tokSymbol, string(c), l.line}
+	default:
+		l.errorf("unexpected character %q", c)
+		panic("unreachable")
+	}
+}
+
+func isIdentChar(c byte) bool {
+	return unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_'
+}
+
+// tokenize scans the whole source (the grammar is small enough that a token
+// slice is simpler than a streaming interface).
+func tokenize(src string) []token {
+	l := newLexer(src)
+	var out []token
+	for {
+		t := l.next()
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// 4-bit ripple-carry adder fragment in the QASMBench style,
+// with a custom MAJ/UMA gate pair.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate maj a,b,c {
+  cx c,b;
+  cx c,a;
+  ccx a,b,c;
+}
+gate uma a,b,c {
+  ccx a,b,c;
+  cx c,a;
+  cx a,b;
+}
+qreg cin[1];
+qreg a[2];
+qreg b[2];
+qreg cout[1];
+x a[0];
+x b[0];
+x b[1];
+maj cin[0],b[0],a[0];
+maj a[0],b[1],a[1];
+cx a[1],cout[0];
+uma a[0],b[1],a[1];
+uma cin[0],b[0],a[0];

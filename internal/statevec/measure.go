@@ -1,0 +1,69 @@
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ProbabilityOfQubit returns P(qubit q = 1) in the current state.
+func (s *State) ProbabilityOfQubit(q int) float64 {
+	if q < 0 || q >= s.n {
+		panic(fmt.Sprintf("statevec: qubit %d out of range", q))
+	}
+	mask := uint64(1) << uint(q)
+	var p1 float64
+	for i, a := range s.amps {
+		if uint64(i)&mask != 0 {
+			p1 += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p1
+}
+
+// MeasureQubit performs a projective measurement of qubit q: it draws an
+// outcome from the Born distribution, collapses the state, renormalizes,
+// and returns the outcome (0 or 1).
+func (s *State) MeasureQubit(q int, rng *rand.Rand) int {
+	p1 := s.ProbabilityOfQubit(q)
+	outcome := 0
+	if rng.Float64() < p1 {
+		outcome = 1
+	}
+	s.ForceOutcome(q, outcome)
+	return outcome
+}
+
+// ForceOutcome collapses qubit q onto the given outcome (post-selection)
+// and renormalizes. It panics if the outcome has zero probability.
+func (s *State) ForceOutcome(q, outcome int) {
+	if q < 0 || q >= s.n {
+		panic(fmt.Sprintf("statevec: qubit %d out of range", q))
+	}
+	mask := uint64(1) << uint(q)
+	var keep float64
+	for i, a := range s.amps {
+		bit := 0
+		if uint64(i)&mask != 0 {
+			bit = 1
+		}
+		if bit == outcome {
+			keep += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	if keep < 1e-15 {
+		panic(fmt.Sprintf("statevec: outcome %d on qubit %d has zero probability", outcome, q))
+	}
+	scale := complex(1/math.Sqrt(keep), 0)
+	for i := range s.amps {
+		bit := 0
+		if uint64(i)&mask != 0 {
+			bit = 1
+		}
+		if bit == outcome {
+			s.amps[i] *= scale
+		} else {
+			s.amps[i] = 0
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package statevec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flatdd/internal/circuit"
+)
+
+func TestProbabilityOfQubit(t *testing.T) {
+	s := New(2, 1)
+	h := circuit.H(0)
+	s.Apply(&h)
+	if p := s.ProbabilityOfQubit(0); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("P(q0)=%v", p)
+	}
+	if p := s.ProbabilityOfQubit(1); p != 0 {
+		t.Fatalf("P(q1)=%v", p)
+	}
+}
+
+func TestMeasureCollapsesAndNormalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		s := New(3, 1)
+		h0, h2 := circuit.H(0), circuit.H(2)
+		cx := circuit.CX(0, 1)
+		s.Apply(&h0)
+		s.Apply(&cx)
+		s.Apply(&h2)
+		m := s.MeasureQubit(1, rng)
+		if n := s.Norm(); math.Abs(n-1) > 1e-12 {
+			t.Fatalf("norm after measurement: %v", n)
+		}
+		// Qubit 0 must now equal qubit 1's outcome (they were entangled).
+		if p := s.ProbabilityOfQubit(0); math.Abs(p-float64(m)) > 1e-12 {
+			t.Fatalf("entangled partner not collapsed: P=%v, m=%d", p, m)
+		}
+		// Qubit 2 must stay in |+>.
+		if p := s.ProbabilityOfQubit(2); math.Abs(p-0.5) > 1e-12 {
+			t.Fatalf("spectator qubit disturbed: P=%v", p)
+		}
+	}
+}
+
+func TestForceOutcomePanicsOnImpossible(t *testing.T) {
+	s := New(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero-probability outcome")
+		}
+	}()
+	s.ForceOutcome(0, 1)
+}
+
+func TestForceOutcomeBoundsCheck(t *testing.T) {
+	s := New(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range qubit")
+		}
+	}()
+	s.ProbabilityOfQubit(5)
+}

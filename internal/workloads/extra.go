@@ -1,0 +1,102 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"flatdd/internal/circuit"
+)
+
+// QAOA returns a Quantum Approximate Optimization Algorithm circuit for
+// MaxCut on a random d-regular-ish graph over n vertices with p rounds:
+// per round, RZZ(gamma) on every edge and RX(2*beta) on every qubit, after
+// an initial Hadamard wall. QAOA circuits sit between VQE and supremacy in
+// regularity: the diagonal cost layers keep some DD structure, the mixer
+// destroys it gradually.
+func QAOA(n, rounds int, seed int64) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("qaoa_n%d", n), n)
+	rng := rand.New(rand.NewSource(seed))
+	// Random graph: a ring plus n/2 random chords, deduplicated.
+	type edge struct{ a, b int }
+	seen := make(map[edge]bool)
+	var edges []edge
+	addEdge := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		e := edge{a, b}
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	for v := 0; v < n; v++ {
+		addEdge(v, (v+1)%n)
+	}
+	for k := 0; k < n/2; k++ {
+		addEdge(rng.Intn(n), rng.Intn(n))
+	}
+
+	for q := 0; q < n; q++ {
+		c.Append(circuit.H(q))
+	}
+	for r := 0; r < rounds; r++ {
+		gamma := rng.Float64() * math.Pi
+		beta := rng.Float64() * math.Pi / 2
+		for _, e := range edges {
+			c.Append(circuit.RZZ(gamma, e.a, e.b))
+		}
+		for q := 0; q < n; q++ {
+			c.Append(circuit.RX(2*beta, q))
+		}
+	}
+	return c
+}
+
+// WState returns the n-qubit W-state preparation circuit
+// (1/sqrt(n))(|100..> + |010..> + ... + |0..01>) built from cascaded
+// controlled rotations: a regular, DD-friendly state like GHZ.
+func WState(n int) *circuit.Circuit {
+	if n < 1 {
+		panic("workloads: W state needs n >= 1")
+	}
+	c := circuit.New(fmt.Sprintf("wstate_n%d", n), n)
+	c.Append(circuit.X(0))
+	for k := 1; k < n; k++ {
+		// Rotate amplitude 1/sqrt(n-k+1) of the current excitation from
+		// qubit k-1 onto qubit k, controlled on qubit k-1.
+		theta := 2 * math.Acos(math.Sqrt(1/float64(n-k+1)))
+		c.Append(circuit.CRY(theta, k-1, k))
+		c.Append(circuit.CX(k, k-1))
+	}
+	return c
+}
+
+// QuantumVolume returns a quantum-volume-style circuit: depth layers, each
+// a random permutation of the qubits followed by Haar-ish random two-qubit
+// blocks (KAK-decomposed into single-qubit u3 rotations around a CX-CX
+// core) on adjacent pairs. These circuits scramble as fast as supremacy
+// circuits and are a standard irregular benchmark.
+func QuantumVolume(n, depth int, seed int64) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("qv_n%d", n), n)
+	rng := rand.New(rand.NewSource(seed))
+	ru3 := func(q int) circuit.Gate {
+		return circuit.U3(rng.Float64()*math.Pi, rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi, q)
+	}
+	for d := 0; d < depth; d++ {
+		perm := rng.Perm(n)
+		for k := 0; k+1 < n; k += 2 {
+			a, b := perm[k], perm[k+1]
+			c.Append(ru3(a), ru3(b))
+			c.Append(circuit.CX(a, b))
+			c.Append(ru3(a), ru3(b))
+			c.Append(circuit.CX(b, a))
+			c.Append(ru3(a), ru3(b))
+		}
+	}
+	return c
+}

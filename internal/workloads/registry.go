@@ -1,0 +1,85 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"flatdd/internal/circuit"
+)
+
+// SupremacyCyclesFor returns the cycle count that matches the paper's gate
+// density for the supremacy family (supremacy_n20 has 4500 gates; one cycle
+// here contributes roughly 1.4n gates).
+func SupremacyCyclesFor(n int) int {
+	const gatesPerQubit = 225
+	cycles := gatesPerQubit * 10 / 14 // one cycle is ~1.4n gates
+	if cycles < 1 {
+		cycles = 1
+	}
+	return cycles
+}
+
+// VQELayers is the layer count matching the paper's vqe_n16 (95 gates).
+const VQELayers = 2
+
+// Build constructs a named benchmark circuit at the given register size.
+// Recognized names: ghz, adder, dnn, vqe, knn, swaptest, supremacy, qft,
+// grover, bv.
+func Build(name string, n int, seed int64) (*circuit.Circuit, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workloads: qubit count %d out of range", n)
+	}
+	switch name {
+	case "ghz":
+		return GHZ(n), nil
+	case "adder":
+		if n < 4 || n%2 != 0 {
+			return nil, fmt.Errorf("workloads: adder needs an even n >= 4, got %d", n)
+		}
+		return Adder(n, seed), nil
+	case "dnn":
+		return DNN(n, DNNDepthFor(n), seed), nil
+	case "vqe":
+		return VQE(n, VQELayers, seed), nil
+	case "knn":
+		if n < 3 || n%2 == 0 {
+			return nil, fmt.Errorf("workloads: knn needs an odd n >= 3, got %d", n)
+		}
+		return KNN(n, seed), nil
+	case "swaptest":
+		if n < 3 || n%2 == 0 {
+			return nil, fmt.Errorf("workloads: swaptest needs an odd n >= 3, got %d", n)
+		}
+		return SwapTest(n, seed), nil
+	case "supremacy":
+		return SupremacyGrid(n, SupremacyCyclesFor(n), seed), nil
+	case "qft":
+		return QFT(n), nil
+	case "grover":
+		iters := 0
+		if n > 8 {
+			iters = 12 // keep example-scale circuits bounded
+		}
+		return Grover(n, uint64(seed)%(uint64(1)<<uint(n)), iters), nil
+	case "bv":
+		if n < 2 {
+			return nil, fmt.Errorf("workloads: bv needs n >= 2, got %d", n)
+		}
+		return BernsteinVazirani(n-1, uint64(seed)%(uint64(1)<<uint(n-1))), nil
+	case "qaoa":
+		return QAOA(n, 3, seed), nil
+	case "wstate":
+		return WState(n), nil
+	case "qv":
+		return QuantumVolume(n, n, seed), nil
+	default:
+		return nil, fmt.Errorf("workloads: unknown circuit %q (known: %v)", name, Names())
+	}
+}
+
+// Names lists the recognized workload names.
+func Names() []string {
+	names := []string{"ghz", "adder", "dnn", "vqe", "knn", "swaptest", "supremacy", "qft", "grover", "bv", "qaoa", "wstate", "qv"}
+	sort.Strings(names)
+	return names
+}

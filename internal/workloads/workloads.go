@@ -1,0 +1,351 @@
+// Package workloads generates the quantum-circuit families the FlatDD paper
+// evaluates on (Section 4, Table 1): DNN, Adder, GHZ state, VQE, KNN, Swap
+// test, and Google quantum-supremacy random circuits, plus QFT, Grover and
+// Bernstein-Vazirani circuits used by the examples.
+//
+// The paper draws these from QASMBench [69], MQT Bench [88] and the Google
+// supremacy data [7]; this package reimplements the published constructions
+// so that the same families are available at any register size without
+// external circuit files (a QASM parser for real files lives in
+// internal/qasm). All generators are deterministic for a given seed.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"flatdd/internal/circuit"
+)
+
+// GHZ returns the n-qubit GHZ-state preparation: H on qubit 0 followed by a
+// CX ladder (MQT Bench "ghz").
+func GHZ(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("ghz_n%d", n), n)
+	if n == 0 {
+		return c
+	}
+	c.Append(circuit.H(0))
+	for q := 1; q < n; q++ {
+		c.Append(circuit.CX(q-1, q))
+	}
+	return c
+}
+
+// Adder returns a Cuccaro ripple-carry adder computing b <- a + b on an
+// n-qubit register laid out as [cin, a0, b0, a1, b1, ..., cout]. n must be
+// even and >= 4; the adder width is (n-2)/2 bits. The inputs are
+// initialized with X gates from the seed so the circuit is self-contained
+// (the QASMBench "adder" family does the same). Its state stays regular
+// throughout — the DD-friendly end of the spectrum in Figure 1.
+func Adder(n int, seed int64) *circuit.Circuit {
+	if n < 4 || n%2 != 0 {
+		panic(fmt.Sprintf("workloads: adder needs an even register of >= 4 qubits, got %d", n))
+	}
+	k := (n - 2) / 2
+	c := circuit.New(fmt.Sprintf("adder_n%d", n), n)
+	rng := rand.New(rand.NewSource(seed))
+	cin := 0
+	a := func(i int) int { return 1 + 2*i }
+	b := func(i int) int { return 2 + 2*i }
+	cout := n - 1
+
+	// Random input values.
+	for i := 0; i < k; i++ {
+		if rng.Intn(2) == 1 {
+			c.Append(circuit.X(a(i)))
+		}
+		if rng.Intn(2) == 1 {
+			c.Append(circuit.X(b(i)))
+		}
+	}
+
+	maj := func(x, y, z int) {
+		c.Append(circuit.CX(z, y), circuit.CX(z, x), circuit.CCX(x, y, z))
+	}
+	uma := func(x, y, z int) {
+		c.Append(circuit.CCX(x, y, z), circuit.CX(z, x), circuit.CX(x, y))
+	}
+
+	maj(cin, b(0), a(0))
+	for i := 1; i < k; i++ {
+		maj(a(i-1), b(i), a(i))
+	}
+	c.Append(circuit.CX(a(k-1), cout))
+	for i := k - 1; i >= 1; i-- {
+		uma(a(i-1), b(i), a(i))
+	}
+	uma(cin, b(0), a(0))
+	return c
+}
+
+// DNN returns a layered quantum deep-neural-network circuit in the style of
+// the QASMBench "dnn" family (quantum neurons built from parameterized
+// rotations and entangling layers). Each layer applies U3 rotations to
+// every qubit, a CX ring, and RY rotations — random angles make the state
+// amplitudes irregular quickly, the DD-hostile end of Figure 1.
+func DNN(n, layers int, seed int64) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("dnn_n%d", n), n)
+	rng := rand.New(rand.NewSource(seed))
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.Append(circuit.U3(rng.Float64()*math.Pi, rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi, q))
+		}
+		for q := 0; q < n; q++ {
+			c.Append(circuit.CX(q, (q+1)%n))
+		}
+		for q := 0; q < n; q++ {
+			c.Append(circuit.RY(rng.Float64()*math.Pi, q))
+		}
+	}
+	return c
+}
+
+// DNNDepthFor returns the layer count that makes DNN(n) roughly match the
+// paper's gate-count-per-qubit ratio (dnn_n16 has 2032 gates, i.e. ~127
+// gates per qubit; one DNN layer here is 3n gates).
+func DNNDepthFor(n int) int {
+	const gatesPerQubit = 127
+	layers := gatesPerQubit / 3
+	if layers < 1 {
+		layers = 1
+	}
+	return layers
+}
+
+// VQE returns a hardware-efficient variational-quantum-eigensolver ansatz:
+// per layer, RY+RZ on every qubit and a linear CX entangler chain
+// (QASMBench "vqe" style; vqe_n16 with 95 gates corresponds to two layers).
+func VQE(n, layers int, seed int64) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("vqe_n%d", n), n)
+	rng := rand.New(rand.NewSource(seed))
+	for q := 0; q < n; q++ {
+		c.Append(circuit.RY(rng.Float64()*math.Pi, q))
+	}
+	for l := 0; l < layers; l++ {
+		for q := 0; q+1 < n; q++ {
+			c.Append(circuit.CX(q, q+1))
+		}
+		for q := 0; q < n; q++ {
+			c.Append(circuit.RY(rng.Float64()*math.Pi, q), circuit.RZ(rng.Float64()*2*math.Pi, q))
+		}
+	}
+	return c
+}
+
+// SwapTest returns the swap-test circuit estimating |<psi|phi>|^2 between
+// two (n-1)/2-qubit random product states: ancilla Hadamard, a ladder of
+// Fredkin gates, and a closing Hadamard (QASMBench "swap_test"). n must be
+// odd and >= 3. The controlled swaps entangle the ancilla with everything,
+// producing a large irregular DD mid-circuit.
+func SwapTest(n int, seed int64) *circuit.Circuit {
+	if n < 3 || n%2 == 0 {
+		panic(fmt.Sprintf("workloads: swap test needs an odd register of >= 3 qubits, got %d", n))
+	}
+	k := (n - 1) / 2
+	c := circuit.New(fmt.Sprintf("swaptest_n%d", n), n)
+	rng := rand.New(rand.NewSource(seed))
+	anc := 0
+	// Prepare |psi> on qubits 1..k and |phi> on k+1..2k.
+	for q := 1; q <= 2*k; q++ {
+		c.Append(circuit.RY(rng.Float64()*math.Pi, q))
+	}
+	c.Append(circuit.H(anc))
+	for i := 0; i < k; i++ {
+		c.Append(circuit.CSwap(anc, 1+i, 1+k+i)...)
+	}
+	c.Append(circuit.H(anc))
+	return c
+}
+
+// KNN returns a quantum k-nearest-neighbour kernel circuit (QASMBench
+// "knn"): the same swap-test core with amplitude-encoded feature vectors
+// (an extra layer of RY+RZ encodes richer features than SwapTest).
+func KNN(n int, seed int64) *circuit.Circuit {
+	if n < 3 || n%2 == 0 {
+		panic(fmt.Sprintf("workloads: knn needs an odd register of >= 3 qubits, got %d", n))
+	}
+	k := (n - 1) / 2
+	c := circuit.New(fmt.Sprintf("knn_n%d", n), n)
+	rng := rand.New(rand.NewSource(seed))
+	anc := 0
+	for q := 1; q <= 2*k; q++ {
+		c.Append(circuit.RY(rng.Float64()*math.Pi, q))
+		c.Append(circuit.RZ(rng.Float64()*2*math.Pi, q))
+	}
+	c.Append(circuit.H(anc))
+	for i := 0; i < k; i++ {
+		c.Append(circuit.CSwap(anc, 1+i, 1+k+i)...)
+	}
+	c.Append(circuit.H(anc))
+	return c
+}
+
+// Supremacy returns a Google-quantum-supremacy-style random circuit [7] on
+// a rows x cols qubit grid (n = rows*cols): each cycle applies a random
+// single-qubit gate from {sqrt(X), sqrt(Y), sqrt(W)} to every qubit (never
+// repeating the previous cycle's gate on the same qubit) followed by a
+// layer of fSim(pi/2, pi/6) entanglers on one of four alternating grid
+// patterns. These circuits scramble amplitudes maximally — the hardest
+// family in Table 1.
+func Supremacy(rows, cols, cycles int, seed int64) *circuit.Circuit {
+	n := rows * cols
+	c := circuit.New(fmt.Sprintf("supremacy_n%d", n), n)
+	rng := rand.New(rand.NewSource(seed))
+	qubit := func(r, col int) int { return r*cols + col }
+	last := make([]int, n)
+	for i := range last {
+		last[i] = -1
+	}
+	for cycle := 0; cycle < cycles; cycle++ {
+		// Single-qubit layer.
+		for q := 0; q < n; q++ {
+			g := rng.Intn(3)
+			for g == last[q] {
+				g = rng.Intn(3)
+			}
+			last[q] = g
+			switch g {
+			case 0:
+				c.Append(circuit.SX(q))
+			case 1:
+				c.Append(circuit.SY(q))
+			default:
+				c.Append(circuit.SW(q))
+			}
+		}
+		// Two-qubit layer: alternate between 4 coupler patterns (right
+		// pairs even/odd columns, down pairs even/odd rows).
+		switch cycle % 4 {
+		case 0, 2:
+			off := (cycle / 2) % 2
+			for r := 0; r < rows; r++ {
+				for col := off; col+1 < cols; col += 2 {
+					c.Append(circuit.FSim(math.Pi/2, math.Pi/6, qubit(r, col), qubit(r, col+1)))
+				}
+			}
+		case 1, 3:
+			off := ((cycle - 1) / 2) % 2
+			for r := off; r+1 < rows; r += 2 {
+				for col := 0; col < cols; col++ {
+					c.Append(circuit.FSim(math.Pi/2, math.Pi/6, qubit(r, col), qubit(r+1, col)))
+				}
+			}
+		}
+	}
+	return c
+}
+
+// SupremacyGrid picks a near-square grid for n qubits and returns the
+// supremacy circuit with the given cycle count.
+func SupremacyGrid(n, cycles int, seed int64) *circuit.Circuit {
+	rows := 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			rows = d
+		}
+	}
+	return Supremacy(rows, n/rows, cycles, seed)
+}
+
+// QFT returns the quantum Fourier transform on n qubits (with the final
+// qubit-reversal swaps).
+func QFT(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("qft_n%d", n), n)
+	for i := n - 1; i >= 0; i-- {
+		c.Append(circuit.H(i))
+		for j := i - 1; j >= 0; j-- {
+			c.Append(circuit.CP(math.Pi/math.Pow(2, float64(i-j)), j, i))
+		}
+	}
+	for i := 0; i < n/2; i++ {
+		c.Append(circuit.SWAP(i, n-1-i))
+	}
+	return c
+}
+
+// BernsteinVazirani returns the BV circuit recovering the given secret
+// bitstring: the final measurement distribution is a point mass on secret.
+// The register has n data qubits plus one ancilla (qubit n).
+func BernsteinVazirani(n int, secret uint64) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("bv_n%d", n+1), n+1)
+	c.Append(circuit.X(n), circuit.H(n))
+	for q := 0; q < n; q++ {
+		c.Append(circuit.H(q))
+	}
+	for q := 0; q < n; q++ {
+		if secret>>uint(q)&1 == 1 {
+			c.Append(circuit.CX(q, n))
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.Append(circuit.H(q))
+	}
+	return c
+}
+
+// Grover returns a Grover-search circuit over n qubits marking the given
+// basis state, with the optimal iteration count (or the supplied one if
+// iters > 0).
+func Grover(n int, marked uint64, iters int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("grover_n%d", n), n)
+	if iters <= 0 {
+		iters = int(math.Round(math.Pi / 4 * math.Sqrt(math.Pow(2, float64(n)))))
+		if iters < 1 {
+			iters = 1
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.Append(circuit.H(q))
+	}
+	allQubits := make([]int, n-1)
+	for i := range allQubits {
+		allQubits[i] = i
+	}
+	oracle := func() {
+		// Phase-flip the marked state: X-conjugated multi-controlled Z.
+		for q := 0; q < n; q++ {
+			if marked>>uint(q)&1 == 0 {
+				c.Append(circuit.X(q))
+			}
+		}
+		if n == 1 {
+			c.Append(circuit.Z(0))
+		} else {
+			c.Append(circuit.Gate{Name: "mcz", Targets: []int{n - 1},
+				Controls: controlsFor(n - 1), U: [][]complex128{{1, 0}, {0, -1}}})
+		}
+		for q := 0; q < n; q++ {
+			if marked>>uint(q)&1 == 0 {
+				c.Append(circuit.X(q))
+			}
+		}
+	}
+	diffuse := func() {
+		for q := 0; q < n; q++ {
+			c.Append(circuit.H(q), circuit.X(q))
+		}
+		if n == 1 {
+			c.Append(circuit.Z(0))
+		} else {
+			c.Append(circuit.Gate{Name: "mcz", Targets: []int{n - 1},
+				Controls: controlsFor(n - 1), U: [][]complex128{{1, 0}, {0, -1}}})
+		}
+		for q := 0; q < n; q++ {
+			c.Append(circuit.X(q), circuit.H(q))
+		}
+	}
+	for it := 0; it < iters; it++ {
+		oracle()
+		diffuse()
+	}
+	return c
+}
+
+func controlsFor(k int) []circuit.Control {
+	cs := make([]circuit.Control, k)
+	for i := range cs {
+		cs[i] = circuit.Control{Qubit: i}
+	}
+	return cs
+}
