@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test check bench-obs csv
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-commit gate: full vet plus the race detector over the
+# concurrency-heavy packages (the obs registry is hammered from worker
+# goroutines; core drives every instrumented layer end to end).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/obs/... ./internal/core/...
+
+# bench-obs reproduces the instrumentation-overhead numbers recorded in
+# EXPERIMENTS.md (run several times and compare pairs; the signal is
+# smaller than machine noise on a loaded box).
+bench-obs:
+	$(GO) test -run xxx -bench ObsOverhead -benchtime 2s -count 3 .
+
+csv:
+	$(GO) run ./cmd/flatdd-bench -exp all -csv out/csv

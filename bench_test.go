@@ -18,6 +18,7 @@ import (
 	"flatdd/internal/dmav"
 	"flatdd/internal/fusion"
 	"flatdd/internal/harness"
+	"flatdd/internal/obs"
 	"flatdd/internal/statevec"
 	"flatdd/internal/workloads"
 )
@@ -299,3 +300,29 @@ func BenchmarkAblationApproxOn(b *testing.B) {
 	runFlatDD(b, benchDNN(), core.Options{Threads: 4, DisableConversion: true,
 		ApproxBudget: 0.001, ApproxThreshold: 128})
 }
+
+// ---- Instrumentation overhead: the DMAV kernel with metrics disabled
+// (nil registry, the default) vs enabled (live registry). The disabled
+// pair must stay within noise of each other — every instrumentation site
+// is a single nil check — and the enabled case bounds the worst-case cost
+// of running with -listen / -trace-out. Recorded in EXPERIMENTS.md.
+
+func benchObsOverhead(b *testing.B, r *obs.Registry) {
+	c := benchDNN()
+	n := c.Qubits
+	m := dd.New(n)
+	g := circuit.FSim(0.5, 0.2, 1, n-2)
+	M := ddsim.BuildGateDD(m, n, &g)
+	V := make([]complex128, 1<<uint(n))
+	V[0] = 1
+	W := make([]complex128, len(V))
+	e := dmav.New(m, n, 4, dmav.Auto)
+	e.SetMetrics(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Apply(M, V, W)
+	}
+}
+
+func BenchmarkObsOverheadDMAVDisabled(b *testing.B) { benchObsOverhead(b, nil) }
+func BenchmarkObsOverheadDMAVEnabled(b *testing.B)  { benchObsOverhead(b, obs.New()) }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"flatdd/internal/harness"
+	"flatdd/internal/obs"
 )
 
 func main() {
@@ -24,8 +25,19 @@ func main() {
 		threads = flag.Int("threads", 16, "worker threads for FlatDD and Quantum++")
 		timeout = flag.Duration("timeout", 5*time.Minute, "per-engine-run cutoff (paper: 24h)")
 		csvDir  = flag.String("csv", "", "also export every table as CSV into this directory")
+		listen  = flag.String("listen", "", "serve /debug/pprof and /debug/vars on this address while the experiments run")
 	)
 	flag.Parse()
+
+	if *listen != "" {
+		addr, shutdown, err := obs.Serve(*listen, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flatdd-bench:", err)
+			os.Exit(1)
+		}
+		defer shutdown() //nolint:errcheck // process is exiting anyway
+		fmt.Printf("debug server on http://%s/debug/pprof/\n", addr)
+	}
 
 	cfg := harness.Config{
 		Scale:   harness.Scale(*scale),

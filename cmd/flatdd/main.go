@@ -24,6 +24,7 @@ import (
 	"flatdd/internal/dd"
 	"flatdd/internal/dmav"
 	"flatdd/internal/harness"
+	"flatdd/internal/obs"
 	"flatdd/internal/qasm"
 	"flatdd/internal/workloads"
 )
@@ -44,6 +45,8 @@ func main() {
 		top      = flag.Int("top", 8, "print the K largest final amplitudes")
 		shots    = flag.Int("shots", 0, "sample this many measurement shots")
 		trace    = flag.Bool("trace", false, "print a per-gate trace (FlatDD)")
+		traceOut = flag.String("trace-out", "", "write a JSONL per-gate trace to this file (FlatDD)")
+		listen   = flag.String("listen", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address during the run (e.g. :6060, :0)")
 		timeout  = flag.Duration("timeout", 0, "abort after this duration (0 = none)")
 		approx   = flag.Float64("approx", 0, "DD-phase state-approximation budget per pruning pass (0 = exact)")
 		emit     = flag.String("emit", "", "write the loaded circuit as OpenQASM 2.0 to this file and exit")
@@ -73,11 +76,38 @@ func main() {
 		return
 	}
 
+	// The registry is always on for the flatdd engine: handle updates are
+	// single atomics, and the end-of-run metrics table is part of the
+	// report. The debug server works for every engine (pprof and expvar are
+	// engine-independent; /debug/metrics is only populated by flatdd).
+	var reg *obs.Registry
+	if *engine == "flatdd" {
+		reg = obs.New()
+	}
+	if *listen != "" {
+		addr, shutdown, err := obs.Serve(*listen, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flatdd:", err)
+			os.Exit(1)
+		}
+		defer shutdown() //nolint:errcheck // process is exiting anyway
+		fmt.Printf("debug server on http://%s/debug/metrics\n", addr)
+	}
+
 	switch *engine {
 	case "flatdd":
 		opts := core.Options{
 			Threads: *threads, Beta: *beta, Epsilon: *epsilon, K: *k,
-			ApproxBudget: *approx,
+			ApproxBudget: *approx, Metrics: reg,
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "flatdd:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			opts.TraceJSONL = f
 		}
 		switch *fusionF {
 		case "none":
@@ -141,6 +171,7 @@ func main() {
 			fmt.Printf("approximation: %d pruning passes, fidelity >= %.6f\n",
 				st.Approximations, st.Fidelity)
 		}
+		printMetrics(reg.Snapshot())
 		printTop(sim.TopAmplitudes(*top), c.Qubits)
 		if *shots > 0 {
 			printShots(sim.Sample(rand.New(rand.NewSource(*seed)), *shots), c.Qubits)
@@ -170,6 +201,48 @@ func loadCircuit(qasmPath, name string, n int, seed int64) (*circuit.Circuit, er
 		return workloads.Build(name, n, seed)
 	default:
 		return nil, fmt.Errorf("nothing to simulate: pass -qasm <file> or -circuit <name>")
+	}
+}
+
+// printMetrics renders the registry highlights as a small table: table
+// sizes and hit rates for the DD layers, cache behaviour and MAC volume
+// for DMAV, and the conversion parallelism. The full snapshot is always
+// available as JSON via -listen.
+func printMetrics(snap obs.Snapshot) {
+	rate := func(hits, total int64) string {
+		if total == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(total))
+	}
+	c, g := snap.Counters, snap.Gauges
+	fmt.Println("metrics:")
+	fmt.Printf("  %-22s %12s %10s\n", "layer", "lookups", "hit rate")
+	fmt.Printf("  %-22s %12d %10s\n", "dd unique (vector)",
+		c["dd.unique.v.hits"]+c["dd.unique.v.misses"],
+		rate(c["dd.unique.v.hits"], c["dd.unique.v.hits"]+c["dd.unique.v.misses"]))
+	fmt.Printf("  %-22s %12d %10s\n", "dd unique (matrix)",
+		c["dd.unique.m.hits"]+c["dd.unique.m.misses"],
+		rate(c["dd.unique.m.hits"], c["dd.unique.m.hits"]+c["dd.unique.m.misses"]))
+	ctLookups := c["dd.ct.add.lookups"] + c["dd.ct.madd.lookups"] + c["dd.ct.mv.lookups"] + c["dd.ct.mm.lookups"]
+	ctHits := c["dd.ct.add.hits"] + c["dd.ct.madd.hits"] + c["dd.ct.mv.hits"] + c["dd.ct.mm.hits"]
+	fmt.Printf("  %-22s %12d %10s\n", "dd compute tables", ctLookups, rate(ctHits, ctLookups))
+	fmt.Printf("  %-22s %12d %10s   (%d entries)\n", "cnum interning",
+		c["cnum.lookups"], rate(c["cnum.hits"], c["cnum.lookups"]), g["cnum.size"])
+	if c["dmav.gates"] > 0 {
+		fmt.Printf("  %-22s %12d %10s   (%d/%d gates cached)\n", "dmav amplitude cache",
+			c["dmav.cache.hits"]+c["dmav.cache.misses"],
+			rate(c["dmav.cache.hits"], c["dmav.cache.hits"]+c["dmav.cache.misses"]),
+			c["dmav.gates.cached"], c["dmav.gates"])
+		fmt.Printf("  dmav MACs (modeled): %d\n", c["dmav.macs.modeled"])
+	}
+	if c["dd.gc.runs"] > 0 {
+		fmt.Printf("  dd GC: %d runs, %d nodes reclaimed, %v paused\n",
+			c["dd.gc.runs"], c["dd.gc.reclaimed"], time.Duration(c["dd.gc.pause_ns"]))
+	}
+	if c["convert.runs"] > 0 {
+		fmt.Printf("  conversion: %d workers, %.0f%% parallel efficiency\n",
+			c["convert.goroutines"], 100*snap.FloatGauges["convert.efficiency"])
 	}
 }
 

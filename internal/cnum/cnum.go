@@ -16,6 +16,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"flatdd/internal/obs"
 )
 
 // DefaultTolerance is the default snapping tolerance. Two float components
@@ -34,6 +36,25 @@ type Table struct {
 	lookups  atomic.Uint64
 	hits     atomic.Uint64
 	inserted atomic.Uint64
+
+	// Registry handles (nil when metrics are off).
+	obsLookups *obs.Counter
+	obsHits    *obs.Counter
+	obsInserts *obs.Counter
+	obsSize    *obs.Gauge
+}
+
+// SetMetrics attaches the table's counters to a registry (nil detaches):
+// cnum.lookups, cnum.hits, cnum.inserts and the cnum.size gauge. It must be
+// called before the table is used concurrently (i.e. at setup time).
+func (t *Table) SetMetrics(r *obs.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.obsLookups = r.Counter("cnum.lookups")
+	t.obsHits = r.Counter("cnum.hits")
+	t.obsInserts = r.Counter("cnum.inserts")
+	t.obsSize = r.Gauge("cnum.size")
+	t.obsSize.Set(int64(len(t.buckets)))
 }
 
 // NewTable returns a Table with the given tolerance. A non-positive
@@ -74,11 +95,13 @@ func (t *Table) LookupFloat(x float64) float64 {
 		return 0
 	}
 	t.lookups.Add(1)
+	t.obsLookups.Inc()
 	t.mu.RLock()
 	v, ok := t.findLocked(x)
 	t.mu.RUnlock()
 	if ok {
 		t.hits.Add(1)
+		t.obsHits.Inc()
 		return v
 	}
 	t.mu.Lock()
@@ -101,11 +124,14 @@ func (t *Table) findLocked(x float64) (float64, bool) {
 func (t *Table) lookupFloatLocked(x float64) float64 {
 	if v, ok := t.findLocked(x); ok {
 		t.hits.Add(1)
+		t.obsHits.Inc()
 		return v
 	}
 	k := int64(math.Round(x * t.invTol))
 	t.buckets[k] = x
 	t.inserted.Add(1)
+	t.obsInserts.Inc()
+	t.obsSize.Set(int64(len(t.buckets)))
 	return x
 }
 

@@ -19,9 +19,37 @@ package convert
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"flatdd/internal/dd"
+	"flatdd/internal/obs"
 )
+
+// Metrics holds the conversion counters (see DESIGN.md, "Observability").
+// A nil *Metrics disables instrumentation at the cost of one pointer check
+// per goroutine spawn.
+type Metrics struct {
+	Runs         *obs.Counter    // conversions performed
+	WallNs       *obs.Counter    // total wall time across conversions
+	WorkerBusyNs *obs.Counter    // summed busy time of spawned workers
+	Goroutines   *obs.Counter    // workers spawned
+	Efficiency   *obs.FloatGauge // busy/(threads*wall) of the last conversion
+}
+
+// NewMetrics returns the conversion handles of a registry (nil for a nil
+// registry, keeping the disabled path allocation-free).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Runs:         r.Counter("convert.runs"),
+		WallNs:       r.Counter("convert.wall_ns"),
+		WorkerBusyNs: r.Counter("convert.worker_busy_ns"),
+		Goroutines:   r.Counter("convert.goroutines"),
+		Efficiency:   r.FloatGauge("convert.efficiency"),
+	}
+}
 
 // Sequential converts a state DD to a flat array with the sequential
 // depth-first algorithm (the conversion baseline of Figure 13).
@@ -41,6 +69,14 @@ func Parallel(e dd.VEdge, n, threads int) []complex128 {
 // and be zeroed (freshly allocated or cleared) — entries under zero edges
 // are skipped, exactly like the sequential algorithm.
 func ParallelInto(e dd.VEdge, n, threads int, out []complex128) {
+	ParallelIntoObs(e, n, threads, out, nil)
+}
+
+// ParallelIntoObs is ParallelInto with optional instrumentation: wall time,
+// spawned-worker count and busy time, and a parallelism-efficiency gauge
+// ((wall + worker busy)/(threads * wall); 1.0 means every thread was busy
+// for the whole conversion). A nil m behaves exactly like ParallelInto.
+func ParallelIntoObs(e dd.VEdge, n, threads int, out []complex128, m *Metrics) {
 	if uint64(len(out)) != uint64(1)<<uint(n) {
 		panic(fmt.Sprintf("convert: output length %d, want %d", len(out), uint64(1)<<uint(n)))
 	}
@@ -50,14 +86,33 @@ func ParallelInto(e dd.VEdge, n, threads int, out []complex128) {
 	if e.IsZero() {
 		return
 	}
+	var start time.Time
+	var busyBefore int64
+	if m != nil {
+		start = time.Now()
+		busyBefore = m.WorkerBusyNs.Value()
+	}
 	var wg sync.WaitGroup
-	convRec(e.N, e.W, out, threads, &wg)
+	convRec(e.N, e.W, out, threads, &wg, m)
 	wg.Wait()
+	if m != nil {
+		wall := time.Since(start).Nanoseconds()
+		m.Runs.Inc()
+		m.WallNs.Add(wall)
+		if wall > 0 {
+			busy := m.WorkerBusyNs.Value() - busyBefore
+			eff := float64(wall+busy) / (float64(threads) * float64(wall))
+			if eff > 1 {
+				eff = 1
+			}
+			m.Efficiency.Set(eff)
+		}
+	}
 }
 
 // convRec converts the sub-vector of node nd (reached with weight product
 // w) into out, with budget worker goroutines available for this sub-tree.
-func convRec(nd *dd.VNode, w complex128, out []complex128, budget int, wg *sync.WaitGroup) {
+func convRec(nd *dd.VNode, w complex128, out []complex128, budget int, wg *sync.WaitGroup, m *Metrics) {
 	if budget <= 1 {
 		convSeq(nd, w, out)
 		return
@@ -88,9 +143,9 @@ func convRec(nd *dd.VNode, w complex128, out []complex128, budget int, wg *sync.
 			lo := out[:half]
 			hi := out[half:]
 			var sub sync.WaitGroup
-			convRec(e0.N, w*e0.W, lo, budget, &sub)
+			convRec(e0.N, w*e0.W, lo, budget, &sub, m)
 			sub.Wait()
-			parallelScalarMul(hi, lo, e1.W/e0.W, budget, wg)
+			parallelScalarMul(hi, lo, e1.W/e0.W, budget, wg, m)
 			return
 		default:
 			if budget <= 1 {
@@ -105,9 +160,17 @@ func convRec(nd *dd.VNode, w complex128, out []complex128, budget int, wg *sync.
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				var t0 time.Time
+				if m != nil {
+					m.Goroutines.Inc()
+					t0 = time.Now()
+				}
 				var sub sync.WaitGroup
-				convRec(e0.N, e0w, lo, b0, &sub)
+				convRec(e0.N, e0w, lo, b0, &sub, m)
 				sub.Wait()
+				if m != nil {
+					m.WorkerBusyNs.Add(time.Since(t0).Nanoseconds())
+				}
 			}()
 			w *= e1.W
 			nd = e1.N
@@ -207,7 +270,7 @@ func naiveRec(nd *dd.VNode, w complex128, out []complex128, budget int, wg *sync
 
 // parallelScalarMul fills dst = src * f, splitting the work across budget
 // goroutines registered on wg.
-func parallelScalarMul(dst, src []complex128, f complex128, budget int, wg *sync.WaitGroup) {
+func parallelScalarMul(dst, src []complex128, f complex128, budget int, wg *sync.WaitGroup, m *Metrics) {
 	n := len(dst)
 	if budget > n {
 		budget = n
@@ -226,7 +289,15 @@ func parallelScalarMul(dst, src []complex128, f complex128, budget int, wg *sync
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			var t0 time.Time
+			if m != nil {
+				m.Goroutines.Inc()
+				t0 = time.Now()
+			}
 			scalarMul(dst[lo:hi], src[lo:hi], f)
+			if m != nil {
+				m.WorkerBusyNs.Add(time.Since(t0).Nanoseconds())
+			}
 		}(lo, hi)
 	}
 }

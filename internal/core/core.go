@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -23,6 +24,7 @@ import (
 	"flatdd/internal/dmav"
 	"flatdd/internal/ewma"
 	"flatdd/internal/fusion"
+	"flatdd/internal/obs"
 	"flatdd/internal/statevec"
 )
 
@@ -93,8 +95,20 @@ type Options struct {
 	// SequentialConversion uses the sequential DDSIM-style DD-to-array
 	// conversion instead of the parallel algorithm (Figure 13 ablation).
 	SequentialConversion bool
-	// Trace, when non-nil, receives one event per gate.
+	// Trace, when non-nil, receives one event per gate. It is backed by the
+	// same per-gate event stream as TraceJSONL; both may be set.
 	Trace func(TraceEvent)
+	// TraceJSONL, when non-nil, receives the per-gate event stream as JSON
+	// Lines: one {"event":"gate",...} object per gate and a final
+	// {"event":"run",...} summary. The schema is documented in DESIGN.md
+	// ("Observability"). The writer is flushed when Run returns; closing
+	// the underlying file stays the caller's job.
+	TraceJSONL io.Writer
+	// Metrics, when non-nil, wires every engine layer (dd unique/compute
+	// tables, cnum, conversion, DMAV, the EWMA controller and this
+	// simulator's phase loop) into the registry. When nil, the hot paths
+	// pay one pointer check per instrumentation site and nothing else.
+	Metrics *obs.Registry
 	// Deadline, when non-zero, aborts the run once exceeded (checked
 	// between gates); Stats.TimedOut reports the abort. It plays the role
 	// of the paper's 24-hour cutoff.
@@ -139,13 +153,25 @@ type TraceEvent struct {
 	DDSize    int // state-DD node count after the gate (DD phase only)
 	EWMA      float64
 	Duration  time.Duration
-	Converted bool // true on the gate that triggered conversion
+	// Converted is true on the gate whose size observation made the
+	// controller fire AND whose firing actually led to a conversion. The
+	// gate itself still ran in the DD phase; the *next* gate is the first
+	// DMAV gate, and Stats.ConvertedAtGate names that next index. When the
+	// controller fires on the circuit's final gate there is nothing left to
+	// run in DMAV, no conversion happens, and Converted stays false — see
+	// the `convertNow && i+1 < len(c.Gates)` guard in Run.
+	Converted bool
 }
 
 // Stats summarizes one Run.
 type Stats struct {
-	Gates           int
-	ConvertedAtGate int // index of the first DMAV gate; -1 if never converted
+	Gates int
+	// ConvertedAtGate is the index of the first gate executed by the DMAV
+	// phase, i.e. one past the gate whose size observation triggered the
+	// controller; -1 if the run never converted. A controller that fires on
+	// the final gate does not convert (there is no remaining gate for DMAV
+	// to run), so ConvertedAtGate is never == Gates.
+	ConvertedAtGate int
 	DDTime          time.Duration
 	ConversionTime  time.Duration
 	// FusionTime covers preparing the DMAV phase: building the remaining
@@ -189,6 +215,48 @@ type Simulator struct {
 	approxAngle float64
 
 	stats Stats
+
+	// Observability (nil when Options.Metrics / Options.TraceJSONL are
+	// unset).
+	met *coreMetrics
+	tw  *obs.TraceWriter
+}
+
+// coreMetrics holds the phase-loop registry handles (metric names in
+// DESIGN.md, "Observability").
+type coreMetrics struct {
+	gatesDD          *obs.Counter
+	gatesDMAV        *obs.Counter
+	phaseTransitions *obs.Counter
+	deadlineAborts   *obs.Counter
+	gateDDNs         *obs.Histogram
+	gateDMAVNs       *obs.Histogram
+	ddSize           *obs.Gauge
+	ewma             *obs.FloatGauge
+	convertedAt      *obs.Gauge
+}
+
+// traceRecord is the JSONL wire form of one per-gate event.
+type traceRecord struct {
+	Event      string  `json:"event"` // "gate"
+	Gate       int     `json:"gate"`
+	Phase      string  `json:"phase"` // "dd" | "dmav"
+	DDSize     int     `json:"dd_size"`
+	EWMA       float64 `json:"ewma"`
+	DurationNs int64   `json:"duration_ns"`
+	Converted  bool    `json:"converted"`
+}
+
+// runRecord is the JSONL summary line emitted once at the end of a run.
+type runRecord struct {
+	Event       string  `json:"event"` // "run"
+	Gates       int     `json:"gates"`
+	ConvertedAt int     `json:"converted_at"`
+	FinalPhase  string  `json:"final_phase"`
+	TotalNs     int64   `json:"total_ns"`
+	PeakDDNodes int     `json:"peak_dd_nodes"`
+	TimedOut    bool    `json:"timed_out"`
+	Fidelity    float64 `json:"fidelity"`
 }
 
 // New returns a simulator for n qubits.
@@ -198,13 +266,54 @@ func New(n int, opts Options) *Simulator {
 	if o.GCThreshold > 0 {
 		m.SetGCThreshold(o.GCThreshold)
 	}
-	return &Simulator{
+	s := &Simulator{
 		n:    n,
 		opts: o,
 		m:    m,
 		sim:  ddsim.NewWithManager(m, n),
 	}
+	if r := o.Metrics; r != nil {
+		m.SetMetrics(r)
+		s.met = &coreMetrics{
+			gatesDD:          r.Counter("core.gates.dd"),
+			gatesDMAV:        r.Counter("core.gates.dmav"),
+			phaseTransitions: r.Counter("core.phase_transitions"),
+			deadlineAborts:   r.Counter("core.deadline_aborts"),
+			gateDDNs:         r.Histogram("core.gate_ns.dd", obs.DurationBuckets()),
+			gateDMAVNs:       r.Histogram("core.gate_ns.dmav", obs.DurationBuckets()),
+			ddSize:           r.Gauge("core.dd_size"),
+			ewma:             r.FloatGauge("core.ewma"),
+			convertedAt:      r.Gauge("core.converted_at_gate"),
+		}
+		s.met.convertedAt.Set(-1)
+	}
+	if o.TraceJSONL != nil {
+		s.tw = obs.NewTraceWriter(o.TraceJSONL)
+	}
+	return s
 }
+
+// emitTrace fans one per-gate event out to the callback and the JSONL
+// writer (whichever are configured).
+func (s *Simulator) emitTrace(ev TraceEvent) {
+	if s.opts.Trace != nil {
+		s.opts.Trace(ev)
+	}
+	if s.tw != nil {
+		s.tw.Emit(traceRecord{
+			Event:      "gate",
+			Gate:       ev.GateIndex,
+			Phase:      ev.Phase.String(),
+			DDSize:     ev.DDSize,
+			EWMA:       ev.EWMA,
+			DurationNs: ev.Duration.Nanoseconds(),
+			Converted:  ev.Converted,
+		})
+	}
+}
+
+// tracing reports whether per-gate events need to be materialized.
+func (s *Simulator) tracing() bool { return s.opts.Trace != nil || s.tw != nil }
 
 // Qubits returns the register size.
 func (s *Simulator) Qubits() int { return s.n }
@@ -224,12 +333,18 @@ func (s *Simulator) Run(c *circuit.Circuit) Stats {
 	start := time.Now()
 	s.stats = Stats{Gates: c.GateCount(), ConvertedAtGate: -1, Fidelity: 1}
 	ctl := ewma.New(s.opts.Beta, s.opts.Epsilon)
+	if s.met != nil {
+		ctl.Gauge = s.met.ewma
+	}
 
 	// Phase 1: DD-based simulation with conversion monitoring.
 	i := 0
 	for ; i < len(c.Gates); i++ {
 		if s.expired() {
 			s.stats.TimedOut = true
+			if s.met != nil {
+				s.met.deadlineAborts.Inc()
+			}
 			s.finishStats(start)
 			return s.stats
 		}
@@ -250,8 +365,13 @@ func (s *Simulator) Run(c *circuit.Circuit) Stats {
 		} else if s.opts.ForceConvertAfter >= 0 {
 			convertNow = i+1 >= s.opts.ForceConvertAfter
 		}
-		if s.opts.Trace != nil {
-			s.opts.Trace(TraceEvent{
+		if s.met != nil {
+			s.met.gatesDD.Inc()
+			s.met.ddSize.Set(int64(size))
+			s.met.gateDDNs.Observe(time.Since(gStart).Nanoseconds())
+		}
+		if s.tracing() {
+			s.emitTrace(TraceEvent{
 				GateIndex: i, Phase: PhaseDD, DDSize: size, EWMA: ctl.Average(),
 				Duration: time.Since(gStart), Converted: convertNow && i+1 < len(c.Gates),
 			})
@@ -273,17 +393,23 @@ func (s *Simulator) Run(c *circuit.Circuit) Stats {
 
 	// Phase 2: convert the state DD to a flat array.
 	s.stats.ConvertedAtGate = i
+	if s.met != nil {
+		s.met.phaseTransitions.Inc()
+		s.met.convertedAt.Set(int64(i))
+	}
 	convStart := time.Now()
 	s.state = make([]complex128, uint64(1)<<uint(s.n))
 	if s.opts.SequentialConversion {
 		s.m.FillArray(s.sim.State(), s.n, s.state)
 	} else {
-		convert.ParallelInto(s.sim.State(), s.n, s.opts.Threads, s.state)
+		convert.ParallelIntoObs(s.sim.State(), s.n, s.opts.Threads, s.state,
+			convert.NewMetrics(s.opts.Metrics))
 	}
 	s.stats.ConversionTime = time.Since(convStart)
 	s.phase = PhaseDMAV
 	s.buf = make([]complex128, len(s.state))
 	s.eng = dmav.New(s.m, s.n, s.opts.Threads, s.opts.CacheMode)
+	s.eng.SetMetrics(s.opts.Metrics)
 
 	// Release the DD state: only gate matrices stay live from here on.
 	s.sim.SetState(s.m.VZeroEdge())
@@ -319,14 +445,21 @@ func (s *Simulator) Run(c *circuit.Circuit) Stats {
 	for _, g := range remaining {
 		if s.expired() {
 			s.stats.TimedOut = true
+			if s.met != nil {
+				s.met.deadlineAborts.Inc()
+			}
 			break
 		}
 		gStart := time.Now()
 		cost := s.eng.Apply(g, s.state, s.buf)
 		s.state, s.buf = s.buf, s.state
 		s.stats.ModeledCost += cost.Cost()
-		if s.opts.Trace != nil {
-			s.opts.Trace(TraceEvent{
+		if s.met != nil {
+			s.met.gatesDMAV.Inc()
+			s.met.gateDMAVNs.Observe(time.Since(gStart).Nanoseconds())
+		}
+		if s.tracing() {
+			s.emitTrace(TraceEvent{
 				GateIndex: gateIdx, Phase: PhaseDMAV, Duration: time.Since(gStart),
 			})
 		}
@@ -354,6 +487,19 @@ func (s *Simulator) finishStats(start time.Time) {
 		mem += uint64(len(s.state)) * 16 * 2 // state + scratch
 	}
 	s.stats.MemoryBytes = mem
+	if s.tw != nil {
+		s.tw.Emit(runRecord{
+			Event:       "run",
+			Gates:       s.stats.Gates,
+			ConvertedAt: s.stats.ConvertedAtGate,
+			FinalPhase:  s.phase.String(),
+			TotalNs:     s.stats.TotalTime.Nanoseconds(),
+			PeakDDNodes: s.stats.PeakDDNodes,
+			TimedOut:    s.stats.TimedOut,
+			Fidelity:    s.stats.Fidelity,
+		})
+		s.tw.Flush() //nolint:errcheck // trace output is best-effort
+	}
 }
 
 func (s *Simulator) expired() bool {

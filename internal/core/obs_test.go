@@ -1,0 +1,240 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"flatdd/internal/circuit"
+	"flatdd/internal/obs"
+	"flatdd/internal/statevec"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestControllerFiresOnFinalGate is the controller-driven companion of
+// TestConversionOnLastGateStaysDD: instead of forcing conversion on the
+// last gate, it finds the gate where the EWMA controller actually fires
+// and truncates the circuit so that firing lands on the final gate. The
+// `convertNow && i+1 < len(c.Gates)` guard must then suppress conversion:
+// ConvertedAtGate stays -1, the run ends in the DD phase, the trace never
+// flags Converted, and the amplitudes stay correct.
+func TestControllerFiresOnFinalGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 10
+	full := randomCircuit(rng, n, 120)
+	ref := New(n, Options{}).Run(full)
+	if ref.ConvertedAtGate <= 0 {
+		t.Fatalf("reference run did not convert (ConvertedAtGate=%d); pick a different seed", ref.ConvertedAtGate)
+	}
+	// ConvertedAtGate is the first DMAV gate, so the controller fired on
+	// gate ConvertedAtGate-1. Truncating there makes that the final gate.
+	trunc := circuit.New("trunc", n)
+	trunc.Gates = append(trunc.Gates, full.Gates[:ref.ConvertedAtGate]...)
+
+	var events []TraceEvent
+	s := New(n, Options{Trace: func(e TraceEvent) { events = append(events, e) }})
+	st := s.Run(trunc)
+	if st.ConvertedAtGate != -1 {
+		t.Fatalf("ConvertedAtGate = %d, want -1 when the controller fires on the final gate", st.ConvertedAtGate)
+	}
+	if s.Phase() != PhaseDD {
+		t.Fatal("phase left DD with no remaining gates to run in DMAV")
+	}
+	if len(events) != trunc.GateCount() {
+		t.Fatalf("got %d trace events, want %d", len(events), trunc.GateCount())
+	}
+	for _, e := range events {
+		if e.Converted {
+			t.Fatalf("gate %d flagged Converted, but no conversion happened", e.GateIndex)
+		}
+		if e.Phase != PhaseDD {
+			t.Fatalf("gate %d ran in %v, want DD", e.GateIndex, e.Phase)
+		}
+	}
+	sv := statevec.New(n, 2)
+	sv.ApplyCircuit(trunc)
+	got := s.Amplitudes()
+	for i, w := range sv.Amplitudes() {
+		if !approx(got[i], w) {
+			t.Fatalf("amplitude %d: %v, want %v", i, got[i], w)
+		}
+	}
+}
+
+// durationFields zeroes the wall-clock fields of a JSONL trace so runs are
+// byte-comparable across machines.
+var durationFields = regexp.MustCompile(`"(duration_ns|total_ns)":\d+`)
+
+func normalizeTrace(b []byte) []byte {
+	return durationFields.ReplaceAll(b, []byte(`"$1":0`))
+}
+
+// TestJSONLTraceGoldenGHZ locks down the JSONL schema with a golden file:
+// a GHZ run is fully deterministic (gate order, phases, DD sizes, EWMA
+// values) apart from wall-clock durations, which are normalized to 0.
+// Regenerate with `go test ./internal/core/ -run GoldenGHZ -update`.
+func TestJSONLTraceGoldenGHZ(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(4, Options{TraceJSONL: &buf})
+	s.Run(ghz(4))
+	got := normalizeTrace(buf.Bytes())
+
+	golden := filepath.Join("testdata", "ghz_trace.golden.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("JSONL trace differs from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestJSONLTracePhaseFlip drives a run that converts mid-circuit and
+// checks the JSONL stream end to end: every line parses, per-gate lines
+// carry the documented fields, the phase flips from "dd" to "dmav" exactly
+// at ConvertedAtGate, and the final "run" line summarizes the run. The
+// callback and the JSONL writer receive the same event stream.
+func TestJSONLTracePhaseFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 7
+	c := randomCircuit(rng, n, 50)
+	var buf bytes.Buffer
+	callbacks := 0
+	s := New(n, Options{
+		ForceConvertAfter: 10,
+		TraceJSONL:        &buf,
+		Trace:             func(TraceEvent) { callbacks++ },
+	})
+	st := s.Run(c)
+	if st.ConvertedAtGate != 10 {
+		t.Fatalf("ConvertedAtGate = %d, want 10", st.ConvertedAtGate)
+	}
+	if callbacks != 50 {
+		t.Fatalf("callback saw %d events, want 50", callbacks)
+	}
+
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 51 { // 50 gate lines + 1 run line
+		t.Fatalf("got %d JSONL lines, want 51", len(lines))
+	}
+	for i, line := range lines[:50] {
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+		for _, field := range []string{"event", "gate", "phase", "dd_size", "ewma", "duration_ns", "converted"} {
+			if _, ok := rec[field]; !ok {
+				t.Fatalf("line %d missing field %q: %s", i, field, line)
+			}
+		}
+		if rec["event"] != "gate" || int(rec["gate"].(float64)) != i {
+			t.Fatalf("line %d has event=%v gate=%v", i, rec["event"], rec["gate"])
+		}
+		wantPhase := "dd"
+		if i >= 10 {
+			wantPhase = "dmav"
+		}
+		if rec["phase"] != wantPhase {
+			t.Fatalf("gate %d phase = %v, want %s", i, rec["phase"], wantPhase)
+		}
+		if conv := rec["converted"].(bool); conv != (i == 9) {
+			t.Fatalf("gate %d converted = %v", i, conv)
+		}
+	}
+	var run map[string]any
+	if err := json.Unmarshal(lines[50], &run); err != nil {
+		t.Fatalf("run line is not valid JSON: %v", err)
+	}
+	if run["event"] != "run" || int(run["converted_at"].(float64)) != 10 ||
+		run["final_phase"] != "dmav" || int(run["gates"].(float64)) != 50 {
+		t.Fatalf("run record: %s", lines[50])
+	}
+	if run["timed_out"].(bool) {
+		t.Fatal("run record claims a timeout")
+	}
+}
+
+// TestMetricsRegistryEndToEnd runs a converting circuit with a live
+// registry and checks that every instrumented layer reported in.
+func TestMetricsRegistryEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 7
+	c := randomCircuit(rng, n, 50)
+	r := obs.New()
+	s := New(n, Options{ForceConvertAfter: 10, Threads: 4, Metrics: r})
+	st := s.Run(c)
+
+	snap := r.Snapshot()
+	ctr := func(name string) int64 { return snap.Counters[name] }
+	if got := ctr("core.gates.dd"); got != 10 {
+		t.Errorf("core.gates.dd = %d, want 10", got)
+	}
+	if got := ctr("core.gates.dmav"); got != int64(st.FusedGates) {
+		t.Errorf("core.gates.dmav = %d, want %d", got, st.FusedGates)
+	}
+	if got := ctr("core.phase_transitions"); got != 1 {
+		t.Errorf("core.phase_transitions = %d, want 1", got)
+	}
+	if got := snap.Gauges["core.converted_at_gate"]; got != 10 {
+		t.Errorf("core.converted_at_gate = %d, want 10", got)
+	}
+	if got := ctr("convert.runs"); got != 1 {
+		t.Errorf("convert.runs = %d, want 1", got)
+	}
+	if ctr("dd.unique.v.misses") == 0 {
+		t.Error("dd.unique.v.misses never incremented")
+	}
+	if snap.Gauges["dd.nodes.peak"] != int64(st.PeakDDNodes) {
+		t.Errorf("dd.nodes.peak = %d, want %d", snap.Gauges["dd.nodes.peak"], st.PeakDDNodes)
+	}
+	if ctr("cnum.lookups") == 0 {
+		t.Error("cnum.lookups never incremented")
+	}
+	if got := ctr("dmav.gates"); got != int64(st.FusedGates) {
+		t.Errorf("dmav.gates = %d, want %d", got, st.FusedGates)
+	}
+	if ctr("dmav.gates.cached")+ctr("dmav.gates.uncached") != ctr("dmav.gates") {
+		t.Errorf("cached(%d)+uncached(%d) != gates(%d)",
+			ctr("dmav.gates.cached"), ctr("dmav.gates.uncached"), ctr("dmav.gates"))
+	}
+	if snap.FloatGauges["core.ewma"] <= 0 {
+		t.Error("core.ewma gauge never set")
+	}
+	h, ok := snap.Histograms["core.gate_ns.dd"]
+	if !ok || h.Count != 10 {
+		t.Errorf("core.gate_ns.dd histogram count = %d, want 10", h.Count)
+	}
+	if h, ok := snap.Histograms["dmav.apply_ns"]; !ok || h.Count != int64(st.FusedGates) {
+		t.Errorf("dmav.apply_ns count = %d, want %d", h.Count, st.FusedGates)
+	}
+
+	// The per-worker MAC counts must sum to something positive and the
+	// modeled total must be registered.
+	if ctr("dmav.macs.modeled") <= 0 {
+		t.Error("dmav.macs.modeled not populated")
+	}
+
+	// A registry-off run of the same circuit produces identical amplitudes.
+	s2 := New(n, Options{ForceConvertAfter: 10, Threads: 4})
+	s2.Run(c)
+	got, want := s.Amplitudes(), s2.Amplitudes()
+	for i := range want {
+		if !approx(got[i], want[i]) {
+			t.Fatalf("metrics changed amplitude %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

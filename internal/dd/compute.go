@@ -1,6 +1,10 @@
 package dd
 
-import "hash/maphash"
+import (
+	"hash/maphash"
+
+	"flatdd/internal/obs"
+)
 
 // ctBits sets the compute-table capacity to 2^ctBits entries. Compute
 // tables are direct-mapped with overwrite-on-collision, the classic DD
@@ -21,6 +25,17 @@ type ctable[K comparable, V any] struct {
 
 	lookups uint64
 	hits    uint64
+
+	// Optional registry handles (nil when metrics are off; the handle
+	// methods no-op after one pointer check).
+	obsLookups *obs.Counter
+	obsHits    *obs.Counter
+}
+
+// setMetrics attaches (or, with nil counters, detaches) registry handles.
+func (c *ctable[K, V]) setMetrics(lookups, hits *obs.Counter) {
+	c.obsLookups = lookups
+	c.obsHits = hits
 }
 
 func (c *ctable[K, V]) init() {
@@ -35,9 +50,11 @@ func (c *ctable[K, V]) slot(k K) *ctEntry[K, V] {
 
 func (c *ctable[K, V]) get(k K) (V, bool) {
 	c.lookups++
+	c.obsLookups.Inc()
 	e := c.slot(k)
 	if e.valid && e.key == k {
 		c.hits++
+		c.obsHits.Inc()
 		return e.value, true
 	}
 	var zero V

@@ -1,5 +1,7 @@
 package dd
 
+import "time"
+
 // Garbage collection. DD packages conventionally reference-count nodes; we
 // instead run a mark-and-sweep over the unique tables from a set of live
 // roots. Compute tables hold raw node pointers, so they are cleared on every
@@ -17,6 +19,7 @@ type Roots struct {
 // tables and clears the compute tables. It returns the number of nodes
 // removed.
 func (m *Manager) Collect(roots Roots) int {
+	start := time.Now()
 	for _, e := range roots.V {
 		if !e.IsZero() {
 			markV(e.N)
@@ -48,6 +51,9 @@ func (m *Manager) Collect(roots Roots) int {
 	m.maddCT.clear()
 	m.mvCT.clear()
 	m.mmCT.clear()
+	m.met.gcRuns.Inc()
+	m.met.gcReclaimed.Add(int64(removed))
+	m.met.gcPauseNs.Add(time.Since(start).Nanoseconds())
 	return removed
 }
 

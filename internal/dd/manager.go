@@ -35,6 +35,8 @@ type Manager struct {
 	gcThreshold int
 
 	peakNodes int
+
+	met metrics
 }
 
 type vKey struct {
@@ -168,7 +170,11 @@ func (m *Manager) MakeVNode(level int, e0, e1 VEdge) VEdge {
 		m.vUnique[k] = n
 		if c := m.NodeCount(); c > m.peakNodes {
 			m.peakNodes = c
+			m.met.peakNodes.Set(int64(c))
 		}
+		m.met.vMisses.Inc()
+	} else {
+		m.met.vHits.Inc()
 	}
 	return VEdge{top, n}
 }
@@ -233,7 +239,11 @@ func (m *Manager) MakeMNode(level int, e [4]MEdge) MEdge {
 		m.mUnique[k] = n
 		if c := m.NodeCount(); c > m.peakNodes {
 			m.peakNodes = c
+			m.met.peakNodes.Set(int64(c))
 		}
+		m.met.mMisses.Inc()
+	} else {
+		m.met.mHits.Inc()
 	}
 	return MEdge{top, n}
 }

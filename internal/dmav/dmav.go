@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"time"
 
 	"flatdd/internal/dd"
+	"flatdd/internal/obs"
 )
 
 // DefaultSIMDWidth is the default d of Equation 6 — the number of data
@@ -118,6 +120,46 @@ type Engine struct {
 	noBufferShare bool
 
 	stats Stats
+
+	// met is nil when metrics are off: Apply and the worker loops gate all
+	// instrumentation behind this one pointer check.
+	met *engMetrics
+}
+
+// engMetrics holds the engine's registry handles (see DESIGN.md,
+// "Observability", for the metric names).
+type engMetrics struct {
+	gates         *obs.Counter
+	cachedGates   *obs.Counter
+	uncachedGates *obs.Counter // cost model (or mode) bypassed the cache
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	macsModeled   *obs.Counter
+	applyNs       *obs.Histogram
+	workerTasks   []*obs.Counter
+	workerMACs    []*obs.Counter
+
+	// Per-worker MAC accounting caches. A gate's task partition and MAC
+	// counts are a pure function of its (immutable) DD and the engine
+	// shape, so the accounting is computed once per distinct gate root and
+	// replayed as counter adds on repeats. The maps keep the gate nodes
+	// alive, which is bounded by the distinct gates of the run.
+	macMemo map[*dd.MNode]int64
+	macSeen map[*dd.MNode]bool
+	acct    map[acctKey]*gateAccount
+}
+
+// acctKey identifies one accounting result: the gate DD root plus the
+// execution mode (cached and uncached runs partition tasks differently).
+type acctKey struct {
+	n      *dd.MNode
+	cached bool
+}
+
+// gateAccount is the memoized per-worker load of one gate in one mode.
+type gateAccount struct {
+	tasks, macs []int64
+	misses      int64
 }
 
 type cacheEntry struct {
@@ -179,6 +221,37 @@ func (e *Engine) SetSIMDWidth(d int) {
 // Stats returns the accumulated counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// SetMetrics attaches the engine to a registry (nil detaches). Per-worker
+// load shows up as dmav.worker.<u>.tasks (border tasks executed) and
+// dmav.worker.<u>.macs (multiply-accumulates performed: the exact path
+// count of each executed sub-tree, plus one scalar multiply per cached
+// element on reuse). It must be called before Apply.
+func (e *Engine) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		e.met = nil
+		return
+	}
+	m := &engMetrics{
+		gates:         r.Counter("dmav.gates"),
+		cachedGates:   r.Counter("dmav.gates.cached"),
+		uncachedGates: r.Counter("dmav.gates.uncached"),
+		cacheHits:     r.Counter("dmav.cache.hits"),
+		cacheMisses:   r.Counter("dmav.cache.misses"),
+		macsModeled:   r.Counter("dmav.macs.modeled"),
+		applyNs:       r.Histogram("dmav.apply_ns", obs.DurationBuckets()),
+		workerTasks:   make([]*obs.Counter, e.threads),
+		workerMACs:    make([]*obs.Counter, e.threads),
+		macMemo:       make(map[*dd.MNode]int64),
+		macSeen:       make(map[*dd.MNode]bool),
+		acct:          make(map[acctKey]*gateAccount),
+	}
+	for u := 0; u < e.threads; u++ {
+		m.workerTasks[u] = r.Counter(fmt.Sprintf("dmav.worker.%d.tasks", u))
+		m.workerMACs[u] = r.Counter(fmt.Sprintf("dmav.worker.%d.macs", u))
+	}
+	e.met = m
+}
+
 // borderLevel is n - log2(t) - 1 (Section 3.2.1): Assign stops there and
 // Run starts there.
 func (e *Engine) borderLevel() int { return e.n - int(e.logT) - 1 }
@@ -197,6 +270,10 @@ func (e *Engine) Apply(M dd.MEdge, V, W []complex128) GateCost {
 	if M.IsZero() {
 		return GateCost{}
 	}
+	var start time.Time
+	if e.met != nil {
+		start = time.Now()
+	}
 	cost := e.EvaluateCost(M)
 	useCache := cost.UseCache()
 	switch e.mode {
@@ -205,8 +282,9 @@ func (e *Engine) Apply(M dd.MEdge, V, W []complex128) GateCost {
 	case AlwaysCache:
 		useCache = true
 	}
+	var hits int64
 	if useCache {
-		hits := e.applyCached(M, V, W)
+		hits = e.applyCached(M, V, W)
 		e.stats.CachedGates++
 		e.stats.CacheHits += hits
 	} else {
@@ -215,7 +293,70 @@ func (e *Engine) Apply(M dd.MEdge, V, W []complex128) GateCost {
 	e.stats.Gates++
 	e.stats.MACsModeled += cost.Cost()
 	e.stats.MACsC1 += cost.C1
+	if met := e.met; met != nil {
+		met.applyNs.Observe(time.Since(start).Nanoseconds())
+		met.gates.Inc()
+		met.macsModeled.Add(int64(cost.Cost()))
+		if useCache {
+			met.cachedGates.Inc()
+			met.cacheHits.Add(hits)
+		} else {
+			met.uncachedGates.Inc()
+		}
+		e.accountWorkers(met, M, useCache)
+	}
 	return cost
+}
+
+// accountWorkers attributes the exact per-worker load of the Apply that
+// just ran: tasks executed and multiply-accumulates performed (the path
+// count of each executed sub-tree; with caching, repeated nodes cost one
+// scalar multiply per cached element instead). It runs sequentially after
+// the workers have joined so the kernel goroutines stay
+// instrumentation-free. The result is a pure function of the gate DD and
+// the engine shape, so it is computed once per distinct gate root (walking
+// the e.tasks lists the assignment just built) and replayed from the
+// memo on repeats; steady state is one map lookup plus counter adds.
+func (e *Engine) accountWorkers(met *engMetrics, M dd.MEdge, useCache bool) {
+	key := acctKey{M.N, useCache}
+	a, ok := met.acct[key]
+	if !ok {
+		a = &gateAccount{
+			tasks: make([]int64, e.threads),
+			macs:  make([]int64, e.threads),
+		}
+		memo := met.macMemo
+		for u := range e.tasks {
+			a.tasks[u] = int64(len(e.tasks[u]))
+			var macs int64
+			if !useCache {
+				for _, tk := range e.tasks[u] {
+					macs += dd.MACCountNode(tk.edge.N, memo)
+				}
+			} else {
+				seen := met.macSeen
+				clear(seen)
+				for _, tk := range e.tasks[u] {
+					if seen[tk.edge.N] {
+						macs += int64(e.h)
+						continue
+					}
+					seen[tk.edge.N] = true
+					a.misses++
+					macs += dd.MACCountNode(tk.edge.N, memo)
+				}
+			}
+			a.macs[u] = macs
+		}
+		met.acct[key] = a
+	}
+	for u := 0; u < e.threads; u++ {
+		met.workerTasks[u].Add(a.tasks[u])
+		met.workerMACs[u].Add(a.macs[u])
+	}
+	if useCache {
+		met.cacheMisses.Add(a.misses)
+	}
 }
 
 // EvaluateCost runs the Section 3.2.3 cost model on a gate matrix without

@@ -18,6 +18,8 @@
 // blow-up begins.
 package ewma
 
+import "flatdd/internal/obs"
+
 // Defaults used by the paper's evaluation (Section 4.2) and this package.
 const (
 	DefaultBeta    = 0.9
@@ -36,6 +38,11 @@ type Controller struct {
 	Epsilon float64
 	Warmup  int
 	MinSize int
+
+	// Gauge, when non-nil, is updated with v_i on every observation so the
+	// controller's view is live-observable (metric core.ewma); a nil gauge
+	// costs one pointer check per gate.
+	Gauge *obs.FloatGauge
 
 	v float64
 	i int
@@ -64,6 +71,7 @@ func (c *Controller) Observe(size int) bool {
 	c.i++
 	s := float64(size)
 	c.v = c.Beta*c.v + (1-c.Beta)*s
+	c.Gauge.Set(c.v)
 	if c.i <= c.Warmup || size < c.MinSize {
 		return false
 	}

@@ -7,6 +7,7 @@ import (
 
 	"flatdd/internal/core"
 	"flatdd/internal/dmav"
+	"flatdd/internal/obs"
 )
 
 // Config parameterizes an experiment run.
@@ -290,6 +291,47 @@ func Table2(cfg Config) {
 	emit(cfg, "table2", tbl)
 }
 
+// MetricsReport runs the instrumented FlatDD engine over the Figure 1
+// circuits (two regular, two irregular) and tabulates the internal-layer
+// metrics — unique/compute-table hit rates, cnum interning, DMAV caching
+// and conversion efficiency — that the other experiments keep hidden. It
+// returns the per-circuit results, each carrying its registry snapshot.
+func MetricsReport(cfg Config) []Result {
+	cfg = cfg.withDefaults()
+	tbl := NewTable(fmt.Sprintf("Engine metrics per circuit (threads=%d)", cfg.Threads),
+		"Circuit", "Converted at",
+		"Unique hit %", "CT hit %", "cnum hit %", "cnum size",
+		"DMAV cache hit %", "MACs (modeled)", "Conv eff %", "GC runs")
+	pct := func(hits, total int64) string {
+		if total == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", 100*float64(hits)/float64(total))
+	}
+	var all []Result
+	for _, nc := range Fig1Circuits(cfg.Scale) {
+		r := obs.New()
+		res := RunFlatDD(nc.C, core.Options{Threads: cfg.Threads, Metrics: r}, cfg.Timeout)
+		all = append(all, res)
+		c, g := res.Metrics.Counters, res.Metrics.Gauges
+		uniq := c["dd.unique.v.hits"] + c["dd.unique.m.hits"]
+		uniqTotal := uniq + c["dd.unique.v.misses"] + c["dd.unique.m.misses"]
+		ctHits := c["dd.ct.add.hits"] + c["dd.ct.madd.hits"] + c["dd.ct.mv.hits"] + c["dd.ct.mm.hits"]
+		ctTotal := c["dd.ct.add.lookups"] + c["dd.ct.madd.lookups"] + c["dd.ct.mv.lookups"] + c["dd.ct.mm.lookups"]
+		convEff := "-"
+		if c["convert.runs"] > 0 {
+			convEff = fmt.Sprintf("%.0f", 100*res.Metrics.FloatGauges["convert.efficiency"])
+		}
+		tbl.AddRow(nc.Label, res.ConvertedAt,
+			pct(uniq, uniqTotal), pct(ctHits, ctTotal),
+			pct(c["cnum.hits"], c["cnum.lookups"]), g["cnum.size"],
+			pct(c["dmav.cache.hits"], c["dmav.cache.hits"]+c["dmav.cache.misses"]),
+			c["dmav.macs.modeled"], convEff, c["dd.gc.runs"])
+	}
+	emit(cfg, "metrics", tbl)
+	return all
+}
+
 // fusionCost extracts the modeled DMAV cost of a FlatDD run: the total
 // min(C1, C2) over every executed DMAV gate.
 func fusionCost(r Result) float64 {
@@ -320,6 +362,8 @@ func RunExperiment(id string, cfg Config) error {
 		Table2(cfg)
 	case "ablation":
 		Ablation(cfg)
+	case "metrics":
+		MetricsReport(cfg)
 	case "all":
 		for _, e := range ExperimentIDs() {
 			if e == "all" {
@@ -337,7 +381,7 @@ func RunExperiment(id string, cfg Config) error {
 
 // ExperimentIDs lists the recognized experiment identifiers.
 func ExperimentIDs() []string {
-	return []string{"fig1", "fig3", "table1", "fig11", "fig12", "fig13", "fig14", "table2", "ablation", "all"}
+	return []string{"fig1", "fig3", "table1", "fig11", "fig12", "fig13", "fig14", "table2", "ablation", "metrics", "all"}
 }
 
 // Helpers.

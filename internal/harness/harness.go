@@ -14,6 +14,7 @@ import (
 	"flatdd/internal/circuit"
 	"flatdd/internal/core"
 	"flatdd/internal/ddsim"
+	"flatdd/internal/obs"
 	"flatdd/internal/statevec"
 	"flatdd/internal/workloads"
 )
@@ -36,6 +37,9 @@ type Result struct {
 	Memory      uint64 // working-set estimate in bytes
 	ConvertedAt int    // FlatDD only; -1 otherwise
 	Stats       *core.Stats
+	// Metrics is the end-of-run registry snapshot; non-nil only when the
+	// run was instrumented (RunFlatDD with Options.Metrics set).
+	Metrics *obs.Snapshot
 }
 
 // ddNodeBytes is the modeled per-node footprint used for DD-engine memory
@@ -51,11 +55,16 @@ func RunFlatDD(c *circuit.Circuit, opts core.Options, timeout time.Duration) Res
 	start := time.Now()
 	st := s.Run(c)
 	stats := st
-	return Result{
+	res := Result{
 		Circuit: c.Name, Qubits: c.Qubits, Gates: c.GateCount(),
 		Engine: EngineFlatDD, Runtime: time.Since(start), TimedOut: st.TimedOut,
 		Memory: st.MemoryBytes, ConvertedAt: st.ConvertedAtGate, Stats: &stats,
 	}
+	if opts.Metrics != nil {
+		snap := opts.Metrics.Snapshot()
+		res.Metrics = &snap
+	}
+	return res
 }
 
 // RunDDSIM runs the pure-DD baseline gate by gate, honoring the timeout.

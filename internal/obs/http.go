@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler that serves the registry's current
+// Snapshot as indented JSON. It works on a nil registry (empty snapshot),
+// so a server can be mounted before metrics exist.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot()) //nolint:errcheck // best-effort HTTP write
+	})
+}
+
+// Mux returns a debug mux exposing the registry and the runtime:
+//
+//	/debug/metrics  — JSON snapshot of every registered metric
+//	/debug/vars     — standard expvar (cmdline, memstats)
+//	/debug/pprof/*  — net/http/pprof profiles
+func Mux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds listen (e.g. ":6060", ":0" for an ephemeral port) and serves
+// Mux(r) in a background goroutine. It returns the bound address and a
+// shutdown func. Serving live metrics during a run is the point: the
+// registry handles are atomics, so the HTTP reader never blocks the
+// simulation.
+func Serve(listen string, r *Registry) (addr string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Mux(r)}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after shutdown
+	return ln.Addr().String(), srv.Close, nil
+}

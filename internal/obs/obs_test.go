@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	f := r.FloatGauge("x")
+	h := r.Histogram("x", []int64{1, 2})
+	if c != nil || g != nil || f != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	// None of these may panic, and all must read as zero.
+	c.Add(5)
+	c.Inc()
+	g.Set(7)
+	g.SetMax(9)
+	f.Set(1.5)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || f.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.FloatGauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := New()
+	c := r.Counter("conc")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGaugeSetMaxConcurrent(t *testing.T) {
+	r := New()
+	g := r.Gauge("peak")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.SetMax(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.Value(); got != 7999 {
+		t.Fatalf("SetMax high-water mark = %d, want 7999", got)
+	}
+}
+
+func TestHandleIdentity(t *testing.T) {
+	r := New()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name must return the same counter")
+	}
+	if r.Histogram("h", []int64{1}) != r.Histogram("h", []int64{5, 6}) {
+		t.Fatal("same name must return the same histogram (bounds of later calls ignored)")
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	tests := []struct {
+		value      int64
+		wantBucket int
+	}{
+		{0, 0},  // below first bound
+		{9, 0},  // below first bound
+		{10, 0}, // bounds are inclusive upper limits
+		{11, 1},
+		{100, 1},
+		{101, 2},
+		{1000, 2},
+		{1001, 3}, // overflow bucket
+	}
+	for _, tc := range tests {
+		t.Run(fmt.Sprintf("v=%d", tc.value), func(t *testing.T) {
+			r := New()
+			h := r.Histogram("lat", []int64{10, 100, 1000})
+			h.Observe(tc.value)
+			s := r.Snapshot().Histograms["lat"]
+			for i, c := range s.Counts {
+				want := int64(0)
+				if i == tc.wantBucket {
+					want = 1
+				}
+				if c != want {
+					t.Fatalf("bucket %d has count %d, want %d (counts %v)", i, c, want, s.Counts)
+				}
+			}
+			if s.Count != 1 || s.Sum != tc.value {
+				t.Fatalf("count=%d sum=%d, want 1/%d", s.Count, s.Sum, tc.value)
+			}
+		})
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", DurationBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < 5000; i++ {
+				h.Observe(i * 1000)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 20000 {
+		t.Fatalf("count = %d, want 20000", h.Count())
+	}
+	var total int64
+	for _, c := range r.Snapshot().Histograms["lat"].Counts {
+		total += c
+	}
+	if total != 20000 {
+		t.Fatalf("bucket counts sum to %d, want 20000", total)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	h := r.Histogram("h", []int64{10})
+	c.Add(1)
+	h.Observe(5)
+	snap := r.Snapshot()
+	// Mutate after snapshotting: the snapshot must not move.
+	c.Add(100)
+	h.Observe(5)
+	r.Gauge("late").Set(3)
+	if snap.Counters["c"] != 1 {
+		t.Fatalf("snapshot counter moved to %d", snap.Counters["c"])
+	}
+	if snap.Histograms["h"].Counts[0] != 1 || snap.Histograms["h"].Count != 1 {
+		t.Fatal("snapshot histogram moved")
+	}
+	if _, ok := snap.Gauges["late"]; ok {
+		t.Fatal("snapshot saw a gauge registered after it was taken")
+	}
+}
+
+func TestFloatGauge(t *testing.T) {
+	r := New()
+	g := r.FloatGauge("ewma")
+	g.Set(123.25)
+	if got := g.Value(); got != 123.25 {
+		t.Fatalf("FloatGauge = %v, want 123.25", got)
+	}
+	if s := r.Snapshot(); s.FloatGauges["ewma"] != 123.25 {
+		t.Fatalf("snapshot float gauge = %v", s.FloatGauges["ewma"])
+	}
+}
+
+func TestTraceWriterJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	type ev struct {
+		Gate  int    `json:"gate"`
+		Phase string `json:"phase"`
+	}
+	tw.Emit(ev{0, "dd"})
+	tw.Emit(ev{1, "dmav"})
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var got ev
+	if err := json.Unmarshal([]byte(lines[1]), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Gate != 1 || got.Phase != "dmav" {
+		t.Fatalf("line 2 = %+v", got)
+	}
+	// Nil writer: all methods are no-ops.
+	var nilTW *TraceWriter
+	nilTW.Emit(ev{})
+	if err := nilTW.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceWriterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tw.Emit(map[string]int{"w": w, "i": i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	for _, l := range lines {
+		if !json.Valid([]byte(l)) {
+			t.Fatalf("interleaved/corrupt line: %q", l)
+		}
+	}
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	r := New()
+	r.Counter("dd.unique.v.hits").Add(42)
+	addr, shutdown, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown() //nolint:errcheck
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/debug/metrics"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["dd.unique.v.hits"] != 42 {
+		t.Fatalf("served snapshot = %+v", snap.Counters)
+	}
+	// Live update: the endpoint must reflect changes made after Serve.
+	r.Counter("dd.unique.v.hits").Add(8)
+	if err := json.Unmarshal(get("/debug/metrics"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["dd.unique.v.hits"] != 50 {
+		t.Fatalf("live counter = %d, want 50", snap.Counters["dd.unique.v.hits"])
+	}
+	if !json.Valid(get("/debug/vars")) {
+		t.Fatal("/debug/vars is not JSON")
+	}
+	if len(get("/debug/pprof/")) == 0 {
+		t.Fatal("/debug/pprof/ empty")
+	}
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// TraceWriter serializes structured events as JSON Lines: one JSON object
+// per line, flushed on Close. It is safe for concurrent use; lines from
+// different goroutines never interleave. The nil TraceWriter is a valid
+// no-op, mirroring the nil-handle convention of the metrics registry.
+type TraceWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	err error
+}
+
+// NewTraceWriter wraps w in a buffered JSONL writer. The caller retains
+// ownership of w (closing a file passed here is the caller's job; call
+// Flush first).
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Emit writes one event as a single JSON line. The first serialization or
+// write error sticks and suppresses further output; Flush reports it.
+func (t *TraceWriter) Emit(event any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	b, err := json.Marshal(event)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.bw.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	t.err = t.bw.WriteByte('\n')
+}
+
+// Flush drains the buffer and returns the first error seen by the writer.
+func (t *TraceWriter) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
