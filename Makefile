@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench-obs csv
+.PHONY: build test check bench-obs bench-record bench-gate csv
 
 build:
 	$(GO) build ./...
@@ -8,12 +8,30 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-commit gate: full vet plus the race detector over the
+# check is the pre-commit gate: full vet, the race detector over the
 # concurrency-heavy packages (the obs registry is hammered from worker
-# goroutines; core drives every instrumented layer end to end).
+# goroutines; core drives every instrumented layer end to end), and a
+# smoke run of the perf-record + benchdiff pipeline.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/obs/... ./internal/core/...
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/perf/...
+	$(MAKE) bench-record
+	$(MAKE) bench-gate
+
+# bench-record emits a machine-readable perf record (BENCH_<n>.json at the
+# repo root) from a tiny-scale Table 1 run: 2 repetitions per cell plus
+# sampled time series. Run it once per meaningful commit to grow the
+# performance history benchdiff compares against.
+bench-record:
+	$(GO) run ./cmd/flatdd-bench -exp table1 -scale tiny -reps 2 -timeout 60s -out auto
+
+# bench-gate diffs the newest record against the one before it and fails
+# on any wall-time regression beyond the noise guard (CI gate). With only
+# one record on disk it self-compares and trivially passes. The 25ms
+# floor keeps tiny-scale micro-cells (which time the scheduler, not the
+# engine) out of the verdict; at small/paper scale every cell clears it.
+bench-gate:
+	$(GO) run ./cmd/flatdd-benchdiff -fail-on-regress -min-time 25ms
 
 # bench-obs reproduces the instrumentation-overhead numbers recorded in
 # EXPERIMENTS.md (run several times and compare pairs; the signal is

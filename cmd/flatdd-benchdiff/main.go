@@ -1,0 +1,104 @@
+// Command flatdd-benchdiff compares two perf records produced by
+// flatdd-bench -out, aligning experiment cells by (experiment, circuit,
+// engine[, threads]) and reporting per-cell wall-time deltas with a
+// benchstat-style noise guard: a delta only counts as a regression when
+// it clears both the relative threshold (default 10%) and a two-sigma
+// floor derived from the repetition stddevs.
+//
+//	flatdd-benchdiff old.json new.json       # explicit pair
+//	flatdd-benchdiff new.json                # baseline = newest other BENCH_*.json
+//	flatdd-benchdiff                         # newest record vs the one before it
+//	flatdd-benchdiff -fail-on-regress        # CI gate: exit 2 on any regression
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"flatdd/internal/perf"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		threshold     = flag.Float64("threshold", perf.DefaultThreshold, "relative wall-time change below which a delta is noise")
+		minTime       = flag.Duration("min-time", 0, "cells faster than this on both sides are reported but never flagged")
+		failOnRegress = flag.Bool("fail-on-regress", false, "exit non-zero when any cell regresses (for CI)")
+		dir           = flag.String("dir", ".", "directory scanned for BENCH_*.json when records aren't given explicitly")
+	)
+	flag.Parse()
+
+	oldPath, newPath, err := resolvePaths(flag.Args(), *dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flatdd-benchdiff:", err)
+		return 1
+	}
+	if oldPath == newPath {
+		fmt.Fprintf(os.Stderr, "flatdd-benchdiff: no separate baseline found; comparing %s against itself\n", newPath)
+	}
+	oldRec, err := perf.Load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flatdd-benchdiff:", err)
+		return 1
+	}
+	newRec, err := perf.Load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flatdd-benchdiff:", err)
+		return 1
+	}
+
+	fmt.Printf("baseline: %s  (%s @ %.12s, scale=%s threads=%d reps=%d)\n",
+		oldPath, oldRec.Date.Format("2006-01-02"), oldRec.GitSHA, oldRec.Scale, oldRec.Threads, oldRec.Reps)
+	fmt.Printf("new:      %s  (%s @ %.12s, scale=%s threads=%d reps=%d)\n\n",
+		newPath, newRec.Date.Format("2006-01-02"), newRec.GitSHA, newRec.Scale, newRec.Threads, newRec.Reps)
+	if oldRec.Host != newRec.Host {
+		fmt.Printf("note: records come from different host shapes (%+v vs %+v); deltas may not be meaningful\n\n",
+			oldRec.Host, newRec.Host)
+	}
+	if oldRec.Scale != newRec.Scale {
+		fmt.Printf("note: records use different scales (%s vs %s); most cells will not align\n\n",
+			oldRec.Scale, newRec.Scale)
+	}
+
+	rep := perf.Diff(oldRec, newRec, perf.Options{Threshold: *threshold, MinWallNs: float64(minTime.Nanoseconds())})
+	rep.Render(os.Stdout)
+	if *failOnRegress && rep.Regressions() > 0 {
+		fmt.Fprintf(os.Stderr, "flatdd-benchdiff: %d regression(s) beyond the %.0f%% threshold\n",
+			rep.Regressions(), 100*rep.Threshold)
+		return 2
+	}
+	return 0
+}
+
+// resolvePaths turns the positional arguments into a (baseline, new)
+// record pair. With fewer than two arguments the baseline is the newest
+// BENCH_<n>.json available; a lone record falls back to self-comparison
+// (useful as a smoke test) rather than erroring.
+func resolvePaths(args []string, dir string) (oldPath, newPath string, err error) {
+	switch len(args) {
+	case 2:
+		return args[0], args[1], nil
+	case 1:
+		newPath = args[0]
+		oldPath = perf.NewestRecordPath(filepath.Dir(newPath), newPath)
+		if oldPath == "" {
+			oldPath = newPath
+		}
+		return oldPath, newPath, nil
+	case 0:
+		newPath = perf.NewestRecordPath(dir, "")
+		if newPath == "" {
+			return "", "", fmt.Errorf("no BENCH_*.json records in %s", dir)
+		}
+		oldPath = perf.NewestRecordPath(dir, newPath)
+		if oldPath == "" {
+			oldPath = newPath
+		}
+		return oldPath, newPath, nil
+	default:
+		return "", "", fmt.Errorf("expected at most two record paths, got %d arguments", len(args))
+	}
+}

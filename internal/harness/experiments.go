@@ -3,11 +3,13 @@ package harness
 import (
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"flatdd/internal/core"
 	"flatdd/internal/dmav"
 	"flatdd/internal/obs"
+	"flatdd/internal/perf"
 )
 
 // Config parameterizes an experiment run.
@@ -19,11 +21,26 @@ type Config struct {
 	// CSVDir, when non-empty, additionally saves every rendered table as
 	// <CSVDir>/<experiment-id>.csv for external plotting.
 	CSVDir string
+	// Reps re-runs every timed engine cell this many times (default 1);
+	// tables then show mean ±stddev and the perf record stores the full
+	// repetition statistics.
+	Reps int
+	// Metrics, when non-nil, instruments FlatDD runs with this shared
+	// registry. Per-cell values are isolated with Snapshot.Delta, so one
+	// registry can span a whole multi-experiment invocation (and be
+	// served or sampled live while it runs).
+	Metrics *obs.Registry
+	// Record, when non-nil, receives one perf.Cell per engine-circuit
+	// cell from the recording experiments (fig1, table1, fig12, metrics).
+	Record *perf.Record
 }
 
 func (c Config) withDefaults() Config {
 	if c.Scale == "" {
 		c.Scale = ScaleSmall
+	}
+	if c.Reps < 1 {
+		c.Reps = 1
 	}
 	if c.Threads < 1 {
 		c.Threads = 16
@@ -43,14 +60,18 @@ func Fig1(cfg Config) []Result {
 		"DD memory", "Array memory", "DD mem (norm)", "Array mem (norm)")
 	var all []Result
 	for _, nc := range Fig1Circuits(cfg.Scale) {
-		dd := RunDDSIM(nc.C, cfg.Timeout)
-		arr := RunStatevec(nc.C, cfg.Threads, cfg.Timeout)
+		nc := nc
+		dd, dw, dm := cfg.runReps(func() Result { return RunDDSIM(nc.C, cfg.Timeout) })
+		arr, aw, am := cfg.runReps(func() Result { return RunStatevec(nc.C, cfg.Threads, cfg.Timeout) })
+		cfg.recordCell("fig1", dd, dw, dm, 0)
+		cfg.recordCell("fig1", arr, aw, am, 0)
 		all = append(all, dd, arr)
-		minRT := minDur(dd.Runtime, arr.Runtime).Seconds()
+		ddSec, arrSec := dw.MeanNs/1e9, aw.MeanNs/1e9
+		minRT := math.Min(ddSec, arrSec)
 		minMem := float64(minU64(dd.Memory, arr.Memory))
 		tbl.AddRow(nc.Label, nc.C.Qubits, nc.C.GateCount(),
-			maybeTimeout(dd), maybeTimeout(arr),
-			dd.Runtime.Seconds()/minRT, arr.Runtime.Seconds()/minRT,
+			fmtRun(dd, dw), fmtRun(arr, aw),
+			ddSec/minRT, arrSec/minRT,
 			fmtMB(dd.Memory), fmtMB(arr.Memory),
 			float64(dd.Memory)/minMem, float64(arr.Memory)/minMem)
 	}
@@ -111,19 +132,23 @@ func Table1(cfg Config) []Result {
 	var all []Result
 	var fRT, dRT, qRT, fMem, dMem, qMem, dSp, qSp []float64
 	for _, nc := range Table1Circuits(cfg.Scale) {
-		f := RunFlatDD(nc.C, core.Options{Threads: cfg.Threads}, cfg.Timeout)
-		d := RunDDSIM(nc.C, cfg.Timeout)
-		q := RunStatevec(nc.C, cfg.Threads, cfg.Timeout)
+		nc := nc
+		f, fw, fm := cfg.runReps(func() Result { return RunFlatDD(nc.C, cfg.flatOpts(), cfg.Timeout) })
+		d, dw, dm := cfg.runReps(func() Result { return RunDDSIM(nc.C, cfg.Timeout) })
+		q, qw, qm := cfg.runReps(func() Result { return RunStatevec(nc.C, cfg.Threads, cfg.Timeout) })
+		cfg.recordCell("table1", f, fw, fm, 0)
+		cfg.recordCell("table1", d, dw, dm, 0)
+		cfg.recordCell("table1", q, qw, qm, 0)
 		all = append(all, f, d, q)
-		sd := d.Runtime.Seconds() / f.Runtime.Seconds()
-		sq := q.Runtime.Seconds() / f.Runtime.Seconds()
+		sd := dw.MeanNs / fw.MeanNs
+		sq := qw.MeanNs / fw.MeanNs
 		tbl.AddRow(nc.Label, nc.C.Qubits, nc.C.GateCount(),
-			maybeTimeout(f), fmtMB(f.Memory),
-			maybeTimeout(d), fmtSpeedup(sd, d.TimedOut), fmtMB(d.Memory),
-			maybeTimeout(q), fmtSpeedup(sq, q.TimedOut), fmtMB(q.Memory))
-		fRT = append(fRT, f.Runtime.Seconds())
-		dRT = append(dRT, d.Runtime.Seconds())
-		qRT = append(qRT, q.Runtime.Seconds())
+			fmtRun(f, fw), fmtMB(f.Memory),
+			fmtRun(d, dw), fmtSpeedup(sd, d.TimedOut), fmtMB(d.Memory),
+			fmtRun(q, qw), fmtSpeedup(sq, q.TimedOut), fmtMB(q.Memory))
+		fRT = append(fRT, fw.MeanNs/1e9)
+		dRT = append(dRT, dw.MeanNs/1e9)
+		qRT = append(qRT, qw.MeanNs/1e9)
 		fMem = append(fMem, float64(f.Memory))
 		dMem = append(dMem, float64(d.Memory))
 		qMem = append(qMem, float64(q.Memory))
@@ -185,14 +210,20 @@ func Fig12(cfg Config) map[string]map[int][2]time.Duration {
 		rows := make(map[int][2]time.Duration)
 		var f1, q1 time.Duration
 		for _, t := range threadCounts {
-			f := RunFlatDD(nc.C, core.Options{Threads: t}, cfg.Timeout)
-			q := RunStatevec(nc.C, t, cfg.Timeout)
-			rows[t] = [2]time.Duration{f.Runtime, q.Runtime}
+			t := t
+			f, fw, fm := cfg.runReps(func() Result {
+				return RunFlatDD(nc.C, core.Options{Threads: t, Metrics: cfg.Metrics}, cfg.Timeout)
+			})
+			q, qw, qm := cfg.runReps(func() Result { return RunStatevec(nc.C, t, cfg.Timeout) })
+			cfg.recordCell("fig12", f, fw, fm, t)
+			cfg.recordCell("fig12", q, qw, qm, t)
+			fMean, qMean := time.Duration(fw.MeanNs), time.Duration(qw.MeanNs)
+			rows[t] = [2]time.Duration{fMean, qMean}
 			if t == 1 {
-				f1, q1 = f.Runtime, q.Runtime
+				f1, q1 = fMean, qMean
 			}
-			tbl.AddRow(t, f.Runtime, fmtSpeedup(f1.Seconds()/f.Runtime.Seconds(), false),
-				q.Runtime, fmtSpeedup(q1.Seconds()/q.Runtime.Seconds(), false))
+			tbl.AddRow(t, fmtRun(f, fw), fmtSpeedup(f1.Seconds()/fMean.Seconds(), false),
+				fmtRun(q, qw), fmtSpeedup(q1.Seconds()/qMean.Seconds(), false))
 		}
 		out[nc.Label] = rows
 		emit(cfg, "fig12-"+nc.Label, tbl)
@@ -308,11 +339,21 @@ func MetricsReport(cfg Config) []Result {
 		}
 		return fmt.Sprintf("%.1f", 100*float64(hits)/float64(total))
 	}
+	// One registry spans every circuit; Snapshot.Delta isolates each
+	// run's counters (this is also the shared-registry path the perf
+	// record uses).
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.New()
+	}
 	var all []Result
 	for _, nc := range Fig1Circuits(cfg.Scale) {
-		r := obs.New()
-		res := RunFlatDD(nc.C, core.Options{Threads: cfg.Threads, Metrics: r}, cfg.Timeout)
+		prev := reg.Snapshot()
+		res := RunFlatDD(nc.C, core.Options{Threads: cfg.Threads, Metrics: reg}, cfg.Timeout)
+		d := res.Metrics.Delta(prev)
+		res.Metrics = &d
 		all = append(all, res)
+		cfg.recordCell("metrics", res, perf.NewStat([]float64{float64(res.Runtime.Nanoseconds())}), memDelta{}, 0)
 		c, g := res.Metrics.Counters, res.Metrics.Gauges
 		uniq := c["dd.unique.v.hits"] + c["dd.unique.m.hits"]
 		uniqTotal := uniq + c["dd.unique.v.misses"] + c["dd.unique.m.misses"]
@@ -400,13 +441,6 @@ func anyTimedOut(rs []Result, engine string) bool {
 		}
 	}
 	return false
-}
-
-func minDur(a, b time.Duration) time.Duration {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func minU64(a, b uint64) uint64 {

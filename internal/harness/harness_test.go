@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"flatdd/internal/core"
+	"flatdd/internal/obs"
+	"flatdd/internal/perf"
 )
 
 func tinyCfg(buf *bytes.Buffer) Config {
@@ -236,5 +238,125 @@ func TestGeoMeanDurations(t *testing.T) {
 	g := GeoMeanDurations([]time.Duration{time.Second, 4 * time.Second})
 	if math.Abs(g-2) > 1e-9 {
 		t.Fatalf("GeoMeanDurations = %v", g)
+	}
+}
+
+func TestTable1WithRepsAndRecord(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyCfg(&buf)
+	cfg.Reps = 2
+	cfg.Metrics = obs.New()
+	cfg.Record = perf.NewRecord("table1", string(cfg.Scale), cfg.Threads, cfg.Reps)
+	results := Table1(cfg)
+	if len(results) != 36 {
+		t.Fatalf("table1 with reps produced %d results", len(results))
+	}
+	if !strings.Contains(buf.String(), "±") {
+		t.Fatal("repetition stddev missing from printed table")
+	}
+	if len(cfg.Record.Cells) != 36 {
+		t.Fatalf("record has %d cells, want 36", len(cfg.Record.Cells))
+	}
+	for _, c := range cfg.Record.Cells {
+		if c.Wall.N != 2 {
+			t.Fatalf("cell %s has %d reps, want 2", c.Key(), c.Wall.N)
+		}
+		if c.Wall.MeanNs <= 0 || c.Wall.MinNs <= 0 || c.Wall.MaxNs < c.Wall.MinNs {
+			t.Fatalf("cell %s has bad wall stats: %+v", c.Key(), c.Wall)
+		}
+		if c.Gates <= 0 || c.NsPerGate <= 0 {
+			t.Fatalf("cell %s has no per-gate cost: %+v", c.Key(), c)
+		}
+		if c.DMAVCacheHitRate < -1 || c.DMAVCacheHitRate > 1 {
+			t.Fatalf("cell %s hit rate out of range: %v", c.Key(), c.DMAVCacheHitRate)
+		}
+		switch c.Engine {
+		case EngineFlatDD:
+			if c.PeakDDNodes <= 0 {
+				t.Fatalf("FlatDD cell %s has no peak DD nodes", c.Key())
+			}
+			if c.AllocBytesPerRep == 0 {
+				t.Fatalf("FlatDD cell %s has no allocation delta", c.Key())
+			}
+		case EngineDDSIM, EngineQuantum:
+			if c.ConvertedAt != -1 {
+				t.Fatalf("baseline cell %s claims conversion at %d", c.Key(), c.ConvertedAt)
+			}
+		}
+	}
+	// At least one tiny circuit converts and exercises the DMAV cache.
+	sawCache := false
+	for _, c := range cfg.Record.Cells {
+		if c.Engine == EngineFlatDD && c.DMAVCacheHitRate >= 0 {
+			sawCache = true
+		}
+	}
+	if !sawCache {
+		t.Fatal("no FlatDD cell recorded a DMAV cache hit rate")
+	}
+}
+
+func TestRunRepsAggregatesTimeout(t *testing.T) {
+	nc := Table1Circuits(ScaleSmall)[2]
+	cfg := Config{Reps: 2}
+	calls := 0
+	res, stat, _ := cfg.runReps(func() Result {
+		calls++
+		r := RunDDSIM(nc.C, time.Nanosecond)
+		if calls == 2 {
+			r.TimedOut = false // only the first rep "times out"
+		}
+		return r
+	})
+	if calls != 2 || stat.N != 2 {
+		t.Fatalf("reps not honored: calls=%d stat=%+v", calls, stat)
+	}
+	if !res.TimedOut {
+		t.Fatal("timeout in an earlier rep was dropped")
+	}
+}
+
+func TestMetricsReportUsesSharedRegistryDelta(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyCfg(&buf)
+	cfg.Metrics = obs.New()
+	results := MetricsReport(cfg)
+	if len(results) != 4 {
+		t.Fatalf("metrics report covered %d circuits", len(results))
+	}
+	// Every result's snapshot must be a per-run delta, not the shared
+	// registry's running total: per-circuit DD-phase gate counts must sum
+	// to the registry total, which only holds if each was isolated.
+	var sum int64
+	for _, r := range results {
+		if r.Metrics == nil {
+			t.Fatal("result missing metrics snapshot")
+		}
+		sum += r.Metrics.Counters["core.gates.dd"]
+	}
+	total := cfg.Metrics.Snapshot().Counters["core.gates.dd"]
+	if sum != total || total == 0 {
+		t.Fatalf("per-run deltas sum to %d, registry total %d", sum, total)
+	}
+}
+
+func TestFig12RecordsThreadKeyedCells(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyCfg(&buf)
+	cfg.Record = perf.NewRecord("fig12", string(cfg.Scale), cfg.Threads, 1)
+	Fig12(cfg)
+	// 2 circuits x 5 thread counts x 2 engines.
+	if len(cfg.Record.Cells) != 20 {
+		t.Fatalf("fig12 recorded %d cells, want 20", len(cfg.Record.Cells))
+	}
+	keys := map[string]bool{}
+	for _, c := range cfg.Record.Cells {
+		if c.Threads == 0 {
+			t.Fatalf("fig12 cell %s missing thread count", c.Key())
+		}
+		if keys[c.Key()] {
+			t.Fatalf("duplicate fig12 cell key %s", c.Key())
+		}
+		keys[c.Key()] = true
 	}
 }

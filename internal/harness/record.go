@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"flatdd/internal/core"
+	"flatdd/internal/perf"
+)
+
+// memDelta is the per-repetition allocation cost of one benchmark cell,
+// from runtime.MemStats (process-wide, so only meaningful because cells
+// run one at a time).
+type memDelta struct {
+	allocBytes uint64
+	mallocs    uint64
+}
+
+// runReps executes one engine cell cfg.Reps times and summarizes the
+// repetitions. The returned Result is the last repetition, with two
+// adjustments: TimedOut is true if any repetition timed out, and when
+// cfg.Metrics is set, Result.Metrics is replaced by the registry delta
+// over the whole cell (Snapshot.Delta), so a registry shared across
+// experiments still yields per-cell counters. Allocation tracking only
+// runs when a record is being built.
+func (c Config) runReps(run func() Result) (Result, perf.Stat, memDelta) {
+	reps := c.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	prev := c.Metrics.Snapshot()
+	var ms0 runtime.MemStats
+	if c.Record != nil {
+		runtime.ReadMemStats(&ms0)
+	}
+	var last Result
+	timedOut := false
+	ns := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		last = run()
+		ns = append(ns, float64(last.Runtime.Nanoseconds()))
+		timedOut = timedOut || last.TimedOut
+	}
+	last.TimedOut = timedOut
+	var md memDelta
+	if c.Record != nil {
+		var ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms1)
+		md.allocBytes = (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(reps)
+		md.mallocs = (ms1.Mallocs - ms0.Mallocs) / uint64(reps)
+	}
+	if c.Metrics != nil {
+		d := c.Metrics.Snapshot().Delta(prev)
+		last.Metrics = &d
+	}
+	return last, perf.NewStat(ns), md
+}
+
+// recordCell appends one cell to the run's perf record; no-op when no
+// record is being built. threads is only passed for experiments that
+// sweep thread counts (it joins the alignment key then); pass 0 when the
+// record-wide thread count applies.
+func (c Config) recordCell(exp string, r Result, wall perf.Stat, md memDelta, threads int) {
+	if c.Record == nil {
+		return
+	}
+	cell := perf.Cell{
+		Exp: exp, Circuit: r.Circuit, Engine: r.Engine, Threads: threads,
+		Qubits: r.Qubits, Gates: r.Gates,
+		Wall: wall, TimedOut: r.TimedOut,
+		ConvertedAt: r.ConvertedAt, DMAVCacheHitRate: -1,
+		MemoryBytes:      r.Memory,
+		AllocBytesPerRep: md.allocBytes, MallocsPerRep: md.mallocs,
+	}
+	if r.Gates > 0 {
+		cell.NsPerGate = wall.MeanNs / float64(r.Gates)
+	}
+	if r.Stats != nil {
+		cell.PeakDDNodes = r.Stats.PeakDDNodes
+	}
+	if r.Metrics != nil {
+		hits := r.Metrics.Counters["dmav.cache.hits"]
+		total := hits + r.Metrics.Counters["dmav.cache.misses"]
+		if total > 0 {
+			cell.DMAVCacheHitRate = float64(hits) / float64(total)
+		}
+	}
+	c.Record.Add(cell)
+}
+
+// flatOpts is the default FlatDD option set for recorded experiments: the
+// configured thread count, instrumented when a shared registry is
+// present.
+func (c Config) flatOpts() core.Options {
+	return core.Options{Threads: c.Threads, Metrics: c.Metrics}
+}
+
+// fmtRun renders one cell's wall time for the printed tables: the
+// repetition mean, the timeout marker, and ±stddev once there is more
+// than one repetition.
+func fmtRun(r Result, w perf.Stat) string {
+	s := fmtSeconds(time.Duration(w.MeanNs))
+	if r.TimedOut {
+		s = "> " + s
+	}
+	if w.N > 1 {
+		s += fmt.Sprintf(" ±%s", fmtSeconds(time.Duration(w.StddevNs)))
+	}
+	return s
+}

@@ -256,6 +256,50 @@ type Snapshot struct {
 	Histograms  map[string]HistogramSnapshot `json:"histograms"`
 }
 
+// Delta returns the change from prev to s: counters and histogram
+// counts/sums are subtracted entry-wise, while gauges and float gauges
+// keep their current (instantaneous) value. Metrics absent from prev are
+// reported at full value. It lets a long-lived registry — one shared
+// across many benchmark runs in the same process — yield per-run metrics
+// that aren't polluted by earlier runs. Note that high-water-mark gauges
+// written with SetMax (e.g. dd.nodes.peak) never reset, so across runs
+// they reflect the process-wide peak, not the per-run one.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:    make(map[string]int64, len(s.Counters)),
+		Gauges:      make(map[string]int64, len(s.Gauges)),
+		FloatGauges: make(map[string]float64, len(s.FloatGauges)),
+		Histograms:  make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, v := range s.FloatGauges {
+		out.FloatGauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		p, ok := prev.Histograms[name]
+		if !ok || len(p.Counts) != len(h.Counts) {
+			out.Histograms[name] = h
+			continue
+		}
+		d := HistogramSnapshot{
+			Bounds: h.Bounds,
+			Counts: make([]int64, len(h.Counts)),
+			Count:  h.Count - p.Count,
+			Sum:    h.Sum - p.Sum,
+		}
+		for i := range h.Counts {
+			d.Counts[i] = h.Counts[i] - p.Counts[i]
+		}
+		out.Histograms[name] = d
+	}
+	return out
+}
+
 // Snapshot copies the current value of every registered metric. A nil
 // registry yields an empty snapshot.
 func (r *Registry) Snapshot() Snapshot {

@@ -287,3 +287,48 @@ func TestServeMetricsEndpoint(t *testing.T) {
 		t.Fatal("/debug/pprof/ empty")
 	}
 }
+
+func TestSnapshotDelta(t *testing.T) {
+	r := New()
+	r.Counter("runs").Add(10)
+	r.Gauge("size").Set(100)
+	r.FloatGauge("eff").Set(0.5)
+	h := r.Histogram("lat", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	prev := r.Snapshot()
+
+	r.Counter("runs").Add(3)
+	r.Counter("fresh").Add(7) // registered after prev
+	r.Gauge("size").Set(42)
+	r.FloatGauge("eff").Set(0.9)
+	h.Observe(5)
+	d := r.Snapshot().Delta(prev)
+
+	if d.Counters["runs"] != 3 {
+		t.Errorf("counter delta = %d, want 3", d.Counters["runs"])
+	}
+	if d.Counters["fresh"] != 7 {
+		t.Errorf("counter missing from prev = %d, want full value 7", d.Counters["fresh"])
+	}
+	// Gauges are instantaneous: Delta keeps the current value.
+	if d.Gauges["size"] != 42 {
+		t.Errorf("gauge = %d, want current value 42", d.Gauges["size"])
+	}
+	if d.FloatGauges["eff"] != 0.9 {
+		t.Errorf("float gauge = %v, want 0.9", d.FloatGauges["eff"])
+	}
+	hd := d.Histograms["lat"]
+	if hd.Count != 1 || hd.Sum != 5 {
+		t.Errorf("histogram delta count=%d sum=%d, want 1/5", hd.Count, hd.Sum)
+	}
+	if hd.Counts[0] != 1 || hd.Counts[1] != 0 {
+		t.Errorf("histogram bucket deltas = %v", hd.Counts)
+	}
+
+	// Delta against an empty snapshot is the snapshot itself (counters).
+	full := r.Snapshot().Delta(Snapshot{})
+	if full.Counters["runs"] != 13 {
+		t.Errorf("delta vs empty = %d, want 13", full.Counters["runs"])
+	}
+}

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Series is one sampled metric over a run: parallel arrays of millisecond
+// offsets from the sampler's start and the value observed at each offset.
+// Counters yield monotone series (so a phase timeline — gates executed in
+// the DD phase vs the DMAV phase — is reconstructible after the fact);
+// gauges yield instantaneous series.
+type Series struct {
+	Name string    `json:"name"`
+	TMs  []int64   `json:"t_ms"`
+	V    []float64 `json:"v"`
+}
+
+// seriesBuf is a fixed-capacity sample buffer. When it fills up it drops
+// every other retained sample and doubles its stride, so a buffer of
+// capacity C always spans the whole run with at most C points at a
+// resolution that degrades gracefully (classic online downsampling).
+type seriesBuf struct {
+	t      []int64
+	v      []float64
+	cap    int
+	stride int // record every stride-th poll
+	tick   int // polls seen since creation
+}
+
+func newSeriesBuf(capacity int) *seriesBuf {
+	return &seriesBuf{
+		t:      make([]int64, 0, capacity),
+		v:      make([]float64, 0, capacity),
+		cap:    capacity,
+		stride: 1,
+	}
+}
+
+func (b *seriesBuf) add(tMs int64, v float64) {
+	b.tick++
+	if (b.tick-1)%b.stride != 0 {
+		return
+	}
+	if len(b.t) == b.cap {
+		// Compact: keep even indices, double the stride.
+		half := b.cap / 2
+		for i := 0; i < half; i++ {
+			b.t[i] = b.t[2*i]
+			b.v[i] = b.v[2*i]
+		}
+		b.t = b.t[:half]
+		b.v = b.v[:half]
+		b.stride *= 2
+	}
+	b.t = append(b.t, tMs)
+	b.v = append(b.v, v)
+}
+
+// Runtime series sampled alongside the registry, via the cheap
+// runtime/metrics interface (no stop-the-world, unlike ReadMemStats).
+const (
+	heapSeriesName      = "runtime.heap_bytes"
+	goroutineSeriesName = "runtime.goroutines"
+)
+
+var runtimeMetricNames = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/sched/goroutines:goroutines",
+}
+
+var runtimeSeriesNames = []string{heapSeriesName, goroutineSeriesName}
+
+// Sampler polls every numeric metric of a Registry (counters, gauges,
+// float gauges) plus two runtime series (heap bytes, goroutine count) on
+// a ticker, into fixed-capacity ring buffers. Metrics registered after
+// Start are picked up on the next tick. Stop performs one final poll, so
+// even a run shorter than the interval yields at least one sample per
+// series that existed by the end.
+type Sampler struct {
+	r        *Registry
+	interval time.Duration
+	capacity int
+
+	mu     sync.Mutex
+	start  time.Time
+	series map[string]*seriesBuf
+	rt     []metrics.Sample
+
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+	stopped bool
+	out     []Series
+}
+
+// NewSampler returns a sampler over r (which may be nil: only the runtime
+// series are collected then). A non-positive interval defaults to 10ms; a
+// capacity below 16 defaults to 2048.
+func NewSampler(r *Registry, interval time.Duration, capacity int) *Sampler {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	if capacity < 16 {
+		capacity = 2048
+	}
+	if capacity%2 != 0 {
+		capacity++
+	}
+	rt := make([]metrics.Sample, len(runtimeMetricNames))
+	for i, n := range runtimeMetricNames {
+		rt[i].Name = n
+	}
+	return &Sampler{
+		r:        r,
+		interval: interval,
+		capacity: capacity,
+		series:   make(map[string]*seriesBuf),
+		rt:       rt,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the background polling goroutine. Calling Start twice is
+// a no-op.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.start = time.Now()
+	s.mu.Unlock()
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.poll()
+			}
+		}
+	}()
+}
+
+// Stop halts polling, takes one final sample, and returns every series
+// sorted by name. Stop is idempotent: later calls return the same result.
+// Stopping a sampler that was never started returns only the final
+// sample.
+func (s *Sampler) Stop() []Series {
+	s.mu.Lock()
+	if s.stopped {
+		out := s.out
+		s.mu.Unlock()
+		return out
+	}
+	s.stopped = true
+	started := s.started
+	if !started {
+		s.start = time.Now()
+	}
+	s.mu.Unlock()
+
+	if started {
+		close(s.stop)
+		<-s.done
+	}
+	s.poll() // final sample, so short runs still record something
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.series))
+	for n := range s.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s.out = make([]Series, 0, len(names))
+	for _, n := range names {
+		b := s.series[n]
+		s.out = append(s.out, Series{Name: n, TMs: b.t, V: b.v})
+	}
+	return s.out
+}
+
+func (s *Sampler) poll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tMs := time.Since(s.start).Milliseconds()
+	record := func(name string, v float64) {
+		b, ok := s.series[name]
+		if !ok {
+			b = newSeriesBuf(s.capacity)
+			s.series[name] = b
+		}
+		b.add(tMs, v)
+	}
+	s.r.eachValue(record)
+	metrics.Read(s.rt)
+	for i, sample := range s.rt {
+		if sample.Value.Kind() == metrics.KindUint64 {
+			record(runtimeSeriesNames[i], float64(sample.Value.Uint64()))
+		}
+	}
+}
+
+// eachValue calls f with the current value of every counter, gauge and
+// float gauge. No-op on a nil registry.
+func (r *Registry) eachValue(f func(name string, v float64)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, c := range r.ctrs {
+		f(n, float64(c.Value()))
+	}
+	for n, g := range r.gauges {
+		f(n, float64(g.Value()))
+	}
+	for n, g := range r.fltg {
+		f(n, g.Value())
+	}
+}

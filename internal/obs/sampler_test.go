@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func seriesByName(ss []Series) map[string]Series {
+	m := make(map[string]Series, len(ss))
+	for _, s := range ss {
+		m[s.Name] = s
+	}
+	return m
+}
+
+func TestSamplerCollectsGaugesAndCounters(t *testing.T) {
+	r := New()
+	g := r.Gauge("core.dd_size")
+	c := r.Counter("core.gates.dd")
+	f := r.FloatGauge("core.ewma")
+	g.Set(7)
+	c.Add(3)
+	f.Set(1.5)
+
+	s := NewSampler(r, time.Millisecond, 256)
+	s.Start()
+	time.Sleep(25 * time.Millisecond)
+	g.Set(11)
+	c.Add(2)
+	time.Sleep(25 * time.Millisecond)
+	out := seriesByName(s.Stop())
+
+	for _, name := range []string{"core.dd_size", "core.gates.dd", "core.ewma",
+		heapSeriesName, goroutineSeriesName} {
+		ser, ok := out[name]
+		if !ok {
+			t.Fatalf("series %q missing (have %v)", name, keysOf(out))
+		}
+		if len(ser.TMs) == 0 || len(ser.TMs) != len(ser.V) {
+			t.Fatalf("series %q malformed: %d timestamps, %d values", name, len(ser.TMs), len(ser.V))
+		}
+		for i := 1; i < len(ser.TMs); i++ {
+			if ser.TMs[i] < ser.TMs[i-1] {
+				t.Fatalf("series %q timestamps not monotone: %v", name, ser.TMs)
+			}
+		}
+	}
+	dd := out["core.dd_size"]
+	if first, last := dd.V[0], dd.V[len(dd.V)-1]; first != 7 || last != 11 {
+		t.Fatalf("dd_size series spans %v..%v, want 7..11", first, last)
+	}
+	gates := out["core.gates.dd"]
+	if last := gates.V[len(gates.V)-1]; last != 5 {
+		t.Fatalf("counter series ends at %v, want 5", last)
+	}
+}
+
+func keysOf(m map[string]Series) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestSamplerDownsamplesAtCapacity(t *testing.T) {
+	r := New()
+	r.Gauge("g").Set(1)
+	s := NewSampler(r, time.Millisecond, 16)
+	s.Start()
+	time.Sleep(80 * time.Millisecond) // far more polls than capacity
+	out := seriesByName(s.Stop())
+	ser := out["g"]
+	if len(ser.TMs) == 0 || len(ser.TMs) > 16 {
+		t.Fatalf("series has %d samples, want 1..16", len(ser.TMs))
+	}
+	// Despite dropping samples, the series must still span most of the
+	// run (downsampling, not truncation).
+	if span := ser.TMs[len(ser.TMs)-1] - ser.TMs[0]; span < 40 {
+		t.Fatalf("downsampled series spans only %dms of an ~80ms run", span)
+	}
+}
+
+func TestSamplerStopWithoutTicks(t *testing.T) {
+	r := New()
+	r.Gauge("g").Set(5)
+	s := NewSampler(r, time.Hour, 64) // ticker will never fire
+	s.Start()
+	out := seriesByName(s.Stop())
+	ser, ok := out["g"]
+	if !ok || len(ser.V) != 1 || ser.V[0] != 5 {
+		t.Fatalf("final poll did not record: %+v", out)
+	}
+	// Stop is idempotent.
+	if again := s.Stop(); len(again) != len(out) {
+		t.Fatal("second Stop returned different result")
+	}
+}
+
+func TestSamplerNilRegistry(t *testing.T) {
+	s := NewSampler(nil, time.Millisecond, 64)
+	s.Start()
+	time.Sleep(10 * time.Millisecond)
+	out := seriesByName(s.Stop())
+	if _, ok := out[goroutineSeriesName]; !ok {
+		t.Fatalf("runtime series missing on nil registry: %v", keysOf(out))
+	}
+}
+
+func TestSeriesBufStrideDoubling(t *testing.T) {
+	b := newSeriesBuf(4)
+	for i := 0; i < 64; i++ {
+		b.add(int64(i), float64(i))
+	}
+	if len(b.t) > 4 {
+		t.Fatalf("buffer exceeded capacity: %d", len(b.t))
+	}
+	if b.stride < 8 {
+		t.Fatalf("stride = %d after 16x overflow, want >= 8", b.stride)
+	}
+	if b.t[0] != 0 {
+		t.Fatalf("first sample lost: %v", b.t)
+	}
+}

@@ -1,0 +1,204 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Verdicts for one aligned cell pair.
+const (
+	VerdictOK           = "ok"
+	VerdictRegression   = "regression"
+	VerdictImprovement  = "improvement"
+	VerdictAdded        = "added"   // cell only in the new record
+	VerdictRemoved      = "removed" // cell only in the old record
+	VerdictIncomparable = "n/a"     // zero baseline: no relative delta exists
+)
+
+// Options parameterizes Diff.
+type Options struct {
+	// Threshold is the relative wall-time change below which a delta is
+	// noise by definition, regardless of stddev (default 0.10 = 10%).
+	Threshold float64
+	// MinWallNs is a measurement floor: cells whose wall means are both
+	// below it are never flagged (their delta is still reported). Cells
+	// that small time mostly the scheduler, not the engine — without a
+	// floor, a tiny-scale gate run flags a third of its cells between
+	// two runs of identical code. Zero means no floor.
+	MinWallNs float64
+}
+
+// DefaultThreshold is the regression threshold when Options leaves it
+// unset.
+const DefaultThreshold = 0.10
+
+// CellDiff is one aligned cell pair. Delta is (new-old)/old on the mean
+// wall time (positive = slower). Noise is the run-to-run noise floor
+// derived from the repetition stddevs: 2·(σ_old/µ_old + σ_new/µ_new), a
+// crude benchstat-style two-sigma guard. A delta only counts as a
+// regression (or improvement) when it clears both the threshold and the
+// noise floor.
+type CellDiff struct {
+	Key     string
+	Old     *Cell
+	New     *Cell
+	Delta   float64
+	Noise   float64
+	Verdict string
+}
+
+// Report is the outcome of comparing two records.
+type Report struct {
+	Threshold float64
+	Diffs     []CellDiff
+}
+
+// Diff aligns the cells of two records by key and classifies every pair.
+// New-record order is preserved; cells that vanished come last.
+func Diff(old, cur *Record, opts Options) Report {
+	th := opts.Threshold
+	if th <= 0 {
+		th = DefaultThreshold
+	}
+	rep := Report{Threshold: th}
+
+	oldIdx := make(map[string]*Cell, len(old.Cells))
+	for i := range old.Cells {
+		oldIdx[old.Cells[i].Key()] = &old.Cells[i]
+	}
+	matched := make(map[string]bool, len(old.Cells))
+	for i := range cur.Cells {
+		nc := &cur.Cells[i]
+		k := nc.Key()
+		oc, ok := oldIdx[k]
+		if !ok {
+			rep.Diffs = append(rep.Diffs, CellDiff{Key: k, New: nc, Verdict: VerdictAdded})
+			continue
+		}
+		matched[k] = true
+		rep.Diffs = append(rep.Diffs, compareCells(k, oc, nc, th, opts.MinWallNs))
+	}
+	for i := range old.Cells {
+		oc := &old.Cells[i]
+		if k := oc.Key(); !matched[k] {
+			rep.Diffs = append(rep.Diffs, CellDiff{Key: k, Old: oc, Verdict: VerdictRemoved})
+		}
+	}
+	return rep
+}
+
+func compareCells(key string, oc, nc *Cell, threshold, minWallNs float64) CellDiff {
+	d := CellDiff{Key: key, Old: oc, New: nc, Verdict: VerdictOK}
+	om, nm := oc.Wall.MeanNs, nc.Wall.MeanNs
+	if om <= 0 {
+		// Zero (or missing) baseline: a relative delta does not exist.
+		// Never a regression; flagged so a human looks at it.
+		if nm > 0 {
+			d.Verdict = VerdictIncomparable
+		}
+		return d
+	}
+	d.Delta = (nm - om) / om
+	d.Noise = 2 * (relStddev(oc.Wall) + relStddev(nc.Wall))
+	if om < minWallNs && nm < minWallNs {
+		return d // below the measurement floor: report, never flag
+	}
+	guard := math.Max(threshold, d.Noise)
+	switch {
+	case d.Delta > guard:
+		d.Verdict = VerdictRegression
+	case d.Delta < -guard:
+		d.Verdict = VerdictImprovement
+	}
+	return d
+}
+
+// relStddev is σ/µ, zero for single-repetition stats (no spread
+// information, so only the threshold guards them).
+func relStddev(s Stat) float64 {
+	if s.MeanNs <= 0 || s.N < 2 {
+		return 0
+	}
+	return s.StddevNs / s.MeanNs
+}
+
+// Regressions counts cells whose verdict is a regression.
+func (r Report) Regressions() int { return r.count(VerdictRegression) }
+
+// Improvements counts cells whose verdict is an improvement.
+func (r Report) Improvements() int { return r.count(VerdictImprovement) }
+
+func (r Report) count(v string) int {
+	n := 0
+	for _, d := range r.Diffs {
+		if d.Verdict == v {
+			n++
+		}
+	}
+	return n
+}
+
+// Render renders the report as an aligned text table plus a summary
+// line. It always writes every row: records are small and an "ok" row
+// carries the measured delta, which is the point of the exercise.
+func (r Report) Render(w io.Writer) {
+	rows := make([][6]string, 0, len(r.Diffs))
+	for _, d := range r.Diffs {
+		row := [6]string{d.Key, "-", "-", "-", "-", d.Verdict}
+		if d.Old != nil {
+			row[1] = fmtNs(d.Old.Wall.MeanNs)
+		}
+		if d.New != nil {
+			row[2] = fmtNs(d.New.Wall.MeanNs)
+		}
+		if d.Old != nil && d.New != nil && d.Old.Wall.MeanNs > 0 {
+			row[3] = fmt.Sprintf("%+.1f%%", 100*d.Delta)
+			row[4] = fmt.Sprintf("±%.1f%%", 100*math.Max(r.Threshold, d.Noise))
+		}
+		rows = append(rows, row)
+	}
+	headers := [6]string{"cell", "old", "new", "delta", "guard", "verdict"}
+	widths := [6]int{}
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells [6]string) {
+		fmt.Fprintf(w, "%-*s  %*s  %*s  %*s  %*s  %s\n",
+			widths[0], cells[0], widths[1], cells[1], widths[2], cells[2],
+			widths[3], cells[3], widths[4], cells[4], cells[5])
+	}
+	printRow(headers)
+	for _, row := range rows {
+		printRow(row)
+	}
+	fmt.Fprintf(w, "\n%d cells: %d regressions, %d improvements, %d added, %d removed, %d incomparable (threshold %.0f%%)\n",
+		len(r.Diffs), r.Regressions(), r.Improvements(),
+		r.count(VerdictAdded), r.count(VerdictRemoved), r.count(VerdictIncomparable),
+		100*r.Threshold)
+}
+
+// fmtNs renders a nanosecond quantity with adaptive units, matching the
+// benchmark tables.
+func fmtNs(ns float64) string {
+	s := ns / 1e9
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f s", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f s", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2f ms", s*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.1f µs", s*1e6)
+	default:
+		return fmt.Sprintf("%.0f ns", ns)
+	}
+}

@@ -1,0 +1,193 @@
+package perf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// cellNs builds a minimal cell with the given repetition stats.
+func cellNs(circuit string, meanNs, stddevNs float64, n int) Cell {
+	return Cell{
+		Exp: "table1", Circuit: circuit, Engine: "FlatDD",
+		Wall: Stat{MeanNs: meanNs, StddevNs: stddevNs, MinNs: meanNs, MaxNs: meanNs, N: n},
+	}
+}
+
+func recordWith(cells ...Cell) *Record {
+	return &Record{Schema: Schema, Cells: cells}
+}
+
+func diffOne(t *testing.T, oldCell, newCell Cell, opts Options) CellDiff {
+	t.Helper()
+	rep := Diff(recordWith(oldCell), recordWith(newCell), opts)
+	if len(rep.Diffs) != 1 {
+		t.Fatalf("expected 1 diff, got %d: %+v", len(rep.Diffs), rep.Diffs)
+	}
+	return rep.Diffs[0]
+}
+
+func TestDiffSelfIsClean(t *testing.T) {
+	r := recordWith(cellNs("a", 1e6, 1e5, 3), cellNs("b", 2e6, 0, 1))
+	rep := Diff(r, r, Options{})
+	if rep.Regressions() != 0 || rep.Improvements() != 0 {
+		t.Fatalf("self diff not clean: %+v", rep.Diffs)
+	}
+	for _, d := range rep.Diffs {
+		if d.Verdict != VerdictOK || d.Delta != 0 {
+			t.Fatalf("self diff cell: %+v", d)
+		}
+	}
+}
+
+func TestDiffThresholdSingleRep(t *testing.T) {
+	// Single repetition: stddev carries no information, so the threshold
+	// alone decides.
+	d := diffOne(t, cellNs("a", 1e6, 0, 1), cellNs("a", 1.15e6, 0, 1), Options{})
+	if d.Verdict != VerdictRegression {
+		t.Fatalf("15%% slowdown at 10%% threshold: %+v", d)
+	}
+	d = diffOne(t, cellNs("a", 1e6, 0, 1), cellNs("a", 1.05e6, 0, 1), Options{})
+	if d.Verdict != VerdictOK {
+		t.Fatalf("5%% slowdown at 10%% threshold: %+v", d)
+	}
+	// Exact threshold boundary is not a regression (strictly beyond).
+	d = diffOne(t, cellNs("a", 1e6, 0, 1), cellNs("a", 1.1e6, 0, 1), Options{})
+	if d.Verdict != VerdictOK {
+		t.Fatalf("exact-threshold delta: %+v", d)
+	}
+	// Custom threshold.
+	d = diffOne(t, cellNs("a", 1e6, 0, 1), cellNs("a", 1.15e6, 0, 1), Options{Threshold: 0.5})
+	if d.Verdict != VerdictOK {
+		t.Fatalf("15%% slowdown at 50%% threshold: %+v", d)
+	}
+}
+
+func TestDiffNoiseGuard(t *testing.T) {
+	// 15% slowdown, but both sides are noisy (σ/µ = 0.2 each → noise
+	// floor 0.8): not a regression.
+	d := diffOne(t, cellNs("a", 1e6, 2e5, 5), cellNs("a", 1.15e6, 2.3e5, 5), Options{})
+	if d.Verdict != VerdictOK {
+		t.Fatalf("noisy 15%% slowdown flagged: %+v", d)
+	}
+	if d.Noise <= 0.10 {
+		t.Fatalf("noise floor not computed: %+v", d)
+	}
+	// Same slowdown with tight stddevs: regression.
+	d = diffOne(t, cellNs("a", 1e6, 1e4, 5), cellNs("a", 1.15e6, 1e4, 5), Options{})
+	if d.Verdict != VerdictRegression {
+		t.Fatalf("tight 15%% slowdown not flagged: %+v", d)
+	}
+}
+
+func TestDiffMinWallFloor(t *testing.T) {
+	// Both sides under the floor: a huge delta is reported, never
+	// flagged.
+	d := diffOne(t, cellNs("a", 1e5, 0, 1), cellNs("a", 3e5, 0, 1), Options{MinWallNs: 1e6})
+	if d.Verdict != VerdictOK {
+		t.Fatalf("sub-floor cell flagged: %+v", d)
+	}
+	if math.Abs(d.Delta-2.0) > 1e-9 {
+		t.Fatalf("sub-floor delta not reported: %+v", d)
+	}
+	// A cell that grew *past* the floor still counts: crossing the floor
+	// is exactly the regression shape the floor must not hide.
+	d = diffOne(t, cellNs("a", 9e5, 0, 1), cellNs("a", 2e6, 0, 1), Options{MinWallNs: 1e6})
+	if d.Verdict != VerdictRegression {
+		t.Fatalf("floor-crossing regression hidden: %+v", d)
+	}
+}
+
+func TestDiffImprovement(t *testing.T) {
+	d := diffOne(t, cellNs("a", 2e6, 0, 1), cellNs("a", 1e6, 0, 1), Options{})
+	if d.Verdict != VerdictImprovement {
+		t.Fatalf("2x speedup: %+v", d)
+	}
+	if math.Abs(d.Delta+0.5) > 1e-9 {
+		t.Fatalf("delta = %v, want -0.5", d.Delta)
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	// Zero baseline mean: no relative delta exists; never a regression.
+	d := diffOne(t, cellNs("a", 0, 0, 0), cellNs("a", 1e6, 0, 1), Options{})
+	if d.Verdict != VerdictIncomparable {
+		t.Fatalf("zero baseline: %+v", d)
+	}
+	d = diffOne(t, cellNs("a", 0, 0, 0), cellNs("a", 0, 0, 0), Options{})
+	if d.Verdict != VerdictOK {
+		t.Fatalf("both zero: %+v", d)
+	}
+	rep := Diff(recordWith(cellNs("a", 0, 0, 0)), recordWith(cellNs("a", 1e6, 0, 1)), Options{})
+	if rep.Regressions() != 0 {
+		t.Fatal("zero baseline counted as regression")
+	}
+}
+
+func TestDiffRenamedAndMissing(t *testing.T) {
+	old := recordWith(cellNs("oldname", 1e6, 0, 1), cellNs("stable", 1e6, 0, 1))
+	cur := recordWith(cellNs("newname", 1e6, 0, 1), cellNs("stable", 1e6, 0, 1))
+	rep := Diff(old, cur, Options{})
+	byKey := map[string]CellDiff{}
+	for _, d := range rep.Diffs {
+		byKey[d.Key] = d
+	}
+	if d := byKey["table1/newname/FlatDD"]; d.Verdict != VerdictAdded || d.Old != nil {
+		t.Fatalf("renamed-in: %+v", d)
+	}
+	if d := byKey["table1/oldname/FlatDD"]; d.Verdict != VerdictRemoved || d.New != nil {
+		t.Fatalf("renamed-out: %+v", d)
+	}
+	if d := byKey["table1/stable/FlatDD"]; d.Verdict != VerdictOK {
+		t.Fatalf("stable cell: %+v", d)
+	}
+	if rep.Regressions() != 0 {
+		t.Fatal("rename counted as regression")
+	}
+	// Thread-swept cells align per thread count.
+	o := cellNs("knn", 1e6, 0, 1)
+	o.Threads = 2
+	n := cellNs("knn", 1e6, 0, 1)
+	n.Threads = 4
+	rep = Diff(recordWith(o), recordWith(n), Options{})
+	if len(rep.Diffs) != 2 {
+		t.Fatalf("thread-keyed cells merged: %+v", rep.Diffs)
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	old := recordWith(cellNs("a", 1e6, 0, 1), cellNs("gone", 1e6, 0, 1))
+	cur := recordWith(cellNs("a", 2e6, 0, 1), cellNs("fresh", 1e6, 0, 1))
+	rep := Diff(old, cur, Options{})
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"table1/a/FlatDD", "+100.0%", "regression",
+		"table1/gone/FlatDD", "removed",
+		"table1/fresh/FlatDD", "added",
+		"1 regressions", "threshold 10%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFmtNs(t *testing.T) {
+	for _, tc := range []struct {
+		ns   float64
+		want string
+	}{
+		{5e11, "500 s"},
+		{1.5e9, "1.50 s"},
+		{2.5e6, "2.50 ms"},
+		{7.5e3, "7.5 µs"},
+		{320, "320 ns"},
+	} {
+		if got := fmtNs(tc.ns); got != tc.want {
+			t.Errorf("fmtNs(%v) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package perf turns benchmark runs into durable, comparable artifacts.
+// A Record is the machine-readable counterpart of the tables flatdd-bench
+// prints: one JSON file per run (BENCH_<n>.json at the repo root by
+// convention) carrying the git SHA, host shape, per-experiment
+// per-circuit wall-time statistics over N repetitions, engine internals
+// (peak DD nodes, conversion gate, DMAV cache hit rate), allocation
+// deltas, and the run's sampled time series. Records from different
+// commits are aligned and compared by Diff, the engine behind
+// cmd/flatdd-benchdiff.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"flatdd/internal/obs"
+)
+
+// Schema is the current Record schema version, bumped on incompatible
+// changes so benchdiff can refuse records it does not understand.
+const Schema = 1
+
+// Host describes the machine a record was produced on. Comparing records
+// from different hosts is possible but the deltas mean little; benchdiff
+// warns when the shapes differ.
+type Host struct {
+	Hostname   string `json:"hostname"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// CurrentHost captures the running machine.
+func CurrentHost() Host {
+	hn, _ := os.Hostname()
+	return Host{
+		Hostname:   hn,
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+}
+
+// Stat summarizes N repetitions of one measurement, in nanoseconds.
+// Stddev is the sample standard deviation (zero when N < 2).
+type Stat struct {
+	MeanNs   float64 `json:"mean_ns"`
+	StddevNs float64 `json:"stddev_ns"`
+	MinNs    float64 `json:"min_ns"`
+	MaxNs    float64 `json:"max_ns"`
+	N        int     `json:"n"`
+}
+
+// NewStat computes repetition statistics over raw nanosecond samples.
+func NewStat(ns []float64) Stat {
+	s := Stat{N: len(ns)}
+	if s.N == 0 {
+		return s
+	}
+	s.MinNs = math.Inf(1)
+	sum := 0.0
+	for _, v := range ns {
+		sum += v
+		s.MinNs = math.Min(s.MinNs, v)
+		s.MaxNs = math.Max(s.MaxNs, v)
+	}
+	s.MeanNs = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, v := range ns {
+			d := v - s.MeanNs
+			ss += d * d
+		}
+		s.StddevNs = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Cell is one (experiment, circuit, engine) measurement. Threads is only
+// set when the experiment sweeps thread counts (fig12); it is part of the
+// alignment key then.
+type Cell struct {
+	Exp     string `json:"exp"`
+	Circuit string `json:"circuit"`
+	Engine  string `json:"engine"`
+	Threads int    `json:"threads,omitempty"`
+	Qubits  int    `json:"qubits"`
+	Gates   int    `json:"gates"`
+
+	Wall      Stat    `json:"wall"`
+	NsPerGate float64 `json:"ns_per_gate"`
+	TimedOut  bool    `json:"timed_out,omitempty"`
+
+	// Engine internals (FlatDD only; zero / -1 otherwise).
+	PeakDDNodes int `json:"peak_dd_nodes,omitempty"`
+	// ConvertedAt is the first DMAV gate; -1 if the run never converted
+	// (and for the non-hybrid engines).
+	ConvertedAt int `json:"converted_at"`
+	// DMAVCacheHitRate is hits/(hits+misses) of the DMAV result cache
+	// over all repetitions; -1 when the run had no cached DMAV gates.
+	DMAVCacheHitRate float64 `json:"dmav_cache_hit_rate"`
+
+	MemoryBytes uint64 `json:"memory_bytes,omitempty"`
+	// Allocation deltas from runtime.MemStats, averaged per repetition.
+	AllocBytesPerRep uint64 `json:"alloc_bytes_per_rep,omitempty"`
+	MallocsPerRep    uint64 `json:"mallocs_per_rep,omitempty"`
+}
+
+// Key is the identity cells are aligned by across records.
+func (c Cell) Key() string {
+	k := c.Exp + "/" + c.Circuit + "/" + c.Engine
+	if c.Threads > 0 {
+		k += fmt.Sprintf("/t%d", c.Threads)
+	}
+	return k
+}
+
+// Record is one benchmark run's durable artifact.
+type Record struct {
+	Schema  int       `json:"schema"`
+	GitSHA  string    `json:"git_sha"`
+	Date    time.Time `json:"date"`
+	Host    Host      `json:"host"`
+	Exp     string    `json:"exp"`
+	Scale   string    `json:"scale"`
+	Threads int       `json:"threads"`
+	Reps    int       `json:"reps"`
+
+	Cells []Cell `json:"cells"`
+	// Series is the run's sampled time series (registry gauges/counters
+	// plus heap and goroutine counts) from obs.Sampler, so the phase
+	// timeline (DDSIM → conversion → DMAV) is reconstructible after the
+	// fact.
+	Series []obs.Series `json:"series,omitempty"`
+}
+
+// NewRecord returns a record stamped with the current commit, time and
+// host.
+func NewRecord(exp, scale string, threads, reps int) *Record {
+	return &Record{
+		Schema:  Schema,
+		GitSHA:  GitSHA(),
+		Date:    time.Now().UTC().Truncate(time.Second),
+		Host:    CurrentHost(),
+		Exp:     exp,
+		Scale:   scale,
+		Threads: threads,
+		Reps:    reps,
+	}
+}
+
+// GitSHA returns the current commit hash, or "unknown" outside a git
+// checkout.
+func GitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// Add appends one cell.
+func (r *Record) Add(c Cell) { r.Cells = append(r.Cells, c) }
+
+// Write serializes the record as indented JSON.
+func (r *Record) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a record back. It rejects files without a schema marker (not
+// perf records) and records with a newer schema than this binary knows.
+func Load(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if r.Schema == 0 {
+		return nil, fmt.Errorf("perf: %s is not a perf record (no schema field)", path)
+	}
+	if r.Schema > Schema {
+		return nil, fmt.Errorf("perf: %s has schema %d, newer than supported %d", path, r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+var recordNameRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// recordNum extracts n from a BENCH_<n>.json file name.
+func recordNum(name string) (int, bool) {
+	m := recordNameRe.FindStringSubmatch(name)
+	if m == nil {
+		return 0, false
+	}
+	n, err := strconv.Atoi(m[1])
+	return n, err == nil
+}
+
+// NextRecordPath returns the first unused BENCH_<n>.json path in dir,
+// counting from 1.
+func NextRecordPath(dir string) string {
+	max := 0
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if n, ok := recordNum(e.Name()); ok && n > max {
+			max = n
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", max+1))
+}
+
+// NewestRecordPath returns the BENCH_<n>.json in dir with the highest n,
+// skipping the exclude path (compare by cleaned path; pass "" to skip
+// nothing). Empty result means no record exists.
+func NewestRecordPath(dir, exclude string) string {
+	exclude = filepath.Clean(exclude)
+	best, bestPath := 0, ""
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		n, ok := recordNum(e.Name())
+		if !ok || n <= best {
+			continue
+		}
+		p := filepath.Join(dir, e.Name())
+		if filepath.Clean(p) == exclude {
+			continue
+		}
+		best, bestPath = n, p
+	}
+	return bestPath
+}

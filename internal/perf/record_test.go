@@ -1,0 +1,192 @@
+package perf
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"flatdd/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRecord is a fully deterministic record exercising every schema
+// field, used for both the round-trip and the golden-file test.
+func goldenRecord() *Record {
+	return &Record{
+		Schema: Schema,
+		GitSHA: "0123456789abcdef0123456789abcdef01234567",
+		Date:   time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		Host: Host{
+			Hostname: "ci-runner", OS: "linux", Arch: "amd64",
+			NumCPU: 8, GOMAXPROCS: 8, GoVersion: "go1.24.0",
+		},
+		Exp: "table1", Scale: "tiny", Threads: 4, Reps: 3,
+		Cells: []Cell{
+			{
+				Exp: "table1", Circuit: "dnn_n8", Engine: "FlatDD",
+				Qubits: 8, Gates: 208,
+				Wall:      Stat{MeanNs: 1.5e6, StddevNs: 2e5, MinNs: 1.3e6, MaxNs: 1.7e6, N: 3},
+				NsPerGate: 7211.54, PeakDDNodes: 412, ConvertedAt: 96,
+				DMAVCacheHitRate: 0.82, MemoryBytes: 1 << 20,
+				AllocBytesPerRep: 65536, MallocsPerRep: 1200,
+			},
+			{
+				Exp: "table1", Circuit: "dnn_n8", Engine: "DDSIM",
+				Qubits: 8, Gates: 208,
+				Wall:        Stat{MeanNs: 4.5e6, StddevNs: 1e5, MinNs: 4.4e6, MaxNs: 4.6e6, N: 3},
+				NsPerGate:   21634.6,
+				ConvertedAt: -1, DMAVCacheHitRate: -1, MemoryBytes: 2 << 20,
+			},
+			{
+				Exp: "fig12", Circuit: "knn_n9", Engine: "FlatDD", Threads: 2,
+				Qubits: 9, Gates: 150, TimedOut: true,
+				Wall:        Stat{MeanNs: 9e8, MinNs: 9e8, MaxNs: 9e8, N: 1},
+				NsPerGate:   6e6,
+				ConvertedAt: -1, DMAVCacheHitRate: -1,
+			},
+		},
+		Series: []obs.Series{
+			{Name: "core.dd_size", TMs: []int64{0, 10, 20}, V: []float64{1, 210, 208}},
+			{Name: "runtime.goroutines", TMs: []int64{0, 10, 20}, V: []float64{2, 6, 6}},
+		},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_1.json")
+	want := goldenRecord()
+	if err := want.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRecordGoldenFile(t *testing.T) {
+	golden := filepath.Join("testdata", "record_golden.json")
+	if *update {
+		if err := goldenRecord().Write(golden); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Load(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := goldenRecord(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("golden file drifted from goldenRecord(); run go test ./internal/perf -update if the schema change is intentional\ngot  %+v\nwant %+v", got, want)
+	}
+	// And byte-stable serialization: re-writing the golden record must
+	// reproduce the committed file exactly.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_1.json")
+	if err := goldenRecord().Write(path); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("serialization of the golden record no longer matches testdata/record_golden.json")
+	}
+}
+
+func TestLoadRejectsNonRecords(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_1.json")
+	if err := os.WriteFile(path, []byte(`{"cells": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("schema-less file accepted")
+	}
+	if err := os.WriteFile(path, []byte(`{"schema": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("future schema accepted")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestNewStat(t *testing.T) {
+	s := NewStat([]float64{10, 20, 30})
+	if s.N != 3 || s.MeanNs != 20 || s.MinNs != 10 || s.MaxNs != 30 {
+		t.Fatalf("stat = %+v", s)
+	}
+	if math.Abs(s.StddevNs-10) > 1e-9 {
+		t.Fatalf("sample stddev = %v, want 10", s.StddevNs)
+	}
+	// A single repetition has no spread information.
+	if s := NewStat([]float64{42}); s.StddevNs != 0 || s.MeanNs != 42 || s.N != 1 {
+		t.Fatalf("single-rep stat = %+v", s)
+	}
+	if s := NewStat(nil); s.N != 0 || s.MeanNs != 0 {
+		t.Fatalf("empty stat = %+v", s)
+	}
+}
+
+func TestCellKey(t *testing.T) {
+	c := Cell{Exp: "table1", Circuit: "ghz_n10", Engine: "FlatDD"}
+	if got := c.Key(); got != "table1/ghz_n10/FlatDD" {
+		t.Fatalf("key = %q", got)
+	}
+	c.Threads = 8
+	if got := c.Key(); got != "table1/ghz_n10/FlatDD/t8" {
+		t.Fatalf("threaded key = %q", got)
+	}
+}
+
+func TestNextRecordPath(t *testing.T) {
+	dir := t.TempDir()
+	if got, want := NextRecordPath(dir), filepath.Join(dir, "BENCH_1.json"); got != want {
+		t.Fatalf("empty dir: %q, want %q", got, want)
+	}
+	for _, name := range []string{"BENCH_1.json", "BENCH_3.json", "BENCH_x.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := NextRecordPath(dir), filepath.Join(dir, "BENCH_4.json"); got != want {
+		t.Fatalf("next: %q, want %q", got, want)
+	}
+}
+
+func TestNewestRecordPath(t *testing.T) {
+	dir := t.TempDir()
+	if got := NewestRecordPath(dir, ""); got != "" {
+		t.Fatalf("empty dir yielded %q", got)
+	}
+	for _, name := range []string{"BENCH_2.json", "BENCH_10.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newest := filepath.Join(dir, "BENCH_10.json")
+	if got := NewestRecordPath(dir, ""); got != newest {
+		t.Fatalf("newest: %q, want %q", got, newest)
+	}
+	// Excluding the newest falls back to the runner-up (numeric, not
+	// lexicographic, so 10 > 2).
+	if got, want := NewestRecordPath(dir, newest), filepath.Join(dir, "BENCH_2.json"); got != want {
+		t.Fatalf("excluded newest: %q, want %q", got, want)
+	}
+}
