@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench-obs bench-record bench-gate csv
+.PHONY: build test check fuzz bench-obs bench-record bench-gate csv
 
 build:
 	$(GO) build ./...
@@ -9,14 +9,21 @@ test:
 	$(GO) test ./...
 
 # check is the pre-commit gate: full vet, the race detector over the
-# concurrency-heavy packages (the obs registry is hammered from worker
-# goroutines; core drives every instrumented layer end to end), and a
-# smoke run of the perf-record + benchdiff pipeline.
+# whole module in short mode (the sched pool, DMAV workers, conversion
+# tasks, and the obs registry all run concurrently; short mode keeps the
+# differential and stress suites at their quick defaults), and a smoke
+# run of the perf-record + benchdiff pipeline.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/perf/...
+	$(GO) test -race -short ./...
 	$(MAKE) bench-record
 	$(MAKE) bench-gate
+
+# fuzz runs the OpenQASM parser fuzzer for a bounded slice of time, seeded
+# from internal/qasm/testdata/fuzz. A crasher is written to that directory
+# and replays as a regular test case on the next `go test`.
+fuzz:
+	$(GO) test -run NoSuchTest -fuzz FuzzParse -fuzztime 10s ./internal/qasm
 
 # bench-record emits a machine-readable perf record (BENCH_<n>.json at the
 # repo root) from a tiny-scale Table 1 run: 2 repetitions per cell plus

@@ -234,15 +234,21 @@ func printMetrics(snap obs.Snapshot) {
 			c["dmav.cache.hits"]+c["dmav.cache.misses"],
 			rate(c["dmav.cache.hits"], c["dmav.cache.hits"]+c["dmav.cache.misses"]),
 			c["dmav.gates.cached"], c["dmav.gates"])
-		fmt.Printf("  dmav MACs (modeled): %d\n", c["dmav.macs.modeled"])
+		fmt.Printf("  dmav MACs (modeled): %d, executed: %d over %d tasks in %d chunks\n",
+			c["dmav.macs.modeled"], c["dmav.macs.executed"], c["dmav.tasks"], c["dmav.chunks"])
 	}
 	if c["dd.gc.runs"] > 0 {
 		fmt.Printf("  dd GC: %d runs, %d nodes reclaimed, %v paused\n",
 			c["dd.gc.runs"], c["dd.gc.reclaimed"], time.Duration(c["dd.gc.pause_ns"]))
 	}
 	if c["convert.runs"] > 0 {
-		fmt.Printf("  conversion: %d workers, %.0f%% parallel efficiency\n",
-			c["convert.goroutines"], 100*snap.FloatGauges["convert.efficiency"])
+		fmt.Printf("  conversion: %d tasks, %.0f%% parallel efficiency\n",
+			c["convert.tasks"], 100*snap.FloatGauges["convert.efficiency"])
+	}
+	if c["sched.batches"] > 0 {
+		fmt.Printf("  scheduler: %d workers ran %d tasks in %d batches, %d steals, %v idle\n",
+			g["sched.workers"], c["sched.tasks"], c["sched.batches"],
+			c["sched.steals"], time.Duration(c["sched.idle_ns"]))
 	}
 }
 

@@ -6,14 +6,24 @@
 // one amplitude per nonzero path. Parallel adds the paper's two
 // optimizations:
 //
-//   - load balancing (Figure 4a): threads divide across the two outgoing
-//     edges of each node, but if one edge is zero all threads follow the
-//     nonzero edge, so none idles on a zero sub-tree;
+//   - load balancing (Figure 4a): when one outgoing edge of a node is
+//     zero, the whole sub-range collapses onto the nonzero edge, so no
+//     worker idles on a zero sub-tree — with region-based chunking this
+//     falls out naturally, because chunks are cut from nonzero regions
+//     only;
 //   - scalar multiplication (Figure 4b): when a node's two children are
 //     the same node, the second half of the output region is the first
 //     half scaled by the ratio of the edge weights — the first half is
 //     converted once and the second filled with a SIMD-style scalar
 //     multiply, parallelized across the available threads.
+//
+// The parallel walk is planned, not spawned: planConv cuts the DD into
+// region-sized leaf tasks plus an ordered list of scale operations, the
+// tasks run as one batch on an internal/sched work-stealing pool, and
+// the scales follow innermost-first (an outer scale reads regions an
+// inner scale fills). ParallelIntoPool is the primary entry point; the
+// Parallel/ParallelInto/ParallelIntoObs wrappers keep the old
+// signatures and run on a transient pool.
 package convert
 
 import (
@@ -23,16 +33,21 @@ import (
 
 	"flatdd/internal/dd"
 	"flatdd/internal/obs"
+	"flatdd/internal/sched"
 )
+
+// minLeaf is the smallest output region worth a separate task; below
+// it, scheduling overhead beats the parallelism.
+const minLeaf = 128
 
 // Metrics holds the conversion counters (see DESIGN.md, "Observability").
 // A nil *Metrics disables instrumentation at the cost of one pointer check
-// per goroutine spawn.
+// per task creation.
 type Metrics struct {
 	Runs         *obs.Counter    // conversions performed
 	WallNs       *obs.Counter    // total wall time across conversions
-	WorkerBusyNs *obs.Counter    // summed busy time of spawned workers
-	Goroutines   *obs.Counter    // workers spawned
+	WorkerBusyNs *obs.Counter    // summed busy time of conversion tasks
+	Tasks        *obs.Counter    // conversion tasks scheduled
 	Efficiency   *obs.FloatGauge // busy/(threads*wall) of the last conversion
 }
 
@@ -46,7 +61,7 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		Runs:         r.Counter("convert.runs"),
 		WallNs:       r.Counter("convert.wall_ns"),
 		WorkerBusyNs: r.Counter("convert.worker_busy_ns"),
-		Goroutines:   r.Counter("convert.goroutines"),
+		Tasks:        r.Counter("convert.tasks"),
 		Efficiency:   r.FloatGauge("convert.efficiency"),
 	}
 }
@@ -58,7 +73,7 @@ func Sequential(m *dd.Manager, e dd.VEdge, n int) []complex128 {
 }
 
 // Parallel converts a state DD to a freshly allocated flat array using
-// `threads` worker goroutines.
+// `threads` workers.
 func Parallel(e dd.VEdge, n, threads int) []complex128 {
 	out := make([]complex128, uint64(1)<<uint(n))
 	ParallelInto(e, n, threads, out)
@@ -72,36 +87,60 @@ func ParallelInto(e dd.VEdge, n, threads int, out []complex128) {
 	ParallelIntoObs(e, n, threads, out, nil)
 }
 
-// ParallelIntoObs is ParallelInto with optional instrumentation: wall time,
-// spawned-worker count and busy time, and a parallelism-efficiency gauge
-// ((wall + worker busy)/(threads * wall); 1.0 means every thread was busy
-// for the whole conversion). A nil m behaves exactly like ParallelInto.
+// ParallelIntoObs is ParallelInto with optional instrumentation (see
+// ParallelIntoPool). It runs on a transient pool; callers that convert
+// as part of a longer simulation should hold a pool and use
+// ParallelIntoPool instead.
 func ParallelIntoObs(e dd.VEdge, n, threads int, out []complex128, m *Metrics) {
-	if uint64(len(out)) != uint64(1)<<uint(n) {
-		panic(fmt.Sprintf("convert: output length %d, want %d", len(out), uint64(1)<<uint(n)))
-	}
 	if threads < 1 {
 		threads = 1
+	}
+	p := sched.New(threads)
+	defer p.Close()
+	ParallelIntoPool(e, n, p, out, m)
+}
+
+// ParallelIntoPool converts a state DD into out on an existing
+// scheduler pool. out must have length 2^n and be zeroed. When m is
+// non-nil it records wall time, task count and busy time, and a
+// parallelism-efficiency gauge (busy/(threads·wall); 1.0 means every
+// worker was busy for the whole conversion).
+func ParallelIntoPool(e dd.VEdge, n int, p *sched.Pool, out []complex128, m *Metrics) {
+	if uint64(len(out)) != uint64(1)<<uint(n) {
+		panic(fmt.Sprintf("convert: output length %d, want %d", len(out), uint64(1)<<uint(n)))
 	}
 	if e.IsZero() {
 		return
 	}
+	threads := p.Threads()
 	var start time.Time
 	var busyBefore int64
 	if m != nil {
 		start = time.Now()
 		busyBefore = m.WorkerBusyNs.Value()
 	}
-	var wg sync.WaitGroup
-	convRec(e.N, e.W, out, threads, &wg, m)
-	wg.Wait()
+	minChunk := len(out) / (8 * threads)
+	if minChunk < minLeaf {
+		minChunk = minLeaf
+	}
+	var tasks []sched.Task
+	var scales []scaleOp
+	planConv(e.N, e.W, out, minChunk, &tasks, &scales, m)
+	p.Run(tasks)
+	// Innermost-first: a scale discovered later lies inside the source
+	// region of one discovered earlier (DFS order), never the other way
+	// round, so the reverse order guarantees every source is complete
+	// before it is read.
+	for i := len(scales) - 1; i >= 0; i-- {
+		runScale(p, scales[i], m)
+	}
 	if m != nil {
 		wall := time.Since(start).Nanoseconds()
 		m.Runs.Inc()
 		m.WallNs.Add(wall)
 		if wall > 0 {
 			busy := m.WorkerBusyNs.Value() - busyBefore
-			eff := float64(wall+busy) / (float64(threads) * float64(wall))
+			eff := float64(busy) / (float64(threads) * float64(wall))
 			if eff > 1 {
 				eff = 1
 			}
@@ -110,16 +149,23 @@ func ParallelIntoObs(e dd.VEdge, n, threads int, out []complex128, m *Metrics) {
 	}
 }
 
-// convRec converts the sub-vector of node nd (reached with weight product
-// w) into out, with budget worker goroutines available for this sub-tree.
-func convRec(nd *dd.VNode, w complex128, out []complex128, budget int, wg *sync.WaitGroup, m *Metrics) {
-	if budget <= 1 {
-		convSeq(nd, w, out)
-		return
-	}
+// scaleOp is one deferred Figure 4b shortcut: dst = src * f, recorded
+// during planning and executed after the leaf tasks.
+type scaleOp struct {
+	dst, src []complex128
+	f        complex128
+}
+
+// planConv cuts the sub-vector of node nd (reached with weight product
+// w) into leaf tasks of at most minChunk elements. Zero edges collapse
+// the region (load balancing: no task is ever created for a zero
+// sub-tree), and the e0.N == e1.N shortcut is recorded as a scaleOp
+// instead of descending twice.
+func planConv(nd *dd.VNode, w complex128, out []complex128, minChunk int, tasks *[]sched.Task, scales *[]scaleOp, m *Metrics) {
 	for {
-		if nd.Level == dd.TerminalLevel {
-			out[0] = w
+		if len(out) <= minChunk || nd.Level == dd.TerminalLevel {
+			nd, w, out := nd, w, out
+			*tasks = append(*tasks, timedTask(m, func() { convSeq(nd, w, out) }))
 			return
 		}
 		half := len(out) / 2
@@ -128,7 +174,6 @@ func convRec(nd *dd.VNode, w complex128, out []complex128, budget int, wg *sync.
 		case e0.IsZero() && e1.IsZero():
 			return
 		case e1.IsZero():
-			// Load balancing: all threads proceed along the nonzero edge.
 			w *= e0.W
 			nd = e0.N
 			out = out[:half]
@@ -137,51 +182,60 @@ func convRec(nd *dd.VNode, w complex128, out []complex128, budget int, wg *sync.
 			nd = e1.N
 			out = out[half:]
 		case e0.N == e1.N:
-			// Scalar-multiplication optimization: convert the first half
-			// (waiting for every worker it spawns — the scaling below reads
-			// it), then derive the second by scaling with e1.W/e0.W.
-			lo := out[:half]
-			hi := out[half:]
-			var sub sync.WaitGroup
-			convRec(e0.N, w*e0.W, lo, budget, &sub, m)
-			sub.Wait()
-			parallelScalarMul(hi, lo, e1.W/e0.W, budget, wg, m)
-			return
+			*scales = append(*scales, scaleOp{dst: out[half:], src: out[:half], f: e1.W / e0.W})
+			w *= e0.W
+			nd = e0.N
+			out = out[:half]
 		default:
-			if budget <= 1 {
-				convSeq(nd, w, out)
-				return
-			}
-			// Divide the threads across the two edges.
-			b0 := budget / 2
-			b1 := budget - b0
-			lo := out[:half]
-			e0w := w * e0.W
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				var t0 time.Time
-				if m != nil {
-					m.Goroutines.Inc()
-					t0 = time.Now()
-				}
-				var sub sync.WaitGroup
-				convRec(e0.N, e0w, lo, b0, &sub, m)
-				sub.Wait()
-				if m != nil {
-					m.WorkerBusyNs.Add(time.Since(t0).Nanoseconds())
-				}
-			}()
+			planConv(e0.N, w*e0.W, out[:half], minChunk, tasks, scales, m)
 			w *= e1.W
 			nd = e1.N
 			out = out[half:]
-			budget = b1
 		}
 	}
 }
 
+// timedTask wraps a task with busy-time accounting when metrics are on.
+func timedTask(m *Metrics, f func()) sched.Task {
+	if m == nil {
+		return f
+	}
+	m.Tasks.Inc()
+	return func() {
+		t0 := time.Now()
+		f()
+		m.WorkerBusyNs.Add(time.Since(t0).Nanoseconds())
+	}
+}
+
+// runScale executes one scaleOp, split across the pool when the region
+// is large enough to be worth it.
+func runScale(p *sched.Pool, s scaleOp, m *Metrics) {
+	n := len(s.dst)
+	threads := p.Threads()
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 || n < 1024 {
+		t := timedTask(m, func() { scalarMul(s.dst, s.src, s.f) })
+		t()
+		return
+	}
+	tasks := make([]sched.Task, 0, threads)
+	chunk := n / threads
+	for i := 0; i < threads; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if i == threads-1 {
+			hi = n
+		}
+		tasks = append(tasks, timedTask(m, func() { scalarMul(s.dst[lo:hi], s.src[lo:hi], s.f) }))
+	}
+	p.Run(tasks)
+}
+
 // convSeq is the single-threaded conversion of a sub-tree: no goroutines,
-// no WaitGroups, but still applying the scalar-multiplication shortcut.
+// no scheduling, but still applying the scalar-multiplication shortcut.
 func convSeq(nd *dd.VNode, w complex128, out []complex128) {
 	for {
 		if nd.Level == dd.TerminalLevel {
@@ -218,6 +272,8 @@ func convSeq(nd *dd.VNode, w complex128, out []complex128) {
 // divided blindly across both outgoing edges of every node (threads routed
 // to a zero edge idle, Figure 4a's problem) and the scalar-multiplication
 // shortcut is disabled. It quantifies what the two optimizations buy.
+// It intentionally keeps the old spawn-per-split implementation — it is
+// the baseline the scheduled version is measured against.
 func ParallelNaiveInto(e dd.VEdge, n, threads int, out []complex128) {
 	if uint64(len(out)) != uint64(1)<<uint(n) {
 		panic(fmt.Sprintf("convert: output length %d, want %d", len(out), uint64(1)<<uint(n)))
@@ -265,40 +321,6 @@ func naiveRec(nd *dd.VNode, w complex128, out []complex128, budget int, wg *sync
 	}
 	if !e1.IsZero() {
 		naiveRec(e1.N, w*e1.W, out[half:], b1, wg)
-	}
-}
-
-// parallelScalarMul fills dst = src * f, splitting the work across budget
-// goroutines registered on wg.
-func parallelScalarMul(dst, src []complex128, f complex128, budget int, wg *sync.WaitGroup, m *Metrics) {
-	n := len(dst)
-	if budget > n {
-		budget = n
-	}
-	if budget <= 1 || n < 1024 {
-		scalarMul(dst, src, f)
-		return
-	}
-	chunk := n / budget
-	for i := 0; i < budget; i++ {
-		lo := i * chunk
-		hi := lo + chunk
-		if i == budget-1 {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			var t0 time.Time
-			if m != nil {
-				m.Goroutines.Inc()
-				t0 = time.Now()
-			}
-			scalarMul(dst[lo:hi], src[lo:hi], f)
-			if m != nil {
-				m.WorkerBusyNs.Add(time.Since(t0).Nanoseconds())
-			}
-		}(lo, hi)
 	}
 }
 

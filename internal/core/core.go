@@ -25,6 +25,7 @@ import (
 	"flatdd/internal/ewma"
 	"flatdd/internal/fusion"
 	"flatdd/internal/obs"
+	"flatdd/internal/sched"
 	"flatdd/internal/statevec"
 )
 
@@ -73,9 +74,16 @@ func (f FusionMode) String() string {
 // Options configures a FlatDD simulator. The zero value gives the paper's
 // defaults: β=0.9, ε=2, auto caching, no fusion, one thread.
 type Options struct {
-	// Threads is the worker count for conversion and DMAV (rounded down to
-	// a power of two by the DMAV engine).
+	// Threads is the worker count for conversion and DMAV. Any positive
+	// value is accepted (the DMAV engine caps it at 2^n); it is no
+	// longer rounded to a power of two.
 	Threads int
+	// Pool, when non-nil, is the scheduler pool conversion and DMAV run
+	// on; its worker count takes precedence over Threads for execution
+	// (Threads still parameterizes the cost model). The caller keeps
+	// ownership of its lifetime. When nil, Run creates a pool of
+	// Threads workers for the duration of the run.
+	Pool *sched.Pool
 	// Beta and Epsilon parameterize the EWMA conversion controller
 	// (defaults 0.9 and 2).
 	Beta, Epsilon float64
@@ -397,12 +405,20 @@ func (s *Simulator) Run(c *circuit.Circuit) Stats {
 		s.met.phaseTransitions.Inc()
 		s.met.convertedAt.Set(int64(i))
 	}
+	// One scheduler pool serves the whole flat-array phase — conversion
+	// and every DMAV gate — instead of per-gate goroutine churn.
+	pool := s.opts.Pool
+	if pool == nil {
+		pool = sched.New(s.opts.Threads)
+		pool.SetMetrics(s.opts.Metrics)
+		defer pool.Close()
+	}
 	convStart := time.Now()
 	s.state = make([]complex128, uint64(1)<<uint(s.n))
 	if s.opts.SequentialConversion {
 		s.m.FillArray(s.sim.State(), s.n, s.state)
 	} else {
-		convert.ParallelIntoObs(s.sim.State(), s.n, s.opts.Threads, s.state,
+		convert.ParallelIntoPool(s.sim.State(), s.n, pool, s.state,
 			convert.NewMetrics(s.opts.Metrics))
 	}
 	s.stats.ConversionTime = time.Since(convStart)
@@ -410,6 +426,7 @@ func (s *Simulator) Run(c *circuit.Circuit) Stats {
 	s.buf = make([]complex128, len(s.state))
 	s.eng = dmav.New(s.m, s.n, s.opts.Threads, s.opts.CacheMode)
 	s.eng.SetMetrics(s.opts.Metrics)
+	s.eng.SetPool(pool)
 
 	// Release the DD state: only gate matrices stay live from here on.
 	s.sim.SetState(s.m.VZeroEdge())

@@ -1,35 +1,56 @@
 // Package dmav implements DMAV, the paper's core contribution:
 // multiplication of a DD-represented gate matrix with a flat-array state
-// vector, parallelized over worker goroutines.
+// vector, parallelized over a persistent work-stealing pool
+// (internal/sched).
 //
 // Two execution modes exist, selected per gate by the MAC-operation cost
 // model of Section 3.2.3:
 //
-//   - without caching (Algorithm 1): Assign splits the top log2(t) DD
-//     levels across t threads in row space; Run is the recursive kernel that
-//     performs one multiply-accumulate per nonzero matrix entry, with
-//     constant-time indexing along the DD structure;
-//   - with caching (Algorithm 2): AssignCache splits in column space,
-//     threads with non-overlapping partial outputs share zero-initialized
-//     buffers, each thread caches the result sub-vector of every border
-//     node it computes, and a repeated node is reused through one scalar
-//     multiplication instead of a full recursive multiply.
+//   - without caching (Algorithm 1): the amplitude range is split in row
+//     space into ~8×threads chunks sized by the MAC-count cost model, so
+//     a heavy sub-block splits finer than a sparse one; run is the
+//     recursive kernel that performs one multiply-accumulate per nonzero
+//     matrix entry, with constant-time indexing along the DD structure;
+//   - with caching (Algorithm 2): AssignCache splits in column space
+//     into a power-of-two chunk count (the border-level split must stay
+//     aligned with the DD), chunks with non-overlapping partial outputs
+//     share zero-initialized buffers, each chunk caches the result
+//     sub-vector of every border node it computes, and a repeated node
+//     is reused through one scalar multiplication instead of a full
+//     recursive multiply. The final partial-buffer sum runs as row-range
+//     tasks on the same pool.
+//
+// Any positive thread count is supported; chunks are distributed over
+// the pool and re-balanced by stealing, so worker count and chunk
+// shape no longer need to match.
 package dmav
 
 import (
 	"fmt"
 	"math/bits"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"flatdd/internal/dd"
 	"flatdd/internal/obs"
+	"flatdd/internal/sched"
 )
 
 // DefaultSIMDWidth is the default d of Equation 6 — the number of data
 // elements a SIMD lane processes at once (AVX2 in the paper; the unrolled
 // Go kernels in kernels.go play that role here).
 const DefaultSIMDWidth = 4
+
+// chunksPerThread is the target over-decomposition factor: the uncached
+// path aims for about this many row chunks per worker so the
+// work-stealing pool has slack to re-balance a skewed MAC distribution.
+const chunksPerThread = 8
+
+// serialCutoffDim is the state size below which Apply always executes
+// inline on the calling goroutine: a pool batch costs a few microseconds
+// of wake/join per gate, which a sub-4096-amplitude multiplication
+// cannot amortize.
+const serialCutoffDim = 1 << 12
 
 // Mode selects the caching policy of an Engine.
 type Mode int
@@ -56,7 +77,7 @@ func (m Mode) String() string {
 	}
 }
 
-// task is one border-level multiplication task: an h x h sub-matrix (its DD
+// task is one border-level multiplication task: a sub-matrix (its DD
 // edge), the start index of the paired sub-vector, and the weight product
 // accumulated above the edge (exclusive of the edge's own weight).
 type task struct {
@@ -65,11 +86,19 @@ type task struct {
 	f    complex128
 }
 
+// rowChunk is one schedulable unit of the uncached path: the tasks whose
+// outputs land in the row range starting at ir. Chunks partition row
+// space, so they write disjoint slices of W and need no synchronization.
+type rowChunk struct {
+	ir    uint64
+	items []task
+}
+
 // GateCost is the cost-model evaluation of one gate matrix (Section 3.2.3).
 type GateCost struct {
 	K1      int64   // MACs without caching
 	K2      int64   // MACs unrelated to caching (unique border subtrees)
-	Hits    int64   // H: cache hits across all threads
+	Hits    int64   // H: cache hits across all chunks
 	Buffers int     // b: shared partial-output buffers
 	C1      float64 // Equation 5
 	C2      float64 // Equation 6
@@ -104,25 +133,45 @@ type Engine struct {
 	dim  uint64
 	mode Mode
 
-	threads int // power of two, <= 2^n
-	logT    uint
-	h       uint64 // 2^n / threads
+	threads int // any positive count, capped at 2^n
 	simd    int
 
-	tasks   [][]task // per-thread task lists, reused
+	// Cached-path (Algorithm 2) column-space partition: a power-of-two
+	// chunk count so the border-level split stays aligned with the DD.
+	cchunks int    // nextPow2(threads), <= 2^n
+	clogT   uint   // log2(cchunks)
+	ch      uint64 // 2^n / cchunks: rows/cols per cached chunk
+
+	tasks   [][]task // per-chunk task lists (cached path), reused
 	buffers [][]complex128
-	bufOf   []int // thread -> buffer index
+	bufOf   []int // chunk -> buffer index
 	caches  []map[*dd.MNode]cacheEntry
 
+	// Uncached-path adaptive row chunks, reused across gates.
+	rchunks []rowChunk
+
+	// macMemo memoizes dd.MACCountNode across gates for chunk sizing and
+	// load accounting. Keys keep gate nodes alive, bounded by the
+	// distinct gates actually applied.
+	macMemo map[*dd.MNode]int64
+
+	// pool executes chunk batches. Either injected via SetPool (caller
+	// owns its lifetime) or created lazily on the first multi-threaded
+	// Apply (released by Close).
+	pool      *sched.Pool
+	ownPool   bool
+	execTasks []sched.Task // reused batch buffer
+	sumTasks  []sched.Task
+
 	// noBufferShare disables the shared-partial-output optimization of
-	// Algorithm 2 (every thread gets a private buffer); used by the
+	// Algorithm 2 (every chunk gets a private buffer); used by the
 	// ablation experiments.
 	noBufferShare bool
 
 	stats Stats
 
-	// met is nil when metrics are off: Apply and the worker loops gate all
-	// instrumentation behind this one pointer check.
+	// met is nil when metrics are off: Apply gates all instrumentation
+	// behind this one pointer check.
 	met *engMetrics
 }
 
@@ -135,16 +184,15 @@ type engMetrics struct {
 	cacheHits     *obs.Counter
 	cacheMisses   *obs.Counter
 	macsModeled   *obs.Counter
+	macsExec      *obs.Counter
+	tasks         *obs.Counter
+	chunks        *obs.Counter
 	applyNs       *obs.Histogram
-	workerTasks   []*obs.Counter
-	workerMACs    []*obs.Counter
 
-	// Per-worker MAC accounting caches. A gate's task partition and MAC
-	// counts are a pure function of its (immutable) DD and the engine
-	// shape, so the accounting is computed once per distinct gate root and
-	// replayed as counter adds on repeats. The maps keep the gate nodes
-	// alive, which is bounded by the distinct gates of the run.
-	macMemo map[*dd.MNode]int64
+	// Load accounting caches. A gate's chunk plan and MAC counts are a
+	// pure function of its (immutable) DD and the engine shape, so the
+	// accounting is computed once per distinct gate root and replayed as
+	// counter adds on repeats.
 	macSeen map[*dd.MNode]bool
 	acct    map[acctKey]*gateAccount
 }
@@ -156,20 +204,25 @@ type acctKey struct {
 	cached bool
 }
 
-// gateAccount is the memoized per-worker load of one gate in one mode.
+// gateAccount is the memoized load of one gate in one mode.
 type gateAccount struct {
-	tasks, macs []int64
-	misses      int64
+	tasks  int64 // border tasks executed
+	macs   int64 // multiply-accumulates (cache hits cost ch scalar ops)
+	chunks int64 // schedulable chunks
+	misses int64 // cache misses (cached mode only)
 }
 
 type cacheEntry struct {
 	f     complex128 // full weight product of the cached result (incl. edge weight)
-	start uint64     // start index of the cached sub-vector in the thread's buffer
+	start uint64     // start index of the cached sub-vector in the chunk's buffer
 }
 
-// New returns a DMAV engine for n qubits. The thread count is rounded down
-// to the largest power of two not exceeding max(1, threads) and capped at
-// 2^n, as Assign splits threads in halves level by level.
+// New returns a DMAV engine for n qubits running max(1, threads)
+// workers, capped at 2^n. Any positive thread count is supported: the
+// uncached path sizes its row chunks by the MAC cost model, and the
+// cached path partitions column space into the next power of two ≥
+// threads, with the work-stealing pool re-balancing either shape across
+// the actual workers.
 func New(m *dd.Manager, n, threads int, mode Mode) *Engine {
 	if n < 1 || n > 34 {
 		panic(fmt.Sprintf("dmav: unsupported qubit count %d", n))
@@ -177,34 +230,77 @@ func New(m *dd.Manager, n, threads int, mode Mode) *Engine {
 	if threads < 1 {
 		threads = 1
 	}
-	t := 1
-	for t*2 <= threads && t*2 <= 1<<uint(n) {
-		t *= 2
+	dim := uint64(1) << uint(n)
+	if uint64(threads) > dim {
+		threads = int(dim)
+	}
+	cchunks := 1
+	for cchunks < threads {
+		cchunks <<= 1
 	}
 	e := &Engine{
 		m:       m,
 		n:       n,
-		dim:     uint64(1) << uint(n),
+		dim:     dim,
 		mode:    mode,
-		threads: t,
-		logT:    uint(bits.TrailingZeros(uint(t))),
+		threads: threads,
+		cchunks: cchunks,
+		clogT:   uint(bits.TrailingZeros(uint(cchunks))),
 		simd:    DefaultSIMDWidth,
+		macMemo: make(map[*dd.MNode]int64),
 	}
-	e.h = e.dim >> e.logT
-	e.tasks = make([][]task, t)
-	e.bufOf = make([]int, t)
-	e.caches = make([]map[*dd.MNode]cacheEntry, t)
+	e.ch = e.dim >> e.clogT
+	e.tasks = make([][]task, cchunks)
+	e.bufOf = make([]int, cchunks)
+	e.caches = make([]map[*dd.MNode]cacheEntry, cchunks)
 	for i := range e.caches {
 		e.caches[i] = make(map[*dd.MNode]cacheEntry)
 	}
 	return e
 }
 
-// Threads returns the effective (power-of-two) worker count.
+// Threads returns the effective worker count: max(1, requested), capped
+// at 2^n. Unlike earlier versions, the count is no longer rounded to a
+// power of two — New(m, n, 3, mode).Threads() == 3.
 func (e *Engine) Threads() int { return e.threads }
+
+// CacheChunks returns the cached-path column-space chunk count: the next
+// power of two ≥ Threads(), capped at 2^n.
+func (e *Engine) CacheChunks() int { return e.cchunks }
 
 // Mode returns the caching policy.
 func (e *Engine) Mode() Mode { return e.mode }
+
+// SetPool injects a shared scheduler pool (core.Run uses this so one
+// pool serves conversion and every DMAV gate). The caller keeps
+// ownership of the pool's lifetime. Passing nil reverts to a lazily
+// created engine-owned pool.
+func (e *Engine) SetPool(p *sched.Pool) {
+	if e.ownPool {
+		e.pool.Close()
+		e.ownPool = false
+	}
+	e.pool = p
+}
+
+// Close releases the engine-owned pool, if one was created. Engines
+// given a pool via SetPool are not affected.
+func (e *Engine) Close() {
+	if e.ownPool {
+		e.pool.Close()
+		e.pool = nil
+		e.ownPool = false
+	}
+}
+
+// ensurePool lazily creates an engine-owned pool for engines not wired
+// into a shared one.
+func (e *Engine) ensurePool() {
+	if e.pool == nil {
+		e.pool = sched.New(e.threads)
+		e.ownPool = true
+	}
+}
 
 // SetBufferSharing enables or disables the shared partial-output buffers
 // of Algorithm 2 (enabled by default; disabling is for ablation studies).
@@ -221,40 +317,43 @@ func (e *Engine) SetSIMDWidth(d int) {
 // Stats returns the accumulated counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
-// SetMetrics attaches the engine to a registry (nil detaches). Per-worker
-// load shows up as dmav.worker.<u>.tasks (border tasks executed) and
-// dmav.worker.<u>.macs (multiply-accumulates performed: the exact path
-// count of each executed sub-tree, plus one scalar multiply per cached
-// element on reuse). It must be called before Apply.
+// SetMetrics attaches the engine to a registry (nil detaches). Aggregate
+// load shows up as dmav.tasks (border tasks executed), dmav.chunks
+// (schedulable chunks built) and dmav.macs.executed (multiply-
+// accumulates performed: the exact path count of each executed sub-tree,
+// plus one scalar multiply per cached element on reuse); per-worker
+// attribution lives with the scheduler (sched.worker.<i>.*). It must be
+// called before Apply.
 func (e *Engine) SetMetrics(r *obs.Registry) {
 	if r == nil {
 		e.met = nil
 		return
 	}
-	m := &engMetrics{
+	e.met = &engMetrics{
 		gates:         r.Counter("dmav.gates"),
 		cachedGates:   r.Counter("dmav.gates.cached"),
 		uncachedGates: r.Counter("dmav.gates.uncached"),
 		cacheHits:     r.Counter("dmav.cache.hits"),
 		cacheMisses:   r.Counter("dmav.cache.misses"),
 		macsModeled:   r.Counter("dmav.macs.modeled"),
+		macsExec:      r.Counter("dmav.macs.executed"),
+		tasks:         r.Counter("dmav.tasks"),
+		chunks:        r.Counter("dmav.chunks"),
 		applyNs:       r.Histogram("dmav.apply_ns", obs.DurationBuckets()),
-		workerTasks:   make([]*obs.Counter, e.threads),
-		workerMACs:    make([]*obs.Counter, e.threads),
-		macMemo:       make(map[*dd.MNode]int64),
 		macSeen:       make(map[*dd.MNode]bool),
 		acct:          make(map[acctKey]*gateAccount),
 	}
-	for u := 0; u < e.threads; u++ {
-		m.workerTasks[u] = r.Counter(fmt.Sprintf("dmav.worker.%d.tasks", u))
-		m.workerMACs[u] = r.Counter(fmt.Sprintf("dmav.worker.%d.macs", u))
-	}
-	e.met = m
 }
 
-// borderLevel is n - log2(t) - 1 (Section 3.2.1): Assign stops there and
-// Run starts there.
-func (e *Engine) borderLevel() int { return e.n - int(e.logT) - 1 }
+// borderLevel is n - log2(cchunks) - 1 (Section 3.2.1): AssignCache
+// stops there and run starts there.
+func (e *Engine) borderLevel() int { return e.n - int(e.clogT) - 1 }
+
+// inline reports whether this engine runs its per-gate work on the
+// calling goroutine instead of batching it onto the pool. The decision
+// is fixed per engine (it depends only on the thread count and state
+// size), so the memoized load accounting never sees a plan-shape change.
+func (e *Engine) inline() bool { return e.threads == 1 || e.dim < serialCutoffDim }
 
 // Apply computes W = M·V, choosing the execution mode per the engine
 // policy. V and W must have length 2^n and must not alias. It returns the
@@ -288,7 +387,7 @@ func (e *Engine) Apply(M dd.MEdge, V, W []complex128) GateCost {
 		e.stats.CachedGates++
 		e.stats.CacheHits += hits
 	} else {
-		e.applyUncached(M, V, W)
+		e.applyUncached(M, V, W, cost.K1)
 	}
 	e.stats.Gates++
 	e.stats.MACsModeled += cost.Cost()
@@ -303,57 +402,60 @@ func (e *Engine) Apply(M dd.MEdge, V, W []complex128) GateCost {
 		} else {
 			met.uncachedGates.Inc()
 		}
-		e.accountWorkers(met, M, useCache)
+		e.accountLoad(met, M, useCache)
 	}
 	return cost
 }
 
-// accountWorkers attributes the exact per-worker load of the Apply that
-// just ran: tasks executed and multiply-accumulates performed (the path
-// count of each executed sub-tree; with caching, repeated nodes cost one
-// scalar multiply per cached element instead). It runs sequentially after
-// the workers have joined so the kernel goroutines stay
-// instrumentation-free. The result is a pure function of the gate DD and
-// the engine shape, so it is computed once per distinct gate root (walking
-// the e.tasks lists the assignment just built) and replayed from the
-// memo on repeats; steady state is one map lookup plus counter adds.
-func (e *Engine) accountWorkers(met *engMetrics, M dd.MEdge, useCache bool) {
+// accountLoad attributes the exact load of the Apply that just ran:
+// chunks built, tasks executed and multiply-accumulates performed (the
+// path count of each executed sub-tree; with caching, repeated nodes
+// cost one scalar multiply per cached element instead). It runs
+// sequentially after the pool batch has drained so the kernel stays
+// instrumentation-free, and is memoized per distinct gate root (walking
+// the chunk plan the assignment just built); steady state is one map
+// lookup plus counter adds. Per-worker attribution comes from the
+// scheduler's own counters, since stealing makes the worker→chunk
+// mapping dynamic.
+func (e *Engine) accountLoad(met *engMetrics, M dd.MEdge, useCache bool) {
 	key := acctKey{M.N, useCache}
 	a, ok := met.acct[key]
 	if !ok {
-		a = &gateAccount{
-			tasks: make([]int64, e.threads),
-			macs:  make([]int64, e.threads),
-		}
-		memo := met.macMemo
-		for u := range e.tasks {
-			a.tasks[u] = int64(len(e.tasks[u]))
-			var macs int64
-			if !useCache {
-				for _, tk := range e.tasks[u] {
-					macs += dd.MACCountNode(tk.edge.N, memo)
+		a = &gateAccount{}
+		memo := e.macMemo
+		if !useCache {
+			a.chunks = int64(len(e.rchunks))
+			for i := range e.rchunks {
+				a.tasks += int64(len(e.rchunks[i].items))
+				for _, tk := range e.rchunks[i].items {
+					a.macs += dd.MACCountNode(tk.edge.N, memo)
 				}
-			} else {
-				seen := met.macSeen
+			}
+		} else {
+			seen := met.macSeen
+			for u := 0; u < e.cchunks; u++ {
+				if len(e.tasks[u]) == 0 {
+					continue
+				}
+				a.chunks++
+				a.tasks += int64(len(e.tasks[u]))
 				clear(seen)
 				for _, tk := range e.tasks[u] {
 					if seen[tk.edge.N] {
-						macs += int64(e.h)
+						a.macs += int64(e.ch)
 						continue
 					}
 					seen[tk.edge.N] = true
 					a.misses++
-					macs += dd.MACCountNode(tk.edge.N, memo)
+					a.macs += dd.MACCountNode(tk.edge.N, memo)
 				}
 			}
-			a.macs[u] = macs
 		}
 		met.acct[key] = a
 	}
-	for u := 0; u < e.threads; u++ {
-		met.workerTasks[u].Add(a.tasks[u])
-		met.workerMACs[u].Add(a.macs[u])
-	}
+	met.tasks.Add(a.tasks)
+	met.macsExec.Add(a.macs)
+	met.chunks.Add(a.chunks)
 	if useCache {
 		met.cacheMisses.Add(a.misses)
 	}
@@ -395,52 +497,84 @@ func (e *Engine) EvaluateCost(M dd.MEdge) GateCost {
 	return c
 }
 
-// applyUncached is Algorithm 1: DMAV without caching.
-func (e *Engine) applyUncached(M dd.MEdge, V, W []complex128) {
-	e.assign(M)
-	var wg sync.WaitGroup
-	for u := 0; u < e.threads; u++ {
-		if len(e.tasks[u]) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(u int) {
-			defer wg.Done()
-			iw := uint64(u) * e.h
-			for _, tk := range e.tasks[u] {
-				run(tk.edge, V, W, tk.idx, iw, tk.f)
+// applyUncached is Algorithm 1: DMAV without caching. Row chunks are
+// sized by the MAC cost model (assignRows) and executed as one pool
+// batch; chunks write disjoint row ranges of W, so tasks need no
+// synchronization among themselves.
+func (e *Engine) applyUncached(M dd.MEdge, V, W []complex128, k1 int64) {
+	e.assignRows(M, k1)
+	if e.inline() || len(e.rchunks) == 1 {
+		for i := range e.rchunks {
+			c := &e.rchunks[i]
+			for _, tk := range c.items {
+				run(tk.edge, V, W, tk.idx, c.ir, tk.f)
 			}
-		}(u)
+		}
+		return
 	}
-	wg.Wait()
+	e.ensurePool()
+	ts := e.execTasks[:0]
+	for i := range e.rchunks {
+		c := &e.rchunks[i]
+		ts = append(ts, func() {
+			for _, tk := range c.items {
+				run(tk.edge, V, W, tk.idx, c.ir, tk.f)
+			}
+		})
+	}
+	e.execTasks = ts
+	e.pool.Run(ts)
 }
 
-// assign populates e.tasks with the row-space border tasks of Algorithm 1's
-// Assign: thread bits come from row indices, V offsets from column indices.
-func (e *Engine) assign(M dd.MEdge) {
-	for u := range e.tasks {
-		e.tasks[u] = e.tasks[u][:0]
+// assignRows builds the uncached path's row-space chunk plan: starting
+// from the whole matrix, any row range whose modeled MAC count exceeds
+// K1/(chunksPerThread·threads) is split in half (descending one DD
+// level), so dense sub-blocks decompose into many small chunks while
+// sparse ones stay whole. The result is ~chunksPerThread×threads chunks
+// whose sizes track actual work, which is what gives the stealing pool
+// something useful to balance.
+func (e *Engine) assignRows(M dd.MEdge, totalMACs int64) {
+	e.rchunks = e.rchunks[:0]
+	budget := totalMACs / int64(chunksPerThread*e.threads)
+	if e.inline() {
+		budget = totalMACs // one chunk: nothing to balance inline
 	}
-	border := e.borderLevel()
-	var rec func(edge dd.MEdge, f complex128, u int, iv uint64, l int)
-	rec = func(edge dd.MEdge, f complex128, u int, iv uint64, l int) {
-		if edge.IsZero() {
+	if budget < 1 {
+		budget = 1
+	}
+	memo := e.macMemo
+	var rec func(items []task, l int, ir uint64)
+	rec = func(items []task, l int, ir uint64) {
+		if len(items) == 0 {
 			return
 		}
-		if l == border {
-			e.tasks[u] = append(e.tasks[u], task{edge, iv, f})
-			return
-		}
-		// Splitting factor t / 2^(n-l): at the top level each row bit
-		// selects one half of the threads, one quarter a level below, ...
-		step := e.threads >> uint(e.n-l)
-		for i := 0; i < 2; i++ {
-			for j := 0; j < 2; j++ {
-				rec(edge.N.Child(i, j), f*edge.W, u+i*step, iv+uint64(j)<<uint(l), l-1)
+		if l >= 0 {
+			var cost int64
+			for _, it := range items {
+				cost += dd.MACCountNode(it.edge.N, memo)
+			}
+			if cost > budget {
+				lo := make([]task, 0, len(items))
+				hi := make([]task, 0, len(items))
+				for _, it := range items {
+					fw := it.f * it.edge.W
+					for j := 0; j < 2; j++ {
+						if c := it.edge.N.Child(0, j); !c.IsZero() {
+							lo = append(lo, task{c, it.idx + uint64(j)<<uint(l), fw})
+						}
+						if c := it.edge.N.Child(1, j); !c.IsZero() {
+							hi = append(hi, task{c, it.idx + uint64(j)<<uint(l), fw})
+						}
+					}
+				}
+				rec(lo, l-1, ir)
+				rec(hi, l-1, ir+uint64(1)<<uint(l))
+				return
 			}
 		}
+		e.rchunks = append(e.rchunks, rowChunk{ir: ir, items: items})
 	}
-	rec(M, 1, 0, 0, e.n-1)
+	rec([]task{{M, 0, 1}}, e.n-1, 0)
 }
 
 // run is the recursive kernel of Algorithm 1. The weight product f excludes
@@ -470,8 +604,11 @@ func run(edge dd.MEdge, V, W []complex128, iv, iw uint64, f complex128) {
 	}
 }
 
-// applyCached is Algorithm 2: DMAV with caching. It returns the number of
-// cache hits.
+// applyCached is Algorithm 2: DMAV with caching. Column-space chunks run
+// as one pool batch (chunks sharing a buffer write disjoint row
+// segments, so they may run concurrently), then the partial buffers are
+// summed into W by a second batch of row-range tasks. It returns the
+// number of cache hits.
 func (e *Engine) applyCached(M dd.MEdge, V, W []complex128) int64 {
 	e.assignCache(M)
 	nBuf := 0
@@ -488,63 +625,93 @@ func (e *Engine) applyCached(M dd.MEdge, V, W []complex128) int64 {
 		zero(e.buffers[b])
 	}
 
-	var hits int64
-	var hitMu sync.Mutex
-	var wg sync.WaitGroup
-	for u := 0; u < e.threads; u++ {
-		if len(e.tasks[u]) == 0 {
-			continue
+	var hits atomic.Int64
+	runChunk := func(u int) {
+		buf := e.buffers[e.bufOf[u]]
+		cache := e.caches[u]
+		clear(cache)
+		iv := uint64(u) * e.ch // the chunk's column block in V
+		var local int64
+		for _, tk := range e.tasks[u] {
+			fFull := tk.f * tk.edge.W
+			if r, ok := cache[tk.edge.N]; ok {
+				// Reuse: the repeated node's result is the cached
+				// sub-vector scaled by the ratio of full weights.
+				scalarMulInto(buf[tk.idx:tk.idx+e.ch], buf[r.start:r.start+e.ch], fFull/r.f)
+				local++
+				continue
+			}
+			run(tk.edge, V, buf, iv, tk.idx, tk.f)
+			cache[tk.edge.N] = cacheEntry{f: fFull, start: tk.idx}
 		}
-		wg.Add(1)
-		go func(u int) {
-			defer wg.Done()
-			buf := e.buffers[e.bufOf[u]]
-			cache := e.caches[u]
-			clear(cache)
-			iv := uint64(u) * e.h // the thread's column block in V
-			var local int64
-			for _, tk := range e.tasks[u] {
-				fFull := tk.f * tk.edge.W
-				if r, ok := cache[tk.edge.N]; ok {
-					// Reuse: the repeated node's result is the cached
-					// sub-vector scaled by the ratio of full weights.
-					scalarMulInto(buf[tk.idx:tk.idx+e.h], buf[r.start:r.start+e.h], fFull/r.f)
-					local++
-					continue
-				}
-				run(tk.edge, V, buf, iv, tk.idx, tk.f)
-				cache[tk.edge.N] = cacheEntry{f: fFull, start: tk.idx}
-			}
-			if local > 0 {
-				hitMu.Lock()
-				hits += local
-				hitMu.Unlock()
-			}
-		}(u)
+		if local > 0 {
+			hits.Add(local)
+		}
 	}
-	wg.Wait()
+	if e.inline() {
+		for u := 0; u < e.cchunks; u++ {
+			if len(e.tasks[u]) > 0 {
+				runChunk(u)
+			}
+		}
+	} else {
+		e.ensurePool()
+		ts := e.execTasks[:0]
+		for u := 0; u < e.cchunks; u++ {
+			if len(e.tasks[u]) == 0 {
+				continue
+			}
+			u := u
+			ts = append(ts, func() { runChunk(u) })
+		}
+		e.execTasks = ts
+		e.pool.Run(ts)
+	}
 
-	// Sum the partial buffers into W, parallel over row chunks.
-	var wg2 sync.WaitGroup
-	for u := 0; u < e.threads; u++ {
-		wg2.Add(1)
-		go func(u int) {
-			defer wg2.Done()
-			lo := uint64(u) * e.h
-			hi := lo + e.h
+	e.sumBuffers(W, nBuf)
+	return hits.Load()
+}
+
+// sumBuffers adds the partial-output buffers into W as ~chunksPerThread
+// ×threads row-range tasks on the pool (each task owns a disjoint row
+// range across all buffers, so the adds race with nothing).
+func (e *Engine) sumBuffers(W []complex128, nBuf int) {
+	if nBuf == 0 {
+		return
+	}
+	const minRows = 1024
+	chunks := chunksPerThread * e.threads
+	if m := int(e.dim / minRows); chunks > m {
+		chunks = m
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	if e.inline() || chunks == 1 {
+		for b := 0; b < nBuf; b++ {
+			addInto(W, e.buffers[b])
+		}
+		return
+	}
+	e.ensurePool()
+	ts := e.sumTasks[:0]
+	for i := 0; i < chunks; i++ {
+		lo := uint64(i) * e.dim / uint64(chunks)
+		hi := uint64(i+1) * e.dim / uint64(chunks)
+		ts = append(ts, func() {
 			for b := 0; b < nBuf; b++ {
 				addInto(W[lo:hi], e.buffers[b][lo:hi])
 			}
-		}(u)
+		})
 	}
-	wg2.Wait()
-	return hits
+	e.sumTasks = ts
+	e.pool.Run(ts)
 }
 
 // assignCache populates e.tasks with column-space border tasks
-// (AssignCache of Algorithm 2) and assigns each thread a partial-output
-// buffer, sharing buffers between threads whose output row segments do not
-// overlap.
+// (AssignCache of Algorithm 2) and assigns each chunk a partial-output
+// buffer, sharing buffers between chunks whose output row segments do
+// not overlap.
 func (e *Engine) assignCache(M dd.MEdge) {
 	for u := range e.tasks {
 		e.tasks[u] = e.tasks[u][:0]
@@ -559,8 +726,11 @@ func (e *Engine) assignCache(M dd.MEdge) {
 			e.tasks[u] = append(e.tasks[u], task{edge, ip, f})
 			return
 		}
-		step := e.threads >> uint(e.n-l)
-		// Column-major: the column bit j selects the thread, the row bit i
+		// Splitting factor cchunks / 2^(n-l): at the top level each
+		// column bit selects one half of the chunks, one quarter a level
+		// below, ...
+		step := e.cchunks >> uint(e.n-l)
+		// Column-major: the column bit j selects the chunk, the row bit i
 		// the partial-output segment.
 		for j := 0; j < 2; j++ {
 			for i := 0; i < 2; i++ {
@@ -578,11 +748,11 @@ func (e *Engine) assignCache(M dd.MEdge) {
 	}
 
 	// Greedy buffer sharing: quantum gate matrices are sparse, so the
-	// partial outputs of different threads frequently occupy disjoint row
+	// partial outputs of different chunks frequently occupy disjoint row
 	// segments and can live in one buffer.
 	type segset map[uint64]struct{}
 	var occupied []segset
-	for u := 0; u < e.threads; u++ {
+	for u := 0; u < e.cchunks; u++ {
 		mine := make(segset, len(e.tasks[u]))
 		for _, tk := range e.tasks[u] {
 			mine[tk.idx] = struct{}{}

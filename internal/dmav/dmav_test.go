@@ -72,7 +72,7 @@ func twoDistinct(rng *rand.Rand, n int) (int, int) {
 func TestApplyMatchesOracleAllModes(t *testing.T) {
 	rng := rand.New(rand.NewSource(2024))
 	for _, mode := range []Mode{Auto, NeverCache, AlwaysCache} {
-		for _, threads := range []int{1, 2, 4, 8} {
+		for _, threads := range []int{1, 2, 3, 4, 5, 7, 8} {
 			for trial := 0; trial < 6; trial++ {
 				n := 3 + rng.Intn(4)
 				m := dd.New(n)
@@ -99,6 +99,40 @@ func TestApplyMatchesOracleAllModes(t *testing.T) {
 	}
 }
 
+// TestApplyPooledMatchesOracle covers the pool-batched execution paths:
+// states below serialCutoffDim run inline, so this test uses n=12 (4096
+// amplitudes) to force real sched batches through both algorithms.
+func TestApplyPooledMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const n = 12
+	m := dd.New(n)
+	V := randAmps(rng, n)
+	for _, mode := range []Mode{NeverCache, AlwaysCache} {
+		for _, threads := range []int{3, 8} {
+			e := New(m, n, threads, mode)
+			if e.inline() {
+				t.Fatalf("threads=%d n=%d: engine chose inline execution; cutoff test is vacuous", threads, n)
+			}
+			for trial := 0; trial < 3; trial++ {
+				g := randomGate(rng, n)
+				M := ddsim.BuildGateDD(m, n, &g)
+				sv := statevec.FromAmplitudes(append([]complex128(nil), V...), 1)
+				sv.Apply(&g)
+				want := sv.Amplitudes()
+				W := make([]complex128, len(V))
+				e.Apply(M, V, W)
+				for i := range want {
+					if !approx(W[i], want[i]) {
+						t.Fatalf("mode=%v threads=%d gate=%s: W[%d]=%v want %v",
+							mode, threads, g.Name, i, W[i], want[i])
+					}
+				}
+			}
+			e.Close()
+		}
+	}
+}
+
 func TestCachedAndUncachedAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	n := 6
@@ -120,17 +154,58 @@ func TestCachedAndUncachedAgree(t *testing.T) {
 	}
 }
 
-func TestThreadsRoundedToPowerOfTwo(t *testing.T) {
+// TestThreadsArbitraryCount is the ISSUE 3 regression test: thread
+// counts are no longer rounded down to a power of two. Threads() keeps
+// the requested count (clamped to [1, 2^n]); only the cached-path chunk
+// count (CacheChunks) rounds up to a power of two, because the
+// border-level column split must stay aligned with the DD.
+func TestThreadsArbitraryCount(t *testing.T) {
 	m := dd.New(5)
-	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 4, 5: 4, 7: 4, 8: 8, 16: 16, 100: 32}
+	cases := map[int]int{1: 1, 2: 2, 3: 3, 4: 4, 5: 5, 7: 7, 8: 8, 16: 16, 100: 32}
 	for in, want := range cases {
 		if got := New(m, 5, in, Auto).Threads(); got != want {
 			t.Errorf("threads %d -> %d, want %d", in, got, want)
 		}
 	}
-	// Capped at 2^n.
+	chunkCases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 7: 8, 8: 8, 16: 16, 100: 32}
+	for in, want := range chunkCases {
+		if got := New(m, 5, in, Auto).CacheChunks(); got != want {
+			t.Errorf("threads %d -> %d cache chunks, want %d", in, got, want)
+		}
+	}
+	// Clamped to [1, 2^n].
 	if got := New(m, 2, 16, Auto).Threads(); got != 4 {
 		t.Errorf("threads capped: got %d, want 4", got)
+	}
+	if got := New(m, 5, -3, Auto).Threads(); got != 1 {
+		t.Errorf("threads floored: got %d, want 1", got)
+	}
+}
+
+// TestThreadsThreeCorrect exercises the previously-illegal odd thread
+// count end to end against the statevec oracle, in every caching mode.
+func TestThreadsThreeCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n := 6
+	m := dd.New(n)
+	V := randAmps(rng, n)
+	for _, mode := range []Mode{Auto, NeverCache, AlwaysCache} {
+		for trial := 0; trial < 5; trial++ {
+			g := randomGate(rng, n)
+			M := ddsim.BuildGateDD(m, n, &g)
+			W := make([]complex128, len(V))
+			e := New(m, n, 3, mode)
+			e.Apply(M, V, W)
+			e.Close()
+			sv := statevec.FromAmplitudes(append([]complex128(nil), V...), 1)
+			sv.Apply(&g)
+			for i, a := range sv.Amplitudes() {
+				if !approx(W[i], a) {
+					t.Fatalf("mode %v trial %d gate %s: W[%d] = %v, oracle %v",
+						mode, trial, g.Name, i, W[i], a)
+				}
+			}
+		}
 	}
 }
 

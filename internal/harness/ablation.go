@@ -78,7 +78,7 @@ func ablationBufferSharing(cfg Config) {
 		bufs := maxBuf
 		if !share {
 			label = "off"
-			bufs = eng.Threads()
+			bufs = eng.CacheChunks()
 		}
 		tbl.AddRow(label, elapsed, bufs, fmtMB(uint64(bufs)*uint64(len(v))*16))
 	}

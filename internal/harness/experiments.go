@@ -202,7 +202,9 @@ func Fig11(cfg Config) {
 // threads on a supremacy and a KNN circuit.
 func Fig12(cfg Config) map[string]map[int][2]time.Duration {
 	cfg = cfg.withDefaults()
-	threadCounts := []int{1, 2, 4, 8, 16}
+	// 3 is deliberate: the scheduler accepts arbitrary thread counts, so
+	// the sweep exercises a non-power-of-two point.
+	threadCounts := []int{1, 2, 3, 4, 8, 16}
 	out := make(map[string]map[int][2]time.Duration)
 	for _, nc := range ScalabilityCircuits(cfg.Scale) {
 		tbl := NewTable(fmt.Sprintf("Figure 12: thread scalability on %s", nc.Label),

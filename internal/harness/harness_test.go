@@ -140,8 +140,11 @@ func TestFig12Tiny(t *testing.T) {
 		t.Fatalf("fig12 covered %d circuits", len(out))
 	}
 	for label, rows := range out {
-		if len(rows) != 5 {
+		if len(rows) != 6 {
 			t.Fatalf("%s has %d thread rows", label, len(rows))
+		}
+		if _, ok := rows[3]; !ok {
+			t.Fatalf("%s missing the non-power-of-two threads=3 row", label)
 		}
 	}
 }
@@ -343,11 +346,12 @@ func TestMetricsReportUsesSharedRegistryDelta(t *testing.T) {
 func TestFig12RecordsThreadKeyedCells(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := tinyCfg(&buf)
+	cfg.Metrics = obs.New()
 	cfg.Record = perf.NewRecord("fig12", string(cfg.Scale), cfg.Threads, 1)
 	Fig12(cfg)
-	// 2 circuits x 5 thread counts x 2 engines.
-	if len(cfg.Record.Cells) != 20 {
-		t.Fatalf("fig12 recorded %d cells, want 20", len(cfg.Record.Cells))
+	// 2 circuits x 6 thread counts (1,2,3,4,8,16) x 2 engines.
+	if len(cfg.Record.Cells) != 24 {
+		t.Fatalf("fig12 recorded %d cells, want 24", len(cfg.Record.Cells))
 	}
 	keys := map[string]bool{}
 	for _, c := range cfg.Record.Cells {
@@ -358,5 +362,16 @@ func TestFig12RecordsThreadKeyedCells(t *testing.T) {
 			t.Fatalf("duplicate fig12 cell key %s", c.Key())
 		}
 		keys[c.Key()] = true
+	}
+	// Multi-threaded FlatDD cells must carry the scheduler totals (the
+	// steal/idle columns of the Fig. 12 parallel-efficiency analysis).
+	schedSeen := false
+	for _, c := range cfg.Record.Cells {
+		if c.Engine == "FlatDD" && c.Threads > 1 && c.SchedTasks > 0 {
+			schedSeen = true
+		}
+	}
+	if !schedSeen {
+		t.Fatal("no multi-threaded FlatDD cell carries scheduler task metrics")
 	}
 }

@@ -85,6 +85,9 @@ func (c Config) recordCell(exp string, r Result, wall perf.Stat, md memDelta, th
 		if total > 0 {
 			cell.DMAVCacheHitRate = float64(hits) / float64(total)
 		}
+		cell.SchedTasks = r.Metrics.Counters["sched.tasks"]
+		cell.SchedSteals = r.Metrics.Counters["sched.steals"]
+		cell.SchedIdleNs = r.Metrics.Counters["sched.idle_ns"]
 	}
 	c.Record.Add(cell)
 }

@@ -113,6 +113,13 @@ type Cell struct {
 	// over all repetitions; -1 when the run had no cached DMAV gates.
 	DMAVCacheHitRate float64 `json:"dmav_cache_hit_rate"`
 
+	// Scheduler totals over all repetitions (FlatDD only; zero when the
+	// run never reached the flat-array phase): tasks executed, chunks
+	// re-balanced by stealing, and summed worker idle time.
+	SchedTasks  int64 `json:"sched_tasks,omitempty"`
+	SchedSteals int64 `json:"sched_steals,omitempty"`
+	SchedIdleNs int64 `json:"sched_idle_ns,omitempty"`
+
 	MemoryBytes uint64 `json:"memory_bytes,omitempty"`
 	// Allocation deltas from runtime.MemStats, averaged per repetition.
 	AllocBytesPerRep uint64 `json:"alloc_bytes_per_rep,omitempty"`

@@ -1,0 +1,249 @@
+package sched
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"flatdd/internal/obs"
+)
+
+// spin burns a little CPU so tasks have measurable, unequal sizes.
+func spin(iters int) float64 {
+	x := 1.0
+	for i := 0; i < iters; i++ {
+		x = x*1.0000001 + 0.0000001
+	}
+	return x
+}
+
+func TestRunExecutesEveryTaskOnce(t *testing.T) {
+	for _, threads := range []int{1, 2, 3, 5, 8} {
+		p := New(threads)
+		const n = 500
+		counts := make([]atomic.Int32, n)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			i := i
+			tasks[i] = func() { counts[i].Add(1) }
+		}
+		p.Run(tasks)
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Errorf("threads=%d: task %d executed %d times, want 1", threads, i, got)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestEmptyAndSingleTaskBatches(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	p.Run(nil)
+	p.Run([]Task{})
+	ran := false
+	p.Run([]Task{func() { ran = true }})
+	if !ran {
+		t.Fatal("single-task batch did not run")
+	}
+}
+
+func TestPoolReusedAcrossBatches(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	var total atomic.Int64
+	for batch := 0; batch < 100; batch++ {
+		n := 1 + batch%17
+		tasks := make([]Task, n)
+		for i := range tasks {
+			tasks[i] = func() { total.Add(1) }
+		}
+		p.Run(tasks)
+	}
+	want := int64(0)
+	for batch := 0; batch < 100; batch++ {
+		want += int64(1 + batch%17)
+	}
+	if got := total.Load(); got != want {
+		t.Fatalf("executed %d tasks across batches, want %d", got, want)
+	}
+}
+
+func TestRunAfterCloseDegradesToInline(t *testing.T) {
+	p := New(4)
+	p.Close()
+	p.Close() // idempotent
+	var ran atomic.Int32
+	tasks := make([]Task, 10)
+	for i := range tasks {
+		tasks[i] = func() { ran.Add(1) }
+	}
+	p.Run(tasks)
+	if got := ran.Load(); got != 10 {
+		t.Fatalf("post-Close Run executed %d tasks, want 10", got)
+	}
+}
+
+func TestConcurrentRunCallsSerialize(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for batch := 0; batch < 20; batch++ {
+				tasks := make([]Task, 25)
+				for i := range tasks {
+					tasks[i] = func() { total.Add(1) }
+				}
+				p.Run(tasks)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != 4*20*25 {
+		t.Fatalf("executed %d tasks, want %d", got, 4*20*25)
+	}
+}
+
+func TestThreadsClampedToPositive(t *testing.T) {
+	for _, in := range []int{-5, 0, 1} {
+		p := New(in)
+		if p.Threads() != 1 {
+			t.Errorf("New(%d).Threads() = %d, want 1", in, p.Threads())
+		}
+		p.Close()
+	}
+	p := New(7)
+	defer p.Close()
+	if p.Threads() != 7 {
+		t.Errorf("New(7).Threads() = %d, want 7", p.Threads())
+	}
+}
+
+// TestStressUnderGOMAXPROCS is the scheduler stress test of ISSUE 3:
+// randomized task sizes under GOMAXPROCS ∈ {1, 3, 7, 16}, asserting
+// completion, no double-execution, and steal-counter sanity.
+func TestStressUnderGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	batches := 40
+	maxTasks := 300
+	if testing.Short() {
+		batches = 10
+		maxTasks = 100
+	}
+	for _, procs := range []int{1, 3, 7, 16} {
+		runtime.GOMAXPROCS(procs)
+		t.Run(goMaxName(procs), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(procs) * 7919))
+			p := New(procs)
+			defer p.Close()
+			var sink atomic.Int64
+			totalTasks := 0
+			for b := 0; b < batches; b++ {
+				n := 1 + rng.Intn(maxTasks)
+				totalTasks += n
+				counts := make([]atomic.Int32, n)
+				tasks := make([]Task, n)
+				for i := range tasks {
+					i := i
+					// Heavily skewed sizes: a few big tasks among many
+					// tiny ones, the shape that forces stealing.
+					iters := rng.Intn(50)
+					if rng.Intn(10) == 0 {
+						iters = 5000 + rng.Intn(20000)
+					}
+					tasks[i] = func() {
+						counts[i].Add(1)
+						if spin(iters) < 0 {
+							sink.Add(1)
+						}
+					}
+				}
+				p.Run(tasks)
+				for i := range counts {
+					if got := counts[i].Load(); got != 1 {
+						t.Fatalf("batch %d task %d executed %d times, want exactly 1", b, i, got)
+					}
+				}
+			}
+			// Steal-counter sanity: per-worker tasks sum to the total,
+			// and steals never exceed tasks executed (every steal
+			// yields exactly one execution).
+			var sumTasks, sumSteals int64
+			for i, ws := range p.Stats() {
+				if ws.Tasks < 0 || ws.Steals < 0 || ws.Idle < 0 {
+					t.Fatalf("worker %d has negative stats: %+v", i, ws)
+				}
+				if ws.Steals > ws.Tasks {
+					t.Fatalf("worker %d stole %d tasks but only executed %d", i, ws.Steals, ws.Tasks)
+				}
+				sumTasks += ws.Tasks
+				sumSteals += ws.Steals
+			}
+			if sumTasks != int64(totalTasks) {
+				t.Fatalf("workers executed %d tasks total, want %d", sumTasks, totalTasks)
+			}
+			if sumSteals > sumTasks {
+				t.Fatalf("steals (%d) exceed tasks (%d)", sumSteals, sumTasks)
+			}
+		})
+	}
+}
+
+func goMaxName(p int) string {
+	return "gomaxprocs-" + string(rune('0'+p/10)) + string(rune('0'+p%10))
+}
+
+func TestMetricsPublish(t *testing.T) {
+	r := obs.New()
+	p := New(3)
+	defer p.Close()
+	p.SetMetrics(r)
+	const n = 200
+	tasks := make([]Task, n)
+	var sink atomic.Int64
+	for i := range tasks {
+		tasks[i] = func() {
+			if spin(100) < 0 {
+				sink.Add(1)
+			}
+		}
+	}
+	p.Run(tasks)
+	p.Run(tasks)
+	snap := r.Snapshot()
+	if got := snap.Counters["sched.tasks"]; got != 2*n {
+		t.Fatalf("sched.tasks = %d, want %d", got, 2*n)
+	}
+	if got := snap.Counters["sched.batches"]; got != 2 {
+		t.Fatalf("sched.batches = %d, want 2", got)
+	}
+	if got := snap.Gauges["sched.workers"]; got != 3 {
+		t.Fatalf("sched.workers = %d, want 3", got)
+	}
+	var perWorker int64
+	for i := 0; i < 3; i++ {
+		perWorker += snap.Counters["sched.worker."+string(rune('0'+i))+".tasks"]
+	}
+	if perWorker != 2*n {
+		t.Fatalf("per-worker task counters sum to %d, want %d", perWorker, 2*n)
+	}
+	if snap.Counters["sched.steals"] != snapSumWorkers(snap, "steals") {
+		t.Fatalf("aggregate steals %d != per-worker sum %d",
+			snap.Counters["sched.steals"], snapSumWorkers(snap, "steals"))
+	}
+}
+
+func snapSumWorkers(s obs.Snapshot, suffix string) int64 {
+	var sum int64
+	for i := 0; i < 3; i++ {
+		sum += s.Counters["sched.worker."+string(rune('0'+i))+"."+suffix]
+	}
+	return sum
+}
