@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz bench-obs bench-record bench-gate csv
+.PHONY: build test check fuzz serve-smoke bench-obs bench-record bench-gate csv
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,16 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
+	$(MAKE) serve-smoke
 	$(MAKE) bench-record
 	$(MAKE) bench-gate
+
+# serve-smoke builds the flatdd-serve binary race-enabled and drives it
+# end to end over HTTP: admission control (413 over budget), bell + randct
+# jobs to completion, client cancellation of a running QV job, the
+# in-flight cap under concurrent submits, and a SIGTERM drain to exit 0.
+serve-smoke:
+	$(GO) test -race -run TestServeSmoke -count=1 ./cmd/flatdd-serve
 
 # fuzz runs the OpenQASM parser fuzzer for a bounded slice of time, seeded
 # from internal/qasm/testdata/fuzz. A crasher is written to that directory

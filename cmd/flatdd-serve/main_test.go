@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke builds the flatdd-serve binary (race-enabled) and drives
+// it end to end over HTTP: admission control, job completion, client
+// cancellation, the in-flight cap, and SIGTERM drain. It is the
+// `make serve-smoke` target.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test builds and runs the server binary")
+	}
+	bin := filepath.Join(t.TempDir(), "flatdd-serve")
+	build := exec.Command("go", "build", "-race", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	// 256 MiB budget: WorstCaseBytes admits up to 22 qubits.
+	cmd := exec.Command(bin,
+		"-listen", "127.0.0.1:0",
+		"-mem-budget-mb", "256",
+		"-queue", "8",
+		"-inflight", "2",
+		"-timeout", "60s",
+		"-grace", "2s",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = &bytes.Buffer{}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() //nolint:errcheck // backstop; SIGTERM path is the real teardown
+
+	sc := bufio.NewScanner(stdout)
+	base := ""
+	for sc.Scan() {
+		if line := sc.Text(); strings.Contains(line, "listening on http://") {
+			base = "http://" + strings.TrimSpace(strings.Fields(strings.SplitAfter(line, "http://")[1])[0])
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("no listen line on stdout (stderr: %s)", cmd.Stderr)
+	}
+	// Keep draining stdout so the server never blocks on a full pipe.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	post := func(body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		json.NewDecoder(resp.Body).Decode(&m) //nolint:errcheck
+		return resp.StatusCode, m
+	}
+	get := func(path string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		json.NewDecoder(resp.Body).Decode(&m) //nolint:errcheck
+		return resp.StatusCode, m
+	}
+	wait := func(id string, states ...string) map[string]any {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			code, m := get("/v1/jobs/" + id)
+			if code != http.StatusOK {
+				t.Fatalf("status %s: %d", id, code)
+			}
+			for _, s := range states {
+				if m["state"] == s {
+					return m
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %v, want %v", id, m["state"], states)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Over-budget job: 26 qubits needs 3 GiB, budget is 256 MiB.
+	if code, m := post(`{"circuit":"ghz","n":26}`); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-budget submit: %d %v, want 413", code, m)
+	}
+
+	// A bell pair from QASM runs to completion with correct results.
+	code, m := post(`{"qasm":"qreg q[2]; h q[0]; cx q[0],q[1];","shots":500,"seed":7}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("bell submit: %d %v", code, m)
+	}
+	bellID := m["id"].(string)
+	wait(bellID, "done")
+	code, res := get("/v1/jobs/" + bellID + "/result")
+	if code != http.StatusOK {
+		t.Fatalf("bell result: %d %v", code, res)
+	}
+	shots := res["shots"].(map[string]any)
+	total := 0.0
+	for bits, n := range shots {
+		if bits != "00" && bits != "11" {
+			t.Fatalf("impossible bell shot %q", bits)
+		}
+		total += n.(float64)
+	}
+	if total != 500 {
+		t.Fatalf("bell shots: %v", shots)
+	}
+
+	// A named random Clifford+T workload completes too (exercises the
+	// hybrid DD→DMAV path end to end).
+	code, m = post(`{"circuit":"randct","n":12,"seed":3,"top":4}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("randct submit: %d %v", code, m)
+	}
+	wait(m["id"].(string), "done")
+
+	// Client cancellation: a long QV job transitions to canceled with the
+	// engine's sentinel message.
+	code, m = post(`{"circuit":"qv","n":16,"seed":1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("qv submit: %d %v", code, m)
+	}
+	slowID := m["id"].(string)
+	wait(slowID, "running")
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+slowID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	m = wait(slowID, "canceled", "done")
+	if m["state"] == "canceled" && !strings.Contains(fmt.Sprint(m["error"]), "canceled") {
+		t.Fatalf("cancel error: %v", m["error"])
+	}
+
+	// Concurrent submits respect the in-flight cap of 2.
+	ids := make([]string, 0, 4)
+	for i := 0; i < 4; i++ {
+		code, m = post(fmt.Sprintf(`{"circuit":"qv","n":16,"seed":%d}`, i+10))
+		if code != http.StatusAccepted {
+			t.Fatalf("fanout submit %d: %d %v", i, code, m)
+		}
+		ids = append(ids, m["id"].(string))
+	}
+	sawTwo := false
+	for end := time.Now().Add(30 * time.Second); time.Now().Before(end); {
+		resp, err := http.Get(base + "/v1/jobs?state=running")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var running []map[string]any
+		json.NewDecoder(resp.Body).Decode(&running) //nolint:errcheck
+		resp.Body.Close()
+		if len(running) > 2 {
+			t.Fatalf("%d jobs running, cap is 2", len(running))
+		}
+		if len(running) == 2 {
+			sawTwo = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawTwo {
+		t.Fatal("never saw two jobs in flight")
+	}
+
+	// SIGTERM drains: queued fan-out jobs are canceled, the process exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("server exited non-zero after SIGTERM: %v (stderr: %s)", err, cmd.Stderr)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}

@@ -11,12 +11,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/cmplx"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"flatdd/internal/circuit"
@@ -144,13 +148,23 @@ func main() {
 				}
 			}
 		}
+		// The run context carries the timeout and Ctrl-C/SIGTERM: the
+		// engine observes either within one gate (core.RunContext).
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
 		if *timeout > 0 {
-			opts.Deadline = time.Now().Add(*timeout)
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
 		}
 		sim := core.New(c.Qubits, opts)
-		st := sim.Run(c)
-		if st.TimedOut {
+		st, err := sim.RunContext(ctx, c)
+		switch {
+		case errors.Is(err, core.ErrDeadlineExceeded):
 			fmt.Println("TIMED OUT")
+			os.Exit(2)
+		case errors.Is(err, core.ErrCanceled):
+			fmt.Println("CANCELED (signal)")
 			os.Exit(2)
 		}
 		fmt.Printf("engine: FlatDD (threads=%d, beta=%g, epsilon=%g, fusion=%s)\n",

@@ -106,11 +106,23 @@ func ParallelIntoObs(e dd.VEdge, n, threads int, out []complex128, m *Metrics) {
 // parallelism-efficiency gauge (busy/(threads·wall); 1.0 means every
 // worker was busy for the whole conversion).
 func ParallelIntoPool(e dd.VEdge, n int, p *sched.Pool, out []complex128, m *Metrics) {
+	ParallelIntoPoolCancel(e, n, p, out, m, nil)
+}
+
+// ParallelIntoPoolCancel is ParallelIntoPool with cooperative
+// cancellation: when cancel is non-nil it is polled once per leaf task
+// and once per scale operation, and a firing probe makes the remaining
+// work return immediately (each leaf covers at most ~len(out)/(8·threads)
+// amplitudes, so the abort latency is a small fraction of one
+// conversion). It reports whether the conversion ran to completion;
+// after a false return, out holds a partial, unusable state and must be
+// discarded. A nil cancel keeps the leaf tasks probe-free.
+func ParallelIntoPoolCancel(e dd.VEdge, n int, p *sched.Pool, out []complex128, m *Metrics, cancel func() bool) bool {
 	if uint64(len(out)) != uint64(1)<<uint(n) {
 		panic(fmt.Sprintf("convert: output length %d, want %d", len(out), uint64(1)<<uint(n)))
 	}
 	if e.IsZero() {
-		return
+		return true
 	}
 	threads := p.Threads()
 	var start time.Time
@@ -126,13 +138,27 @@ func ParallelIntoPool(e dd.VEdge, n int, p *sched.Pool, out []complex128, m *Met
 	var tasks []sched.Task
 	var scales []scaleOp
 	planConv(e.N, e.W, out, minChunk, &tasks, &scales, m)
+	if cancel != nil {
+		for i, t := range tasks {
+			t := t
+			tasks[i] = func() {
+				if !cancel() {
+					t()
+				}
+			}
+		}
+	}
 	p.Run(tasks)
+	completed := cancel == nil || !cancel()
 	// Innermost-first: a scale discovered later lies inside the source
 	// region of one discovered earlier (DFS order), never the other way
 	// round, so the reverse order guarantees every source is complete
 	// before it is read.
-	for i := len(scales) - 1; i >= 0; i-- {
+	for i := len(scales) - 1; i >= 0 && completed; i-- {
 		runScale(p, scales[i], m)
+		if cancel != nil && cancel() {
+			completed = false
+		}
 	}
 	if m != nil {
 		wall := time.Since(start).Nanoseconds()
@@ -147,6 +173,7 @@ func ParallelIntoPool(e dd.VEdge, n int, p *sched.Pool, out []complex128, m *Met
 			m.Efficiency.Set(eff)
 		}
 	}
+	return completed
 }
 
 // scaleOp is one deferred Figure 4b shortcut: dst = src * f, recorded

@@ -9,6 +9,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -27,6 +29,20 @@ import (
 	"flatdd/internal/obs"
 	"flatdd/internal/sched"
 	"flatdd/internal/statevec"
+)
+
+// Sentinel errors returned by RunContext when a run terminates early.
+// Both wrap their context counterparts, so errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded) also hold.
+var (
+	// ErrCanceled reports that the run's context was canceled. The
+	// simulator stays queryable: its state is the one left by the last
+	// fully applied gate (a partially applied gate is discarded).
+	ErrCanceled = fmt.Errorf("core: simulation canceled: %w", context.Canceled)
+	// ErrDeadlineExceeded reports that the run's deadline passed (either
+	// the context's deadline or the deprecated Options.Deadline). It plays
+	// the role of the paper's 24-hour cutoff.
+	ErrDeadlineExceeded = fmt.Errorf("core: simulation deadline exceeded: %w", context.DeadlineExceeded)
 )
 
 // Phase identifies which engine produced a result or trace event.
@@ -76,13 +92,17 @@ func (f FusionMode) String() string {
 type Options struct {
 	// Threads is the worker count for conversion and DMAV. Any positive
 	// value is accepted (the DMAV engine caps it at 2^n); it is no
-	// longer rounded to a power of two.
+	// longer rounded to a power of two. When Pool is set, Threads is
+	// ignored: the pool's worker count drives both execution and the
+	// cost model (see Pool).
 	Threads int
 	// Pool, when non-nil, is the scheduler pool conversion and DMAV run
-	// on; its worker count takes precedence over Threads for execution
-	// (Threads still parameterizes the cost model). The caller keeps
-	// ownership of its lifetime. When nil, Run creates a pool of
-	// Threads workers for the duration of the run.
+	// on. Its worker count is authoritative: execution happens on the
+	// pool, so the cost model's thread count is derived from
+	// Pool.Threads() and any Threads value is overridden — callers no
+	// longer need to keep the two fields in sync. The caller keeps
+	// ownership of the pool's lifetime. When nil, the run creates a
+	// pool of Threads workers for its duration.
 	Pool *sched.Pool
 	// Beta and Epsilon parameterize the EWMA conversion controller
 	// (defaults 0.9 and 2).
@@ -117,9 +137,13 @@ type Options struct {
 	// simulator's phase loop) into the registry. When nil, the hot paths
 	// pay one pointer check per instrumentation site and nothing else.
 	Metrics *obs.Registry
-	// Deadline, when non-zero, aborts the run once exceeded (checked
-	// between gates); Stats.TimedOut reports the abort. It plays the role
-	// of the paper's 24-hour cutoff.
+	// Deadline, when non-zero, aborts the run once exceeded.
+	//
+	// Deprecated: pass a deadline on RunContext's context instead
+	// (context.WithDeadline / context.WithTimeout). The field is kept for
+	// compatibility and mapped onto the run context internally; a run
+	// whose deadline passes returns ErrDeadlineExceeded and sets
+	// Stats.TimedOut.
 	Deadline time.Time
 	// GCThreshold overrides the DD manager's node-count GC trigger.
 	GCThreshold int
@@ -137,6 +161,13 @@ type Options struct {
 
 func (o *Options) withDefaults() Options {
 	v := *o
+	if v.Pool != nil {
+		// The injected pool's worker count is authoritative: execution
+		// runs on the pool, so the cost model must see the same
+		// parallelism or its caching decisions model a machine that
+		// isn't there.
+		v.Threads = v.Pool.Threads()
+	}
 	if v.Threads < 1 {
 		v.Threads = 1
 	}
@@ -237,6 +268,7 @@ type coreMetrics struct {
 	gatesDMAV        *obs.Counter
 	phaseTransitions *obs.Counter
 	deadlineAborts   *obs.Counter
+	cancelAborts     *obs.Counter
 	gateDDNs         *obs.Histogram
 	gateDMAVNs       *obs.Histogram
 	ddSize           *obs.Gauge
@@ -287,6 +319,7 @@ func New(n int, opts Options) *Simulator {
 			gatesDMAV:        r.Counter("core.gates.dmav"),
 			phaseTransitions: r.Counter("core.phase_transitions"),
 			deadlineAborts:   r.Counter("core.deadline_aborts"),
+			cancelAborts:     r.Counter("core.cancel_aborts"),
 			gateDDNs:         r.Histogram("core.gate_ns.dd", obs.DurationBuckets()),
 			gateDMAVNs:       r.Histogram("core.gate_ns.dmav", obs.DurationBuckets()),
 			ddSize:           r.Gauge("core.dd_size"),
@@ -326,6 +359,11 @@ func (s *Simulator) tracing() bool { return s.opts.Trace != nil || s.tw != nil }
 // Qubits returns the register size.
 func (s *Simulator) Qubits() int { return s.n }
 
+// EffectiveThreads returns the thread count the engines and the DMAV cost
+// model actually use: Options.Pool's worker count when a pool was
+// injected, otherwise max(1, Options.Threads).
+func (s *Simulator) EffectiveThreads() int { return s.opts.Threads }
+
 // Phase returns the current engine phase.
 func (s *Simulator) Phase() Phase { return s.phase }
 
@@ -333,10 +371,51 @@ func (s *Simulator) Phase() Phase { return s.phase }
 func (s *Simulator) Stats() Stats { return s.stats }
 
 // Run simulates the circuit from |0...0> and returns the final statistics.
-// Run may be called once per Simulator.
+// Run may be called once per Simulator. It is a thin compatibility wrapper
+// around RunContext: a run aborted by the deprecated Options.Deadline is
+// reported through Stats.TimedOut, exactly as before.
 func (s *Simulator) Run(c *circuit.Circuit) Stats {
+	st, _ := s.RunContext(context.Background(), c)
+	return st
+}
+
+// RunContext simulates the circuit from |0...0> and returns the final
+// statistics. It may be called once per Simulator.
+//
+// Cancellation is cooperative: the context is checked at every gate
+// boundary in both phases, once per leaf task of the parallel DD-to-array
+// conversion, and once per chunk inside the DMAV kernels, so an abort is
+// observed promptly (bounded by one gate) even mid-conversion or
+// mid-multiplication. On abort RunContext returns ErrCanceled or
+// ErrDeadlineExceeded together with the statistics gathered so far, and
+// the simulator stays queryable: the state is the one left by the last
+// fully applied gate (a partially converted array or partially applied
+// DMAV gate is discarded).
+func (s *Simulator) RunContext(ctx context.Context, c *circuit.Circuit) (Stats, error) {
 	if c.Qubits != s.n {
 		panic(fmt.Sprintf("core: circuit on %d qubits, simulator has %d", c.Qubits, s.n))
+	}
+	if !s.opts.Deadline.IsZero() {
+		// Deprecated Options.Deadline maps onto the run context.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, s.opts.Deadline)
+		defer cancel()
+	}
+	done := ctx.Done()
+	check := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	// taskCheck is handed to the conversion planner and the DMAV engine.
+	// It is nil for a context that can never be canceled, which lets the
+	// hot paths skip the per-task probe entirely.
+	var taskCheck func() bool
+	if done != nil {
+		taskCheck = check
 	}
 	start := time.Now()
 	s.stats = Stats{Gates: c.GateCount(), ConvertedAtGate: -1, Fidelity: 1}
@@ -348,13 +427,11 @@ func (s *Simulator) Run(c *circuit.Circuit) Stats {
 	// Phase 1: DD-based simulation with conversion monitoring.
 	i := 0
 	for ; i < len(c.Gates); i++ {
-		if s.expired() {
-			s.stats.TimedOut = true
-			if s.met != nil {
-				s.met.deadlineAborts.Inc()
-			}
-			s.finishStats(start)
-			return s.stats
+		if check() {
+			s.stats.DDTime = time.Since(start)
+			s.stats.FinalDDSize = s.sim.StateSize()
+			s.stats.ControllerEnd = ctl.Average()
+			return s.abort(ctx, start)
 		}
 		gStart := time.Now()
 		size := s.sim.ApplyGate(&c.Gates[i])
@@ -396,15 +473,10 @@ func (s *Simulator) Run(c *circuit.Circuit) Stats {
 	if i >= len(c.Gates) {
 		// Whole circuit ran in the DD phase.
 		s.finishStats(start)
-		return s.stats
+		return s.stats, nil
 	}
 
 	// Phase 2: convert the state DD to a flat array.
-	s.stats.ConvertedAtGate = i
-	if s.met != nil {
-		s.met.phaseTransitions.Inc()
-		s.met.convertedAt.Set(int64(i))
-	}
 	// One scheduler pool serves the whole flat-array phase — conversion
 	// and every DMAV gate — instead of per-gate goroutine churn.
 	pool := s.opts.Pool
@@ -415,18 +487,34 @@ func (s *Simulator) Run(c *circuit.Circuit) Stats {
 	}
 	convStart := time.Now()
 	s.state = make([]complex128, uint64(1)<<uint(s.n))
+	converted := true
 	if s.opts.SequentialConversion {
 		s.m.FillArray(s.sim.State(), s.n, s.state)
+		converted = !check()
 	} else {
-		convert.ParallelIntoPool(s.sim.State(), s.n, pool, s.state,
-			convert.NewMetrics(s.opts.Metrics))
+		converted = convert.ParallelIntoPoolCancel(s.sim.State(), s.n, pool, s.state,
+			convert.NewMetrics(s.opts.Metrics), taskCheck)
+		converted = converted && !check()
 	}
 	s.stats.ConversionTime = time.Since(convStart)
+	if !converted {
+		// Aborted mid-conversion: drop the partial array and stay in the
+		// DD phase (the state DD is untouched), so the simulator remains
+		// queryable.
+		s.state = nil
+		return s.abort(ctx, start)
+	}
+	s.stats.ConvertedAtGate = i
+	if s.met != nil {
+		s.met.phaseTransitions.Inc()
+		s.met.convertedAt.Set(int64(i))
+	}
 	s.phase = PhaseDMAV
 	s.buf = make([]complex128, len(s.state))
 	s.eng = dmav.New(s.m, s.n, s.opts.Threads, s.opts.CacheMode)
 	s.eng.SetMetrics(s.opts.Metrics)
 	s.eng.SetPool(pool)
+	s.eng.SetCancel(taskCheck)
 
 	// Release the DD state: only gate matrices stay live from here on.
 	s.sim.SetState(s.m.VZeroEdge())
@@ -437,6 +525,10 @@ func (s *Simulator) Run(c *circuit.Circuit) Stats {
 	remaining := make([]dd.MEdge, 0, len(c.Gates)-i)
 	roots := dd.Roots{}
 	for j := i; j < len(c.Gates); j++ {
+		if check() {
+			s.stats.FusionTime = time.Since(fuseStart)
+			return s.abort(ctx, start)
+		}
 		g := ddsim.BuildGateDD(s.m, s.n, &c.Gates[j])
 		remaining = append(remaining, g)
 		roots.M = append(roots.M, g)
@@ -459,16 +551,20 @@ func (s *Simulator) Run(c *circuit.Circuit) Stats {
 	// Phase 4: DMAV over the flat state.
 	dmavStart := time.Now()
 	gateIdx := i
+	aborted := false
 	for _, g := range remaining {
-		if s.expired() {
-			s.stats.TimedOut = true
-			if s.met != nil {
-				s.met.deadlineAborts.Inc()
-			}
+		if check() {
+			aborted = true
 			break
 		}
 		gStart := time.Now()
 		cost := s.eng.Apply(g, s.state, s.buf)
+		if check() {
+			// Canceled mid-multiplication: s.buf holds a partial product,
+			// so keep the pre-gate state and discard the gate.
+			aborted = true
+			break
+		}
 		s.state, s.buf = s.buf, s.state
 		s.stats.ModeledCost += cost.Cost()
 		if s.met != nil {
@@ -484,8 +580,30 @@ func (s *Simulator) Run(c *circuit.Circuit) Stats {
 	}
 	s.stats.DMAVTime = time.Since(dmavStart)
 	s.stats.DMAVStats = s.eng.Stats()
+	if aborted {
+		return s.abort(ctx, start)
+	}
 	s.finishStats(start)
-	return s.stats
+	return s.stats, nil
+}
+
+// abort finalizes the statistics of a context-terminated run and maps the
+// context's cause onto the package sentinels. Stats.TimedOut is kept in
+// sync for deadline aborts (compatibility with the deprecated
+// Options.Deadline flow).
+func (s *Simulator) abort(ctx context.Context, start time.Time) (Stats, error) {
+	err := ErrCanceled
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		err = ErrDeadlineExceeded
+		s.stats.TimedOut = true
+		if s.met != nil {
+			s.met.deadlineAborts.Inc()
+		}
+	} else if s.met != nil {
+		s.met.cancelAborts.Inc()
+	}
+	s.finishStats(start)
+	return s.stats, err
 }
 
 func (s *Simulator) finishStats(start time.Time) {
@@ -517,10 +635,6 @@ func (s *Simulator) finishStats(start time.Time) {
 		})
 		s.tw.Flush() //nolint:errcheck // trace output is best-effort
 	}
-}
-
-func (s *Simulator) expired() bool {
-	return !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline)
 }
 
 // Amplitude returns one amplitude of the final state.
@@ -617,22 +731,33 @@ func (s *Simulator) Probabilities() []float64 {
 	return out
 }
 
-// Sample draws basis states from the final distribution.
+// Sample draws basis states from the final distribution. The cumulative
+// distribution is built once and each shot is a binary search, so many
+// shots (a serving workload) cost O(2^n + shots·n) instead of
+// O(shots·2^n).
 func (s *Simulator) Sample(rng *rand.Rand, shots int) map[uint64]int {
 	probs := s.Probabilities()
+	cum := make([]float64, len(probs))
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		cum[i] = acc
+	}
 	counts := make(map[uint64]int)
 	for k := 0; k < shots; k++ {
 		x := rng.Float64()
-		acc := 0.0
-		idx := uint64(len(probs) - 1)
-		for i, p := range probs {
-			acc += p
-			if x < acc {
-				idx = uint64(i)
-				break
+		// First index with x < cum[i] (matches the linear-scan semantics,
+		// including the fall-through to the last state when x >= acc).
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if x < cum[mid] {
+				hi = mid
+			} else {
+				lo = mid + 1
 			}
 		}
-		counts[idx]++
+		counts[uint64(lo)]++
 	}
 	return counts
 }

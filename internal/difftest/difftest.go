@@ -17,10 +17,10 @@
 package difftest
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"flatdd/internal/circuit"
 	"flatdd/internal/core"
@@ -28,6 +28,7 @@ import (
 	"flatdd/internal/ddsim"
 	"flatdd/internal/dmav"
 	"flatdd/internal/statevec"
+	"flatdd/internal/workloads"
 )
 
 // ExtraCircuits is the -difftest.n flag: how many additional random
@@ -41,47 +42,11 @@ var ExtraCircuits = flag.Int("difftest.n", 0,
 const Tol = 1e-9
 
 // RandomCliffordT builds a seeded random circuit over n qubits from the
-// Clifford+T gate set (H, S, S†, T, T†, X, Z, CX, CZ). The distribution
-// leans on H and CX so the state neither stays sparse (which would leave
-// the conversion and DMAV column paths untested) nor becomes trivially
-// diagonal.
+// Clifford+T gate set (H, S, S†, T, T†, X, Z, CX, CZ). The generator
+// lives in internal/workloads (registry name "randct", also used by the
+// job service's smoke tests); this wrapper keeps the difftest API.
 func RandomCliffordT(n, gates int, seed int64) *circuit.Circuit {
-	rng := rand.New(rand.NewSource(seed))
-	c := circuit.New(fmt.Sprintf("rand-ct-n%d-g%d-s%d", n, gates, seed), n)
-	for i := 0; i < gates; i++ {
-		q := rng.Intn(n)
-		switch rng.Intn(10) {
-		case 0, 1:
-			c.Append(circuit.H(q))
-		case 2:
-			c.Append(circuit.S(q))
-		case 3:
-			c.Append(circuit.Sdg(q))
-		case 4:
-			c.Append(circuit.T(q))
-		case 5:
-			c.Append(circuit.Tdg(q))
-		case 6:
-			c.Append(circuit.X(q))
-		case 7:
-			c.Append(circuit.Z(q))
-		default:
-			if n < 2 {
-				c.Append(circuit.H(q))
-				continue
-			}
-			t := rng.Intn(n - 1)
-			if t >= q {
-				t++
-			}
-			if rng.Intn(2) == 0 {
-				c.Append(circuit.CX(q, t))
-			} else {
-				c.Append(circuit.CZ(q, t))
-			}
-		}
-	}
-	return c
+	return workloads.RandomCliffordT(n, gates, seed)
 }
 
 // Mismatch describes the worst disagreement found between two engines.
@@ -184,6 +149,8 @@ func runHybrid(c *circuit.Circuit, threads int) []complex128 {
 		fca = 1
 	}
 	s := core.New(c.Qubits, core.Options{Threads: threads, ForceConvertAfter: fca})
-	s.Run(c)
+	if _, err := s.RunContext(context.Background(), c); err != nil {
+		panic(fmt.Sprintf("difftest: hybrid run failed: %v", err))
+	}
 	return s.Amplitudes()
 }

@@ -168,6 +168,12 @@ type Engine struct {
 	// ablation experiments.
 	noBufferShare bool
 
+	// cancel, when non-nil, is a cooperative cancellation probe polled
+	// once per chunk (row chunks, cached column chunks, and buffer-sum
+	// ranges). A firing probe makes the rest of the Apply a no-op; the
+	// output vector is then partial and must be discarded by the caller.
+	cancel func() bool
+
 	stats Stats
 
 	// met is nil when metrics are off: Apply gates all instrumentation
@@ -302,6 +308,19 @@ func (e *Engine) ensurePool() {
 	}
 }
 
+// SetCancel installs a cooperative cancellation probe (nil removes it).
+// The probe is polled at chunk granularity inside Apply — cheap enough to
+// leave no trace on the kernels (one call per ~8×threads chunks per
+// gate), frequent enough that an abort is observed well within one gate.
+// Once the probe fires, Apply returns early with a partial output vector
+// and without updating Stats; the caller is expected to discard the
+// output and stop applying gates. core.RunContext wires the run context's
+// doneness in here.
+func (e *Engine) SetCancel(f func() bool) { e.cancel = f }
+
+// cancelled reports whether the installed probe has fired.
+func (e *Engine) cancelled() bool { return e.cancel != nil && e.cancel() }
+
 // SetBufferSharing enables or disables the shared partial-output buffers
 // of Algorithm 2 (enabled by default; disabling is for ablation studies).
 func (e *Engine) SetBufferSharing(on bool) { e.noBufferShare = !on }
@@ -384,10 +403,17 @@ func (e *Engine) Apply(M dd.MEdge, V, W []complex128) GateCost {
 	var hits int64
 	if useCache {
 		hits = e.applyCached(M, V, W)
-		e.stats.CachedGates++
-		e.stats.CacheHits += hits
 	} else {
 		e.applyUncached(M, V, W, cost.K1)
+	}
+	if e.cancelled() {
+		// Aborted mid-gate: W is partial and the caller discards it, so
+		// neither Stats nor the metrics count this Apply.
+		return cost
+	}
+	if useCache {
+		e.stats.CachedGates++
+		e.stats.CacheHits += hits
 	}
 	e.stats.Gates++
 	e.stats.MACsModeled += cost.Cost()
@@ -505,6 +531,9 @@ func (e *Engine) applyUncached(M dd.MEdge, V, W []complex128, k1 int64) {
 	e.assignRows(M, k1)
 	if e.inline() || len(e.rchunks) == 1 {
 		for i := range e.rchunks {
+			if e.cancelled() {
+				return
+			}
 			c := &e.rchunks[i]
 			for _, tk := range c.items {
 				run(tk.edge, V, W, tk.idx, c.ir, tk.f)
@@ -517,6 +546,9 @@ func (e *Engine) applyUncached(M dd.MEdge, V, W []complex128, k1 int64) {
 	for i := range e.rchunks {
 		c := &e.rchunks[i]
 		ts = append(ts, func() {
+			if e.cancelled() {
+				return
+			}
 			for _, tk := range c.items {
 				run(tk.edge, V, W, tk.idx, c.ir, tk.f)
 			}
@@ -627,6 +659,9 @@ func (e *Engine) applyCached(M dd.MEdge, V, W []complex128) int64 {
 
 	var hits atomic.Int64
 	runChunk := func(u int) {
+		if e.cancelled() {
+			return
+		}
 		buf := e.buffers[e.bufOf[u]]
 		cache := e.caches[u]
 		clear(cache)
@@ -688,6 +723,9 @@ func (e *Engine) sumBuffers(W []complex128, nBuf int) {
 		chunks = 1
 	}
 	if e.inline() || chunks == 1 {
+		if e.cancelled() {
+			return
+		}
 		for b := 0; b < nBuf; b++ {
 			addInto(W, e.buffers[b])
 		}
@@ -699,6 +737,9 @@ func (e *Engine) sumBuffers(W []complex128, nBuf int) {
 		lo := uint64(i) * e.dim / uint64(chunks)
 		hi := uint64(i+1) * e.dim / uint64(chunks)
 		ts = append(ts, func() {
+			if e.cancelled() {
+				return
+			}
 			for b := 0; b < nBuf; b++ {
 				addInto(W[lo:hi], e.buffers[b][lo:hi])
 			}

@@ -9,6 +9,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"time"
 
 	"flatdd/internal/circuit"
@@ -47,18 +49,25 @@ type Result struct {
 const ddNodeBytes = 96
 
 // RunFlatDD runs the hybrid engine with the given options and timeout.
+// The timeout rides on the run context (core.RunContext); a run that
+// exceeds it returns core.ErrDeadlineExceeded and is reported through
+// Result.TimedOut, matching the paper's cutoff semantics.
 func RunFlatDD(c *circuit.Circuit, opts core.Options, timeout time.Duration) Result {
+	ctx := context.Background()
 	if timeout > 0 {
-		opts.Deadline = time.Now().Add(timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
 	s := core.New(c.Qubits, opts)
 	start := time.Now()
-	st := s.Run(c)
+	st, err := s.RunContext(ctx, c)
 	stats := st
 	res := Result{
 		Circuit: c.Name, Qubits: c.Qubits, Gates: c.GateCount(),
-		Engine: EngineFlatDD, Runtime: time.Since(start), TimedOut: st.TimedOut,
-		Memory: st.MemoryBytes, ConvertedAt: st.ConvertedAtGate, Stats: &stats,
+		Engine: EngineFlatDD, Runtime: time.Since(start),
+		TimedOut: errors.Is(err, core.ErrDeadlineExceeded),
+		Memory:   st.MemoryBytes, ConvertedAt: st.ConvertedAtGate, Stats: &stats,
 	}
 	if opts.Metrics != nil {
 		snap := opts.Metrics.Snapshot()

@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/cmplx"
+	"net/http"
+	"time"
+
+	"flatdd/internal/core"
+	"flatdd/internal/obs"
+)
+
+// SubmitRequest is the JSON body of POST /v1/jobs. Exactly one of QASM
+// (an OpenQASM 2.0 source) and Circuit (a workloads registry name, with
+// N and Seed) must be set.
+type SubmitRequest struct {
+	QASM    string `json:"qasm,omitempty"`
+	Circuit string `json:"circuit,omitempty"`
+	N       int    `json:"n,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+
+	// TimeoutMS is the per-job deadline in milliseconds (0 = server
+	// default; capped at the server maximum). The deadline rides on the
+	// job's context straight into core.RunContext.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Shots samples this many measurement shots into the result.
+	Shots int `json:"shots,omitempty"`
+	// Top is how many largest-magnitude amplitudes the result carries
+	// (default 8, capped at 1024).
+	Top int `json:"top,omitempty"`
+	// Cache (auto|always|never) and Fusion (none|dmav|kops) mirror the
+	// flatdd CLI flags.
+	Cache  string `json:"cache,omitempty"`
+	Fusion string `json:"fusion,omitempty"`
+}
+
+// JobView is the wire form of a job's status.
+type JobView struct {
+	ID            string     `json:"id"`
+	State         string     `json:"state"`
+	Circuit       string     `json:"circuit"`
+	Qubits        int        `json:"qubits"`
+	Gates         int        `json:"gates"`
+	SubmittedAt   time.Time  `json:"submitted_at"`
+	StartedAt     *time.Time `json:"started_at,omitempty"`
+	FinishedAt    *time.Time `json:"finished_at,omitempty"`
+	Error         string     `json:"error,omitempty"`
+	QueuePosition int        `json:"queue_position,omitempty"` // 1-based; queued jobs only
+}
+
+// AmpView is one basis state of the result's top-amplitude list.
+type AmpView struct {
+	Basis       string  `json:"basis"` // zero-padded bitstring
+	Probability float64 `json:"probability"`
+	Re          float64 `json:"re"`
+	Im          float64 `json:"im"`
+}
+
+// ResultStats is the engine-statistics slice of a result.
+type ResultStats struct {
+	Gates           int     `json:"gates"`
+	ConvertedAtGate int     `json:"converted_at_gate"` // -1: never left the DD phase
+	FinalPhase      string  `json:"final_phase"`       // "dd" | "dmav"
+	TotalMS         float64 `json:"total_ms"`
+	DDMS            float64 `json:"dd_ms"`
+	ConversionMS    float64 `json:"conversion_ms"`
+	DMAVMS          float64 `json:"dmav_ms"`
+	PeakDDNodes     int     `json:"peak_dd_nodes"`
+	MemoryBytes     uint64  `json:"memory_bytes"`
+	Fidelity        float64 `json:"fidelity"`
+}
+
+// JobResult is the wire form of GET /v1/jobs/{id}/result.
+type JobResult struct {
+	ID      string         `json:"id"`
+	Circuit string         `json:"circuit"`
+	Stats   ResultStats    `json:"stats"`
+	Top     []AmpView      `json:"top_amplitudes"`
+	Shots   map[string]int `json:"shots,omitempty"`
+}
+
+// buildResult assembles the result payload from a finished simulator.
+func buildResult(j *job, sim *core.Simulator, st core.Stats) *JobResult {
+	n := j.circ.Qubits
+	top := make([]AmpView, 0, j.opts.top)
+	for _, e := range sim.TopAmplitudes(j.opts.top) {
+		a := e.Amplitude
+		top = append(top, AmpView{
+			Basis:       fmt.Sprintf("%0*b", n, e.Index),
+			Probability: cmplx.Abs(a) * cmplx.Abs(a),
+			Re:          real(a),
+			Im:          imag(a),
+		})
+	}
+	phase := core.PhaseDD
+	if st.ConvertedAtGate >= 0 {
+		phase = core.PhaseDMAV
+	}
+	return &JobResult{
+		ID:      j.id,
+		Circuit: j.circ.Name,
+		Stats: ResultStats{
+			Gates:           st.Gates,
+			ConvertedAtGate: st.ConvertedAtGate,
+			FinalPhase:      phase.String(),
+			TotalMS:         float64(st.TotalTime) / float64(time.Millisecond),
+			DDMS:            float64(st.DDTime) / float64(time.Millisecond),
+			ConversionMS:    float64(st.ConversionTime) / float64(time.Millisecond),
+			DMAVMS:          float64(st.DMAVTime) / float64(time.Millisecond),
+			PeakDDNodes:     st.PeakDDNodes,
+			MemoryBytes:     st.MemoryBytes,
+			Fidelity:        st.Fidelity,
+		},
+		Top:   top,
+		Shots: sampleShots(sim, n, j.opts.shots, j.opts.seed),
+	}
+}
+
+// viewLocked renders a job's status. Caller holds s.mu.
+func (s *Server) viewLocked(j *job) JobView {
+	v := JobView{
+		ID:          j.id,
+		State:       j.state,
+		Circuit:     j.circ.Name,
+		Qubits:      j.circ.Qubits,
+		Gates:       j.circ.GateCount(),
+		SubmittedAt: j.submitted,
+		Error:       j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	if j.state == StateQueued {
+		pos := 0
+		for _, id := range s.order {
+			if s.jobs[id].state == StateQueued {
+				pos++
+			}
+			if id == j.id {
+				break
+			}
+		}
+		v.QueuePosition = pos
+	}
+	return v
+}
+
+// Handler returns the service's HTTP mux:
+//
+//	POST   /v1/jobs             — submit (SubmitRequest → JobView, 202)
+//	GET    /v1/jobs             — list (?state= filters)
+//	GET    /v1/jobs/{id}        — status
+//	GET    /v1/jobs/{id}/result — result of a done job
+//	DELETE /v1/jobs/{id}        — cancel (POST /v1/jobs/{id}/cancel works too)
+//	GET    /healthz             — liveness + drain state
+//	/debug/*                    — metrics, expvar, pprof (internal/obs)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("/debug/", obs.Mux(s.reg))
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best-effort HTTP write
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.met.rejectInvalid.Inc()
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	j, aerr := s.submit(&req)
+	if aerr != nil {
+		writeError(w, aerr.status, aerr.msg)
+		return
+	}
+	s.mu.Lock()
+	v := s.viewLocked(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	filter := r.URL.Query().Get("state")
+	s.mu.Lock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if filter != "" && j.state != filter {
+			continue
+		}
+		out = append(out, s.viewLocked(j))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	v := s.viewLocked(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	state, errMsg, res := j.state, j.errMsg, j.result
+	s.mu.Unlock()
+	switch state {
+	case StateDone:
+		writeJSON(w, http.StatusOK, res)
+	case StateQueued, StateRunning:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; retry later", state))
+	default: // failed | canceled
+		writeError(w, http.StatusConflict, fmt.Sprintf("job %s: %s", state, errMsg))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	found, canceled := s.Cancel(id)
+	if !found {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if !canceled {
+		writeError(w, http.StatusConflict, "job already finished")
+		return
+	}
+	s.mu.Lock()
+	v := s.viewLocked(s.jobs[id])
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	body := map[string]any{
+		"status":  status,
+		"queued":  s.countLocked(StateQueued),
+		"running": s.countLocked(StateRunning),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, body)
+}

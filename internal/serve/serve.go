@@ -1,0 +1,557 @@
+// Package serve implements a long-lived simulation job service on top of
+// the FlatDD engine: circuits are submitted over HTTP/JSON, admitted
+// against a memory budget, queued on a bounded FIFO, executed on one
+// shared work-stealing scheduler pool, and driven through the
+// context-first core.RunContext API so per-job deadlines and client
+// cancellations propagate into the engine within one gate.
+//
+// The lifecycle is queued → running → done | failed | canceled. Admission
+// control happens at submit time: a job whose 2^n-amplitude flat-array
+// worst case (WorstCaseBytes) exceeds the configured budget is rejected
+// with 413, a full queue rejects with 429, and a draining server with
+// 503. Everything is instrumented through internal/obs under the serve.*
+// metric names (DESIGN.md §8) and the /debug/metrics + pprof mux of the
+// observability layer is mounted on the same handler.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"flatdd/internal/circuit"
+	"flatdd/internal/core"
+	"flatdd/internal/dmav"
+	"flatdd/internal/obs"
+	"flatdd/internal/qasm"
+	"flatdd/internal/sched"
+	"flatdd/internal/workloads"
+)
+
+// Job states as reported by the status and list endpoints.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// maxSimQubits is the engine's hard register-size ceiling (the DMAV
+// engine rejects larger registers); Config.MaxQubits is clamped to it.
+const maxSimQubits = 34
+
+// Config parameterizes a Server. The zero value is usable: every field
+// falls back to the default documented on it.
+type Config struct {
+	// Threads is the worker count of the shared scheduler pool all jobs
+	// run on (default: GOMAXPROCS). The pool is authoritative for the
+	// engine's cost model — see core.Options.Pool.
+	Threads int
+	// Pool, when non-nil, is used instead of creating one (the caller
+	// keeps ownership of its lifetime; Threads is then ignored).
+	Pool *sched.Pool
+	// QueueDepth caps the number of admitted-but-not-yet-running jobs
+	// (default 64). A full queue rejects submissions with 429.
+	QueueDepth int
+	// MaxInFlight caps concurrently executing jobs (default 2). Each
+	// in-flight job owns up to WorstCaseBytes of flat arrays, so the
+	// sustained worst case is MaxInFlight·MemoryBudget.
+	MaxInFlight int
+	// MemoryBudget is the per-job admission budget in bytes (default
+	// 4 GiB): a job with WorstCaseBytes(qubits) > MemoryBudget is
+	// rejected with 413 before it is queued.
+	MemoryBudget uint64
+	// MaxQubits caps the register size regardless of budget (default 30,
+	// clamped to the engine ceiling of 34).
+	MaxQubits int
+	// DefaultTimeout is the per-job deadline when the submission does not
+	// name one (default 2m); MaxTimeout caps requested deadlines
+	// (default 10m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DrainGrace is how long Shutdown waits for in-flight jobs before
+	// canceling their contexts (default 10s).
+	DrainGrace time.Duration
+	// MaxBodyBytes caps submission bodies (default 1 MiB — QASM sources
+	// beyond that should be batch jobs, not service requests).
+	MaxBodyBytes int64
+	// Metrics is the registry jobs and the service instrument (default: a
+	// fresh registry; it also backs the handler's /debug/metrics).
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads < 1 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.MaxInFlight < 1 {
+		c.MaxInFlight = 2
+	}
+	if c.MemoryBudget == 0 {
+		c.MemoryBudget = 4 << 30
+	}
+	if c.MaxQubits < 1 {
+		c.MaxQubits = 30
+	}
+	if c.MaxQubits > maxSimQubits {
+		c.MaxQubits = maxSimQubits
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 10 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.New()
+	}
+	return c
+}
+
+// WorstCaseBytes is the admission-control memory formula: the flat-array
+// phase of an n-qubit job allocates a 2^n-amplitude state vector and a
+// scratch vector (16 B per complex128), and the cached DMAV path
+// typically one shared partial-output buffer on top — 3·16·2^n in total.
+// The DD-phase node pool is bounded by the same conversion threshold and
+// is small against the arrays, so it is folded into the factor.
+func WorstCaseBytes(n int) uint64 { return 48 << uint(n) }
+
+// job is the internal record of one submission. All mutable fields are
+// guarded by Server.mu.
+type job struct {
+	id   string
+	circ *circuit.Circuit
+	opts runOptions
+
+	state     string
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc // non-nil while running
+	result    *JobResult
+}
+
+// runOptions is the normalized execution request of one job.
+type runOptions struct {
+	timeout time.Duration
+	cache   dmav.Mode
+	fusion  core.FusionMode
+	k       int
+	top     int
+	shots   int
+	seed    int64
+}
+
+// serveMetrics holds the service's registry handles (names in DESIGN.md
+// §8).
+type serveMetrics struct {
+	submitted     *obs.Counter
+	completed     *obs.Counter
+	failed        *obs.Counter
+	canceled      *obs.Counter
+	rejectBudget  *obs.Counter
+	rejectQueue   *obs.Counter
+	rejectInvalid *obs.Counter
+	queueDepth    *obs.Gauge
+	running       *obs.Gauge
+	latencyNs     *obs.Histogram
+	queueWaitNs   *obs.Histogram
+}
+
+// Server is the simulation job service. Create with New, expose
+// Handler() over HTTP, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	pool    *sched.Pool
+	ownPool bool
+	reg     *obs.Registry
+	met     serveMetrics
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for the list endpoint
+	queue    chan *job
+	nextID   int
+	draining bool
+
+	runWG sync.WaitGroup // the MaxInFlight runner goroutines
+}
+
+// New starts a Server: the shared pool is created (unless injected) and
+// MaxInFlight runner goroutines begin waiting on the queue.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:  cfg,
+		reg:  cfg.Metrics,
+		jobs: make(map[string]*job),
+	}
+	s.queue = make(chan *job, cfg.QueueDepth)
+	if cfg.Pool != nil {
+		s.pool = cfg.Pool
+	} else {
+		s.pool = sched.New(cfg.Threads)
+		s.ownPool = true
+	}
+	s.pool.SetMetrics(s.reg)
+	r := s.reg
+	s.met = serveMetrics{
+		submitted:     r.Counter("serve.jobs.submitted"),
+		completed:     r.Counter("serve.jobs.completed"),
+		failed:        r.Counter("serve.jobs.failed"),
+		canceled:      r.Counter("serve.jobs.canceled"),
+		rejectBudget:  r.Counter("serve.jobs.rejected.budget"),
+		rejectQueue:   r.Counter("serve.jobs.rejected.queue_full"),
+		rejectInvalid: r.Counter("serve.jobs.rejected.invalid"),
+		queueDepth:    r.Gauge("serve.queue.depth"),
+		running:       r.Gauge("serve.jobs.running"),
+		latencyNs:     r.Histogram("serve.job.latency_ns", obs.DurationBuckets()),
+		queueWaitNs:   r.Histogram("serve.job.queue_wait_ns", obs.DurationBuckets()),
+	}
+	r.Gauge("serve.max_inflight").Set(int64(cfg.MaxInFlight))
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		s.runWG.Add(1)
+		go s.runner()
+	}
+	return s
+}
+
+// Registry returns the metrics registry the server instruments.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// admissionError is a submit-time rejection with an HTTP status.
+type admissionError struct {
+	status int
+	msg    string
+}
+
+func (e *admissionError) Error() string { return e.msg }
+
+// buildCircuit materializes the submitted circuit from exactly one of
+// the two sources.
+func buildCircuit(req *SubmitRequest) (*circuit.Circuit, error) {
+	switch {
+	case req.QASM != "" && req.Circuit != "":
+		return nil, fmt.Errorf("pass either qasm or circuit, not both")
+	case req.QASM != "":
+		return qasm.Parse(req.QASM)
+	case req.Circuit != "":
+		n := req.N
+		if n == 0 {
+			n = 16
+		}
+		return workloads.Build(req.Circuit, n, req.Seed)
+	default:
+		return nil, fmt.Errorf("nothing to simulate: pass qasm or circuit")
+	}
+}
+
+// normalize validates the execution options of a submission.
+func (s *Server) normalize(req *SubmitRequest) (runOptions, error) {
+	o := runOptions{
+		timeout: s.cfg.DefaultTimeout,
+		top:     8,
+		k:       4,
+		seed:    req.Seed,
+	}
+	if req.TimeoutMS < 0 || req.Shots < 0 || req.Top < 0 {
+		return o, fmt.Errorf("timeout_ms, shots and top must be non-negative")
+	}
+	if req.TimeoutMS > 0 {
+		o.timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if o.timeout > s.cfg.MaxTimeout {
+			o.timeout = s.cfg.MaxTimeout
+		}
+	}
+	if req.Top > 0 {
+		o.top = req.Top
+	}
+	if o.top > 1024 {
+		return o, fmt.Errorf("top amplitudes capped at 1024, got %d", o.top)
+	}
+	o.shots = req.Shots
+	if o.shots > 1_000_000 {
+		return o, fmt.Errorf("shots capped at 1000000, got %d", o.shots)
+	}
+	switch req.Cache {
+	case "", "auto":
+		o.cache = dmav.Auto
+	case "always":
+		o.cache = dmav.AlwaysCache
+	case "never":
+		o.cache = dmav.NeverCache
+	default:
+		return o, fmt.Errorf("unknown cache mode %q (auto|always|never)", req.Cache)
+	}
+	switch req.Fusion {
+	case "", "none":
+		o.fusion = core.NoFusion
+	case "dmav":
+		o.fusion = core.DMAVAware
+	case "kops":
+		o.fusion = core.KOps
+	default:
+		return o, fmt.Errorf("unknown fusion mode %q (none|dmav|kops)", req.Fusion)
+	}
+	return o, nil
+}
+
+// submit runs admission control and either enqueues a new job or returns
+// an *admissionError. It is the only producer on s.queue.
+func (s *Server) submit(req *SubmitRequest) (*job, *admissionError) {
+	c, err := buildCircuit(req)
+	if err != nil {
+		s.met.rejectInvalid.Inc()
+		return nil, &admissionError{400, err.Error()}
+	}
+	opts, err := s.normalize(req)
+	if err != nil {
+		s.met.rejectInvalid.Inc()
+		return nil, &admissionError{400, err.Error()}
+	}
+	if c.Qubits < 1 {
+		s.met.rejectInvalid.Inc()
+		return nil, &admissionError{400, "circuit has no qubits"}
+	}
+	if c.Qubits > s.cfg.MaxQubits {
+		s.met.rejectBudget.Inc()
+		return nil, &admissionError{413, fmt.Sprintf(
+			"circuit has %d qubits, server cap is %d", c.Qubits, s.cfg.MaxQubits)}
+	}
+	if w := WorstCaseBytes(c.Qubits); w > s.cfg.MemoryBudget {
+		s.met.rejectBudget.Inc()
+		return nil, &admissionError{413, fmt.Sprintf(
+			"flat-array worst case for %d qubits is %d bytes, over the %d-byte budget",
+			c.Qubits, w, s.cfg.MemoryBudget)}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, &admissionError{503, "server is draining"}
+	}
+	s.nextID++
+	j := &job{
+		id:        fmt.Sprintf("j-%06d", s.nextID),
+		circ:      c,
+		opts:      opts,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.met.rejectQueue.Inc()
+		return nil, &admissionError{429, fmt.Sprintf(
+			"queue full (%d jobs)", s.cfg.QueueDepth)}
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.met.submitted.Inc()
+	s.met.queueDepth.Set(int64(len(s.queue)))
+	s.mu.Unlock()
+	return j, nil
+}
+
+// runner is one of the MaxInFlight executor goroutines: it pops jobs off
+// the FIFO until the queue is closed by Shutdown. The goroutine count is
+// the in-flight cap.
+func (s *Server) runner() {
+	defer s.runWG.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job through core.RunContext on the shared pool.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	s.met.queueDepth.Set(int64(len(s.queue)))
+	if j.state != StateQueued {
+		// Canceled (or drain-canceled) while still in the FIFO.
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), j.opts.timeout)
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	s.met.running.Set(s.countLocked(StateRunning))
+	s.met.queueWaitNs.Observe(j.started.Sub(j.submitted).Nanoseconds())
+	s.mu.Unlock()
+	defer cancel()
+
+	res, runErr := s.execute(ctx, j)
+
+	s.mu.Lock()
+	j.finished = time.Now()
+	j.cancel = nil
+	switch {
+	case runErr == nil:
+		j.state = StateDone
+		j.result = res
+		s.met.completed.Inc()
+	case isCancel(runErr):
+		j.state = StateCanceled
+		j.errMsg = runErr.Error()
+		s.met.canceled.Inc()
+	default:
+		j.state = StateFailed
+		j.errMsg = runErr.Error()
+		s.met.failed.Inc()
+	}
+	s.met.running.Set(s.countLocked(StateRunning))
+	s.met.latencyNs.Observe(j.finished.Sub(j.submitted).Nanoseconds())
+	s.mu.Unlock()
+}
+
+// isCancel distinguishes a canceled run (client cancel or drain) from a
+// failure. A deadline abort is the job's own timeout, reported as failed
+// with the sentinel's message.
+func isCancel(err error) bool { return errors.Is(err, core.ErrCanceled) }
+
+// execute runs the simulation and assembles the result payload. A panic
+// in the engine fails the job instead of the server.
+func (s *Server) execute(ctx context.Context, j *job) (res *JobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("engine panic: %v", r)
+		}
+	}()
+	sim := core.New(j.circ.Qubits, core.Options{
+		Pool:      s.pool,
+		CacheMode: j.opts.cache,
+		Fusion:    j.opts.fusion,
+		K:         j.opts.k,
+		Metrics:   s.reg,
+	})
+	st, err := sim.RunContext(ctx, j.circ)
+	if err != nil {
+		return nil, err
+	}
+	return buildResult(j, sim, st), nil
+}
+
+// countLocked counts jobs in one state. Caller holds s.mu.
+func (s *Server) countLocked(state string) int64 {
+	var n int64
+	for _, j := range s.jobs {
+		if j.state == state {
+			n++
+		}
+	}
+	return n
+}
+
+// Cancel cancels a job by id: a queued job is withdrawn from the FIFO
+// (it is skipped when popped), a running job has its context canceled and
+// transitions to canceled as soon as the engine observes it (bounded by
+// one gate). It reports whether the job exists and whether it was still
+// cancelable.
+func (s *Server) Cancel(id string) (found, canceled bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return false, false
+	}
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.errMsg = core.ErrCanceled.Error()
+		j.finished = time.Now()
+		s.met.canceled.Inc()
+		return true, true
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return true, true
+	default:
+		return true, false
+	}
+}
+
+// Shutdown drains the server: admission stops immediately, queued jobs
+// that never started are canceled, and in-flight jobs get DrainGrace to
+// finish before their contexts are canceled. It returns once every
+// runner has exited, and is safe to call once.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.runWG.Wait()
+		return
+	}
+	s.draining = true
+	for _, j := range s.jobs {
+		if j.state == StateQueued {
+			j.state = StateCanceled
+			j.errMsg = core.ErrCanceled.Error() + " (server draining)"
+			j.finished = time.Now()
+			s.met.canceled.Inc()
+		}
+	}
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.runWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainGrace):
+		// Grace expired: cancel whatever is still running; RunContext
+		// observes the cancellation within one gate.
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			if j.state == StateRunning && j.cancel != nil {
+				j.cancel()
+			}
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	if s.ownPool {
+		s.pool.Close()
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// sampleShots draws measurement shots from the final state with a seeded
+// generator, keyed as zero-padded bitstrings.
+func sampleShots(sim *core.Simulator, n, shots int, seed int64) map[string]int {
+	if shots <= 0 {
+		return nil
+	}
+	counts := sim.Sample(rand.New(rand.NewSource(seed)), shots)
+	out := make(map[string]int, len(counts))
+	for idx, c := range counts {
+		out[fmt.Sprintf("%0*b", n, idx)] = c
+	}
+	return out
+}

@@ -1,0 +1,413 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flatdd/internal/core"
+)
+
+const bellQASM = `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0],q[1];
+`
+
+// slowSubmit is a workload heavy enough to stay running for a while on
+// the test server (QV scrambles, converts early, and then pushes a few
+// hundred DMAV gates over 2^16 amplitudes).
+func slowSubmit() *SubmitRequest {
+	return &SubmitRequest{Circuit: "qv", N: 16, Seed: 1, TimeoutMS: 60_000}
+}
+
+type testServer struct {
+	srv *Server
+	ts  *httptest.Server
+	t   *testing.T
+}
+
+func newTestServer(t *testing.T, cfg Config) *testServer {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if !srv.Draining() {
+			srv.Shutdown()
+		}
+	})
+	return &testServer{srv: srv, ts: ts, t: t}
+}
+
+func (h *testServer) do(method, path string, body any) (int, []byte) {
+	h.t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, h.ts.URL+path, rd)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	return resp.StatusCode, buf.Bytes()
+}
+
+func (h *testServer) submit(req *SubmitRequest) JobView {
+	h.t.Helper()
+	code, body := h.do("POST", "/v1/jobs", req)
+	if code != http.StatusAccepted {
+		h.t.Fatalf("submit: %d %s", code, body)
+	}
+	var v JobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		h.t.Fatal(err)
+	}
+	return v
+}
+
+// waitState polls a job until it reaches one of the wanted states.
+func (h *testServer) waitState(id string, want ...string) JobView {
+	h.t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, body := h.do("GET", "/v1/jobs/"+id, nil)
+		if code != http.StatusOK {
+			h.t.Fatalf("status %s: %d %s", id, code, body)
+		}
+		var v JobView
+		if err := json.Unmarshal(body, &v); err != nil {
+			h.t.Fatal(err)
+		}
+		for _, w := range want {
+			if v.State == w {
+				return v
+			}
+		}
+		if time.Now().After(deadline) {
+			h.t.Fatalf("job %s stuck in %q, want %v", id, v.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestAdmissionRejections(t *testing.T) {
+	h := newTestServer(t, Config{
+		Threads:      2,
+		MemoryBudget: WorstCaseBytes(14), // admits up to 14 qubits
+		MaxQubits:    20,
+	})
+	cases := []struct {
+		name string
+		req  SubmitRequest
+		code int
+	}{
+		{"over budget", SubmitRequest{Circuit: "ghz", N: 15}, http.StatusRequestEntityTooLarge},
+		{"over qubit cap", SubmitRequest{Circuit: "ghz", N: 24}, http.StatusRequestEntityTooLarge},
+		{"no source", SubmitRequest{}, http.StatusBadRequest},
+		{"both sources", SubmitRequest{QASM: bellQASM, Circuit: "ghz", N: 4}, http.StatusBadRequest},
+		{"bad qasm", SubmitRequest{QASM: "qreg q[2]; bogus"}, http.StatusBadRequest},
+		{"unknown workload", SubmitRequest{Circuit: "nope", N: 4}, http.StatusBadRequest},
+		{"bad cache mode", SubmitRequest{Circuit: "ghz", N: 4, Cache: "sometimes"}, http.StatusBadRequest},
+		{"negative shots", SubmitRequest{Circuit: "ghz", N: 4, Shots: -1}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if code, body := h.do("POST", "/v1/jobs", tc.req); code != tc.code {
+			t.Errorf("%s: got %d (%s), want %d", tc.name, code, body, tc.code)
+		}
+	}
+	if got := h.srv.Registry().Counter("serve.jobs.rejected.budget").Value(); got != 2 {
+		t.Errorf("serve.jobs.rejected.budget = %d, want 2", got)
+	}
+	if got := h.srv.Registry().Counter("serve.jobs.rejected.invalid").Value(); got != 6 {
+		t.Errorf("serve.jobs.rejected.invalid = %d, want 6", got)
+	}
+}
+
+func TestBellJobEndToEnd(t *testing.T) {
+	h := newTestServer(t, Config{Threads: 2})
+	v := h.submit(&SubmitRequest{QASM: bellQASM, Shots: 1000, Top: 4, Seed: 42})
+	if v.Qubits != 2 || v.Gates != 2 {
+		t.Fatalf("view: %+v", v)
+	}
+	h.waitState(v.ID, StateDone)
+
+	code, body := h.do("GET", "/v1/jobs/"+v.ID+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %s", code, body)
+	}
+	var res JobResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FinalPhase != "dd" || res.Stats.ConvertedAtGate != -1 {
+		t.Fatalf("bell circuit should finish in the DD phase: %+v", res.Stats)
+	}
+	if len(res.Top) != 2 {
+		t.Fatalf("top amplitudes: %+v", res.Top)
+	}
+	for _, a := range res.Top {
+		if a.Basis != "00" && a.Basis != "11" {
+			t.Fatalf("unexpected basis state %q", a.Basis)
+		}
+		if math.Abs(a.Probability-0.5) > 1e-9 {
+			t.Fatalf("P(%s) = %v, want 0.5", a.Basis, a.Probability)
+		}
+	}
+	total := 0
+	for bits, n := range res.Shots {
+		if bits != "00" && bits != "11" {
+			t.Fatalf("impossible shot %q", bits)
+		}
+		total += n
+	}
+	if total != 1000 {
+		t.Fatalf("shot count %d, want 1000", total)
+	}
+}
+
+func TestResultNotReadyAndUnknown(t *testing.T) {
+	h := newTestServer(t, Config{Threads: 2})
+	if code, _ := h.do("GET", "/v1/jobs/j-999999", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job status: %d", code)
+	}
+	if code, _ := h.do("GET", "/v1/jobs/j-999999/result", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job result: %d", code)
+	}
+	v := h.submit(slowSubmit())
+	if code, _ := h.do("GET", "/v1/jobs/"+v.ID+"/result", nil); code != http.StatusConflict {
+		t.Fatalf("unfinished result: %d, want 409", code)
+	}
+	h.do("DELETE", "/v1/jobs/"+v.ID, nil)
+	h.waitState(v.ID, StateCanceled, StateDone)
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	h := newTestServer(t, Config{Threads: 2, MaxInFlight: 1, QueueDepth: 4})
+	running := h.submit(slowSubmit())
+	h.waitState(running.ID, StateRunning)
+	queued := h.submit(slowSubmit())
+
+	code, body := h.do("DELETE", "/v1/jobs/"+queued.ID, nil)
+	if code != http.StatusOK {
+		t.Fatalf("cancel queued: %d %s", code, body)
+	}
+	v := h.waitState(queued.ID, StateCanceled)
+	if !strings.Contains(v.Error, core.ErrCanceled.Error()) {
+		t.Fatalf("canceled job error = %q, want the core sentinel", v.Error)
+	}
+	// The withdrawn job must be skipped by the runner, not executed: cancel
+	// the running one and verify the queued one never starts.
+	h.do("DELETE", "/v1/jobs/"+running.ID, nil)
+	h.waitState(running.ID, StateCanceled, StateDone)
+	time.Sleep(20 * time.Millisecond)
+	if v := h.waitState(queued.ID, StateCanceled); v.StartedAt != nil {
+		t.Fatal("withdrawn job was started anyway")
+	}
+}
+
+func TestCancelRunningJobReturnsSentinel(t *testing.T) {
+	h := newTestServer(t, Config{Threads: 2})
+	v := h.submit(slowSubmit())
+	h.waitState(v.ID, StateRunning)
+	code, body := h.do("POST", "/v1/jobs/"+v.ID+"/cancel", nil)
+	if code != http.StatusOK {
+		t.Fatalf("cancel running: %d %s", code, body)
+	}
+	got := h.waitState(v.ID, StateCanceled, StateDone)
+	if got.State == StateDone {
+		t.Skip("job finished before the cancel landed")
+	}
+	if !strings.Contains(got.Error, core.ErrCanceled.Error()) {
+		t.Fatalf("error = %q, want core.ErrCanceled's message", got.Error)
+	}
+	// Double cancel of a finished job conflicts.
+	if code, _ := h.do("DELETE", "/v1/jobs/"+v.ID, nil); code != http.StatusConflict {
+		t.Fatalf("cancel finished job: %d, want 409", code)
+	}
+	if got := h.srv.Registry().Counter("serve.jobs.canceled").Value(); got != 1 {
+		t.Fatalf("serve.jobs.canceled = %d, want 1", got)
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	h := newTestServer(t, Config{Threads: 2, MaxInFlight: 1, QueueDepth: 1})
+	running := h.submit(slowSubmit())
+	h.waitState(running.ID, StateRunning)
+	queued := h.submit(slowSubmit()) // fills the FIFO
+
+	code, body := h.do("POST", "/v1/jobs", slowSubmit())
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-depth submit: %d %s, want 429", code, body)
+	}
+	if got := h.srv.Registry().Counter("serve.jobs.rejected.queue_full").Value(); got != 1 {
+		t.Fatalf("serve.jobs.rejected.queue_full = %d, want 1", got)
+	}
+	h.do("DELETE", "/v1/jobs/"+queued.ID, nil)
+	h.do("DELETE", "/v1/jobs/"+running.ID, nil)
+	h.waitState(running.ID, StateCanceled, StateDone)
+}
+
+func TestInFlightCapRespected(t *testing.T) {
+	const inflight = 2
+	h := newTestServer(t, Config{Threads: 2, MaxInFlight: inflight, QueueDepth: 8})
+	ids := make([]string, 0, 5)
+	for i := 0; i < 5; i++ {
+		ids = append(ids, h.submit(slowSubmit()).ID)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	sawParallel := false
+	for {
+		code, body := h.do("GET", "/v1/jobs?state="+StateRunning, nil)
+		if code != http.StatusOK {
+			t.Fatalf("list: %d %s", code, body)
+		}
+		var running []JobView
+		if err := json.Unmarshal(body, &running); err != nil {
+			t.Fatal(err)
+		}
+		if len(running) > inflight {
+			t.Fatalf("%d jobs running, cap is %d", len(running), inflight)
+		}
+		if len(running) == inflight {
+			sawParallel = true
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !sawParallel {
+		t.Fatal("never saw the in-flight cap reached")
+	}
+	for _, id := range ids {
+		h.do("DELETE", "/v1/jobs/"+id, nil)
+	}
+	for _, id := range ids {
+		h.waitState(id, StateCanceled, StateDone)
+	}
+}
+
+func TestJobTimeoutFails(t *testing.T) {
+	h := newTestServer(t, Config{Threads: 2})
+	req := slowSubmit()
+	req.TimeoutMS = 30 // far below the QV runtime
+	v := h.submit(req)
+	got := h.waitState(v.ID, StateFailed, StateDone)
+	if got.State == StateDone {
+		t.Skip("machine fast enough to beat a 30ms deadline")
+	}
+	if !strings.Contains(got.Error, core.ErrDeadlineExceeded.Error()) {
+		t.Fatalf("timeout error = %q", got.Error)
+	}
+}
+
+func TestDrainSemantics(t *testing.T) {
+	h := newTestServer(t, Config{
+		Threads: 2, MaxInFlight: 1, QueueDepth: 4,
+		DrainGrace: 50 * time.Millisecond,
+	})
+	running := h.submit(slowSubmit())
+	h.waitState(running.ID, StateRunning)
+	queued := h.submit(slowSubmit())
+
+	done := make(chan struct{})
+	go func() { h.srv.Shutdown(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Shutdown did not drain")
+	}
+
+	v := h.waitState(queued.ID, StateCanceled)
+	if !strings.Contains(v.Error, "draining") {
+		t.Fatalf("drained queued job error = %q", v.Error)
+	}
+	r := h.waitState(running.ID, StateCanceled, StateDone)
+	if r.State == StateCanceled && !strings.Contains(r.Error, core.ErrCanceled.Error()) {
+		t.Fatalf("drained running job error = %q", r.Error)
+	}
+	if code, _ := h.do("POST", "/v1/jobs", &SubmitRequest{Circuit: "ghz", N: 4}); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: %d, want 503", code)
+	}
+	code, body := h.do("GET", "/healthz", nil)
+	if code != http.StatusOK || !strings.Contains(string(body), "draining") {
+		t.Fatalf("healthz after drain: %d %s", code, body)
+	}
+}
+
+func TestWorstCaseBytes(t *testing.T) {
+	// 3 arrays of 16-byte amplitudes: state, scratch, shared partial.
+	if got, want := WorstCaseBytes(10), uint64(3*16*1024); got != want {
+		t.Fatalf("WorstCaseBytes(10) = %d, want %d", got, want)
+	}
+	for n := 1; n < 30; n++ {
+		if WorstCaseBytes(n+1) != 2*WorstCaseBytes(n) {
+			t.Fatalf("WorstCaseBytes not doubling at n=%d", n)
+		}
+	}
+}
+
+func TestListFilterAndQueuePosition(t *testing.T) {
+	h := newTestServer(t, Config{Threads: 2, MaxInFlight: 1, QueueDepth: 4})
+	running := h.submit(slowSubmit())
+	h.waitState(running.ID, StateRunning)
+	q1 := h.submit(slowSubmit())
+	q2 := h.submit(slowSubmit())
+
+	code, body := h.do("GET", "/v1/jobs?state="+StateQueued, nil)
+	if code != http.StatusOK {
+		t.Fatalf("list queued: %d", code)
+	}
+	var queued []JobView
+	if err := json.Unmarshal(body, &queued); err != nil {
+		t.Fatal(err)
+	}
+	if len(queued) != 2 || queued[0].ID != q1.ID || queued[1].ID != q2.ID {
+		t.Fatalf("queued list: %+v", queued)
+	}
+	if queued[0].QueuePosition != 1 || queued[1].QueuePosition != 2 {
+		t.Fatalf("queue positions: %d, %d", queued[0].QueuePosition, queued[1].QueuePosition)
+	}
+	for _, id := range []string{q2.ID, q1.ID, running.ID} {
+		h.do("DELETE", "/v1/jobs/"+id, nil)
+	}
+	h.waitState(running.ID, StateCanceled, StateDone)
+}
+
+func TestMetricsEndpointExposed(t *testing.T) {
+	h := newTestServer(t, Config{Threads: 2})
+	v := h.submit(&SubmitRequest{QASM: bellQASM})
+	h.waitState(v.ID, StateDone)
+	code, body := h.do("GET", "/debug/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/debug/metrics: %d", code)
+	}
+	for _, name := range []string{"serve.jobs.submitted", "serve.jobs.completed", "serve.queue.depth"} {
+		if !bytes.Contains(body, []byte(fmt.Sprintf("%q", name))) {
+			t.Fatalf("/debug/metrics missing %s: %s", name, body)
+		}
+	}
+}

@@ -8,6 +8,57 @@ import (
 	"flatdd/internal/circuit"
 )
 
+// RandomCliffordT builds a seeded random circuit over n qubits from the
+// Clifford+T gate set (H, S, S†, T, T†, X, Z, CX, CZ). The distribution
+// leans on H and CX so the state neither stays sparse (which would leave
+// conversion and DMAV column paths untested) nor becomes trivially
+// diagonal. It is the workhorse of the cross-engine differential suite
+// (internal/difftest) and the job service's smoke workload (registry name
+// "randct").
+func RandomCliffordT(n, gates int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(fmt.Sprintf("rand-ct-n%d-g%d-s%d", n, gates, seed), n)
+	for i := 0; i < gates; i++ {
+		q := rng.Intn(n)
+		switch rng.Intn(10) {
+		case 0, 1:
+			c.Append(circuit.H(q))
+		case 2:
+			c.Append(circuit.S(q))
+		case 3:
+			c.Append(circuit.Sdg(q))
+		case 4:
+			c.Append(circuit.T(q))
+		case 5:
+			c.Append(circuit.Tdg(q))
+		case 6:
+			c.Append(circuit.X(q))
+		case 7:
+			c.Append(circuit.Z(q))
+		default:
+			if n < 2 {
+				c.Append(circuit.H(q))
+				continue
+			}
+			t := rng.Intn(n - 1)
+			if t >= q {
+				t++
+			}
+			if rng.Intn(2) == 0 {
+				c.Append(circuit.CX(q, t))
+			} else {
+				c.Append(circuit.CZ(q, t))
+			}
+		}
+	}
+	return c
+}
+
+// RandCTGatesFor is the gate count the "randct" registry entry uses: deep
+// enough that the EWMA controller converts mid-circuit at serving sizes,
+// shallow enough that a smoke job finishes in seconds.
+func RandCTGatesFor(n int) int { return 20 * n }
+
 // QAOA returns a Quantum Approximate Optimization Algorithm circuit for
 // MaxCut on a random d-regular-ish graph over n vertices with p rounds:
 // per round, RZZ(gamma) on every edge and RX(2*beta) on every qubit, after

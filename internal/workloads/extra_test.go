@@ -60,7 +60,7 @@ func TestQuantumVolumeShape(t *testing.T) {
 }
 
 func TestExtraWorkloadsInRegistry(t *testing.T) {
-	for _, name := range []string{"qaoa", "wstate", "qv"} {
+	for _, name := range []string{"qaoa", "wstate", "qv", "randct"} {
 		c, err := Build(name, 6, 3)
 		if err != nil {
 			t.Fatalf("Build(%s): %v", name, err)
@@ -69,7 +69,7 @@ func TestExtraWorkloadsInRegistry(t *testing.T) {
 			t.Fatalf("Build(%s) qubits = %d", name, c.Qubits)
 		}
 	}
-	if len(Names()) != 13 {
+	if len(Names()) != 14 {
 		t.Fatalf("Names() = %v", Names())
 	}
 }

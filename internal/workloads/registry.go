@@ -24,7 +24,7 @@ const VQELayers = 2
 
 // Build constructs a named benchmark circuit at the given register size.
 // Recognized names: ghz, adder, dnn, vqe, knn, swaptest, supremacy, qft,
-// grover, bv.
+// grover, bv, qaoa, wstate, qv, randct.
 func Build(name string, n int, seed int64) (*circuit.Circuit, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("workloads: qubit count %d out of range", n)
@@ -68,6 +68,8 @@ func Build(name string, n int, seed int64) (*circuit.Circuit, error) {
 		return BernsteinVazirani(n-1, uint64(seed)%(uint64(1)<<uint(n-1))), nil
 	case "qaoa":
 		return QAOA(n, 3, seed), nil
+	case "randct":
+		return RandomCliffordT(n, RandCTGatesFor(n), seed), nil
 	case "wstate":
 		return WState(n), nil
 	case "qv":
@@ -79,7 +81,7 @@ func Build(name string, n int, seed int64) (*circuit.Circuit, error) {
 
 // Names lists the recognized workload names.
 func Names() []string {
-	names := []string{"ghz", "adder", "dnn", "vqe", "knn", "swaptest", "supremacy", "qft", "grover", "bv", "qaoa", "wstate", "qv"}
+	names := []string{"ghz", "adder", "dnn", "vqe", "knn", "swaptest", "supremacy", "qft", "grover", "bv", "qaoa", "wstate", "qv", "randct"}
 	sort.Strings(names)
 	return names
 }

@@ -265,7 +265,7 @@ func TestBuildErrors(t *testing.T) {
 }
 
 func TestNames(t *testing.T) {
-	if len(Names()) != 13 {
+	if len(Names()) != 14 {
 		t.Fatalf("Names() = %v", Names())
 	}
 }
