@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz serve-smoke bench-obs bench-record bench-gate csv
+.PHONY: build test check faults fuzz serve-smoke bench-obs bench-record bench-gate csv
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,21 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
+	$(MAKE) faults
 	$(MAKE) serve-smoke
 	$(MAKE) bench-record
 	$(MAKE) bench-gate
+
+# faults runs the fault-injection and graceful-degradation suites under
+# the race detector: contained worker panics (sched, core, serve),
+# budget- and allocation-driven DD-only degradation, numerical-integrity
+# aborts, and the serve retry/backoff path. These overlap -short above
+# only partially (count=1 defeats the test cache so injected faults
+# always re-fire).
+faults:
+	$(GO) test -race -count=1 ./internal/faults/...
+	$(GO) test -race -count=1 -run 'Fault|Degraded|Drift|TaskPanic' \
+		./internal/sched/... ./internal/core/... ./internal/serve/...
 
 # serve-smoke builds the flatdd-serve binary race-enabled and drives it
 # end to end over HTTP: admission control (413 over budget), bell + randct

@@ -31,27 +31,33 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":8080", "HTTP listen address (e.g. :8080, 127.0.0.1:0)")
-		threads  = flag.Int("threads", 0, "shared scheduler pool workers (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 64, "max queued jobs (FIFO depth)")
-		inflight = flag.Int("inflight", 2, "max concurrently running jobs")
-		budgetMB = flag.Int("mem-budget-mb", 4096, "per-job flat-array memory budget in MiB (admission control)")
-		maxQ     = flag.Int("max-qubits", 30, "hard register-size cap")
-		timeout  = flag.Duration("timeout", 2*time.Minute, "default per-job deadline")
-		maxTO    = flag.Duration("max-timeout", 10*time.Minute, "cap on requested per-job deadlines")
-		grace    = flag.Duration("grace", 10*time.Second, "drain grace for in-flight jobs on SIGTERM")
+		listen    = flag.String("listen", ":8080", "HTTP listen address (e.g. :8080, 127.0.0.1:0)")
+		threads   = flag.Int("threads", 0, "shared scheduler pool workers (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "max queued jobs (FIFO depth)")
+		inflight  = flag.Int("inflight", 2, "max concurrently running jobs")
+		budgetMB  = flag.Int("mem-budget-mb", 4096, "per-job flat-array memory budget in MiB (admission control)")
+		maxQ      = flag.Int("max-qubits", 30, "hard register-size cap")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "default per-job deadline")
+		maxTO     = flag.Duration("max-timeout", 10*time.Minute, "cap on requested per-job deadlines")
+		grace     = flag.Duration("grace", 10*time.Second, "drain grace for in-flight jobs on SIGTERM")
+		engMB     = flag.Int("memory-budget", 0, "engine flat-array budget in MiB: over-budget jobs complete DD-only in degraded mode (0 = off)")
+		retries   = flag.Int("retries", 2, "max re-queues of a job that fails with a transient engine fault (0 = off)")
+		integrity = flag.Int("integrity-every", 0, "NaN/Inf/norm-sweep job states every N DMAV gates (0 = off)")
 	)
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
-		Threads:        *threads,
-		QueueDepth:     *queue,
-		MaxInFlight:    *inflight,
-		MemoryBudget:   uint64(*budgetMB) << 20,
-		MaxQubits:      *maxQ,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTO,
-		DrainGrace:     *grace,
+		Threads:            *threads,
+		QueueDepth:         *queue,
+		MaxInFlight:        *inflight,
+		MemoryBudget:       uint64(*budgetMB) << 20,
+		MaxQubits:          *maxQ,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTO,
+		DrainGrace:         *grace,
+		EngineMemoryBudget: uint64(*engMB) << 20,
+		MaxRetries:         normRetries(*retries),
+		IntegrityEvery:     *integrity,
 	})
 
 	ln, err := net.Listen("tcp", *listen)
@@ -73,4 +79,13 @@ func main() {
 	srv.Shutdown()
 	httpSrv.Close() //nolint:errcheck // process is exiting
 	fmt.Println("flatdd-serve: drained, exiting")
+}
+
+// normRetries maps the flag's "0 = off" convention onto the Config's
+// "negative = off, 0 = default" one.
+func normRetries(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return n
 }

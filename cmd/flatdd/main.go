@@ -35,25 +35,27 @@ import (
 
 func main() {
 	var (
-		qasmPath = flag.String("qasm", "", "OpenQASM 2.0 file to simulate")
-		name     = flag.String("circuit", "", fmt.Sprintf("built-in workload %v", workloads.Names()))
-		n        = flag.Int("n", 16, "qubit count for built-in workloads")
-		seed     = flag.Int64("seed", 1, "workload generator seed")
-		engine   = flag.String("engine", "flatdd", "engine: flatdd | ddsim | statevec")
-		threads  = flag.Int("threads", 4, "worker threads (FlatDD and statevec)")
-		beta     = flag.Float64("beta", 0.9, "EWMA beta (FlatDD)")
-		epsilon  = flag.Float64("epsilon", 2.0, "EWMA epsilon (FlatDD)")
-		fusionF  = flag.String("fusion", "none", "gate fusion: none | dmav | kops (FlatDD)")
-		k        = flag.Int("k", 4, "block size for -fusion kops")
-		cache    = flag.String("cache", "auto", "DMAV caching: auto | always | never")
-		top      = flag.Int("top", 8, "print the K largest final amplitudes")
-		shots    = flag.Int("shots", 0, "sample this many measurement shots")
-		trace    = flag.Bool("trace", false, "print a per-gate trace (FlatDD)")
-		traceOut = flag.String("trace-out", "", "write a JSONL per-gate trace to this file (FlatDD)")
-		listen   = flag.String("listen", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address during the run (e.g. :6060, :0)")
-		timeout  = flag.Duration("timeout", 0, "abort after this duration (0 = none)")
-		approx   = flag.Float64("approx", 0, "DD-phase state-approximation budget per pruning pass (0 = exact)")
-		emit     = flag.String("emit", "", "write the loaded circuit as OpenQASM 2.0 to this file and exit")
+		qasmPath  = flag.String("qasm", "", "OpenQASM 2.0 file to simulate")
+		name      = flag.String("circuit", "", fmt.Sprintf("built-in workload %v", workloads.Names()))
+		n         = flag.Int("n", 16, "qubit count for built-in workloads")
+		seed      = flag.Int64("seed", 1, "workload generator seed")
+		engine    = flag.String("engine", "flatdd", "engine: flatdd | ddsim | statevec")
+		threads   = flag.Int("threads", 4, "worker threads (FlatDD and statevec)")
+		beta      = flag.Float64("beta", 0.9, "EWMA beta (FlatDD)")
+		epsilon   = flag.Float64("epsilon", 2.0, "EWMA epsilon (FlatDD)")
+		fusionF   = flag.String("fusion", "none", "gate fusion: none | dmav | kops (FlatDD)")
+		k         = flag.Int("k", 4, "block size for -fusion kops")
+		cache     = flag.String("cache", "auto", "DMAV caching: auto | always | never")
+		top       = flag.Int("top", 8, "print the K largest final amplitudes")
+		shots     = flag.Int("shots", 0, "sample this many measurement shots")
+		trace     = flag.Bool("trace", false, "print a per-gate trace (FlatDD)")
+		traceOut  = flag.String("trace-out", "", "write a JSONL per-gate trace to this file (FlatDD)")
+		listen    = flag.String("listen", "", "serve /debug/metrics, /debug/vars and /debug/pprof on this address during the run (e.g. :6060, :0)")
+		timeout   = flag.Duration("timeout", 0, "abort after this duration (0 = none)")
+		approx    = flag.Float64("approx", 0, "DD-phase state-approximation budget per pruning pass (0 = exact)")
+		memMB     = flag.Int("memory-budget-mb", 0, "flat-array memory budget in MiB; over-budget runs stay DD-only (0 = unlimited, FlatDD)")
+		integrity = flag.Int("integrity-every", 0, "NaN/Inf/norm-sweep the flat state every N DMAV gates (0 = off, FlatDD)")
+		emit      = flag.String("emit", "", "write the loaded circuit as OpenQASM 2.0 to this file and exit")
 	)
 	flag.Parse()
 
@@ -103,6 +105,8 @@ func main() {
 		opts := core.Options{
 			Threads: *threads, Beta: *beta, Epsilon: *epsilon, K: *k,
 			ApproxBudget: *approx, Metrics: reg,
+			MemoryBudget:   uint64(*memMB) << 20,
+			IntegrityEvery: *integrity,
 		}
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
@@ -166,6 +170,12 @@ func main() {
 		case errors.Is(err, core.ErrCanceled):
 			fmt.Println("CANCELED (signal)")
 			os.Exit(2)
+		case errors.Is(err, core.ErrNumericalDrift):
+			fmt.Fprintln(os.Stderr, "flatdd: ABORTED,", err)
+			os.Exit(3)
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "flatdd:", err)
+			os.Exit(1)
 		}
 		fmt.Printf("engine: FlatDD (threads=%d, beta=%g, epsilon=%g, fusion=%s)\n",
 			*threads, *beta, *epsilon, *fusionF)
@@ -176,6 +186,9 @@ func main() {
 				st.DDTime, st.ConversionTime, st.FusionTime, st.DMAVTime)
 			fmt.Printf("dmav: %d gates (%d cached, %d cache hits)\n",
 				st.DMAVStats.Gates, st.DMAVStats.CachedGates, st.DMAVStats.CacheHits)
+		} else if st.Degraded {
+			fmt.Printf("DEGRADED (%s): conversion suppressed, entire circuit ran in the DD phase\n",
+				st.DegradedReason)
 		} else {
 			fmt.Println("entire circuit ran in the DD phase (regular state)")
 		}

@@ -82,31 +82,34 @@ func Parallel(e dd.VEdge, n, threads int) []complex128 {
 
 // ParallelInto converts a state DD into out, which must have length 2^n
 // and be zeroed (freshly allocated or cleared) — entries under zero edges
-// are skipped, exactly like the sequential algorithm.
-func ParallelInto(e dd.VEdge, n, threads int, out []complex128) {
-	ParallelIntoObs(e, n, threads, out, nil)
+// are skipped, exactly like the sequential algorithm. A wrong output
+// length is a caller error and returned as one.
+func ParallelInto(e dd.VEdge, n, threads int, out []complex128) error {
+	return ParallelIntoObs(e, n, threads, out, nil)
 }
 
 // ParallelIntoObs is ParallelInto with optional instrumentation (see
 // ParallelIntoPool). It runs on a transient pool; callers that convert
 // as part of a longer simulation should hold a pool and use
 // ParallelIntoPool instead.
-func ParallelIntoObs(e dd.VEdge, n, threads int, out []complex128, m *Metrics) {
+func ParallelIntoObs(e dd.VEdge, n, threads int, out []complex128, m *Metrics) error {
 	if threads < 1 {
 		threads = 1
 	}
 	p := sched.New(threads)
 	defer p.Close()
-	ParallelIntoPool(e, n, p, out, m)
+	return ParallelIntoPool(e, n, p, out, m)
 }
 
 // ParallelIntoPool converts a state DD into out on an existing
-// scheduler pool. out must have length 2^n and be zeroed. When m is
-// non-nil it records wall time, task count and busy time, and a
-// parallelism-efficiency gauge (busy/(threads·wall); 1.0 means every
-// worker was busy for the whole conversion).
-func ParallelIntoPool(e dd.VEdge, n int, p *sched.Pool, out []complex128, m *Metrics) {
-	ParallelIntoPoolCancel(e, n, p, out, m, nil)
+// scheduler pool. out must have length 2^n and be zeroed — a wrong
+// length is a caller error and returned as one. When m is non-nil it
+// records wall time, task count and busy time, and a parallelism-
+// efficiency gauge (busy/(threads·wall); 1.0 means every worker was
+// busy for the whole conversion).
+func ParallelIntoPool(e dd.VEdge, n int, p *sched.Pool, out []complex128, m *Metrics) error {
+	_, err := ParallelIntoPoolCancel(e, n, p, out, m, nil)
+	return err
 }
 
 // ParallelIntoPoolCancel is ParallelIntoPool with cooperative
@@ -117,12 +120,12 @@ func ParallelIntoPool(e dd.VEdge, n int, p *sched.Pool, out []complex128, m *Met
 // conversion). It reports whether the conversion ran to completion;
 // after a false return, out holds a partial, unusable state and must be
 // discarded. A nil cancel keeps the leaf tasks probe-free.
-func ParallelIntoPoolCancel(e dd.VEdge, n int, p *sched.Pool, out []complex128, m *Metrics, cancel func() bool) bool {
+func ParallelIntoPoolCancel(e dd.VEdge, n int, p *sched.Pool, out []complex128, m *Metrics, cancel func() bool) (bool, error) {
 	if uint64(len(out)) != uint64(1)<<uint(n) {
-		panic(fmt.Sprintf("convert: output length %d, want %d", len(out), uint64(1)<<uint(n)))
+		return false, fmt.Errorf("convert: output length %d, want %d", len(out), uint64(1)<<uint(n))
 	}
 	if e.IsZero() {
-		return true
+		return true, nil
 	}
 	threads := p.Threads()
 	var start time.Time
@@ -173,7 +176,7 @@ func ParallelIntoPoolCancel(e dd.VEdge, n int, p *sched.Pool, out []complex128, 
 			m.Efficiency.Set(eff)
 		}
 	}
-	return completed
+	return completed, nil
 }
 
 // scaleOp is one deferred Figure 4b shortcut: dst = src * f, recorded

@@ -131,12 +131,12 @@ func TestParallelZeroEdge(t *testing.T) {
 
 func TestParallelIntoValidatesLength(t *testing.T) {
 	m := dd.New(3)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("ParallelInto accepted short output")
-		}
-	}()
-	ParallelInto(m.ZeroState(3), 3, 2, make([]complex128, 4))
+	if err := ParallelInto(m.ZeroState(3), 3, 2, make([]complex128, 4)); err == nil {
+		t.Fatal("ParallelInto accepted short output")
+	}
+	if err := ParallelInto(m.ZeroState(3), 3, 2, make([]complex128, 8)); err != nil {
+		t.Fatalf("correct length rejected: %v", err)
+	}
 }
 
 func TestParallelRoundTripProperty(t *testing.T) {

@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"runtime/debug"
 	"sort"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"flatdd/internal/ddsim"
 	"flatdd/internal/dmav"
 	"flatdd/internal/ewma"
+	"flatdd/internal/faults"
 	"flatdd/internal/fusion"
 	"flatdd/internal/obs"
 	"flatdd/internal/sched"
@@ -43,7 +45,90 @@ var (
 	// the context's deadline or the deprecated Options.Deadline). It plays
 	// the role of the paper's 24-hour cutoff.
 	ErrDeadlineExceeded = fmt.Errorf("core: simulation deadline exceeded: %w", context.DeadlineExceeded)
+	// ErrEngineFault is the sentinel every *EngineFault unwraps to:
+	// errors.Is(err, ErrEngineFault) identifies a run terminated by a
+	// contained engine panic.
+	ErrEngineFault = errors.New("core: engine fault")
+	// ErrNumericalDrift is the sentinel every *DriftError unwraps to: the
+	// DMAV-phase integrity sweep found NaN/Inf amplitudes or a state norm
+	// outside tolerance.
+	ErrNumericalDrift = errors.New("core: numerical drift")
 )
+
+// EngineFault is the typed error RunContext returns when a panic escapes
+// the dd/convert/dmav engines or a scheduler worker. The simulator's
+// state after an engine fault is undefined and the result must be
+// discarded — but the fault is contained: the panic never crosses
+// RunContext, so a job service keeps serving its other jobs.
+type EngineFault struct {
+	// Value is the recovered panic value (unwrapped from the scheduler's
+	// TaskPanic envelope when the panic happened on a pool worker).
+	Value any
+	// Point is the fault-injection point name when the panic was injected
+	// by internal/faults, "" for organic panics.
+	Point string
+	// Transient marks the fault retry-safe (carried from the injection
+	// trigger; organic panics are never transient).
+	Transient bool
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+}
+
+func (e *EngineFault) Error() string {
+	if e.Point != "" {
+		return fmt.Sprintf("core: engine fault at %s: %v", e.Point, e.Value)
+	}
+	return fmt.Sprintf("core: engine fault: %v", e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrEngineFault) hold.
+func (e *EngineFault) Unwrap() error { return ErrEngineFault }
+
+// IsTransient reports whether err is an engine fault classified
+// transient, i.e. safe to retry (the job service's retry policy).
+func IsTransient(err error) bool {
+	var ef *EngineFault
+	return errors.As(err, &ef) && ef.Transient
+}
+
+// DriftError is the typed error of a failed integrity sweep.
+type DriftError struct {
+	Gate int     // index of the last applied gate
+	Norm float64 // state norm over the finite amplitudes
+	NaNs int     // amplitudes with a NaN component
+	Infs int     // amplitudes with an Inf component
+}
+
+func (e *DriftError) Error() string {
+	return fmt.Sprintf("core: numerical drift after gate %d: norm=%g nan=%d inf=%d",
+		e.Gate, e.Norm, e.NaNs, e.Infs)
+}
+
+// Unwrap makes errors.Is(err, ErrNumericalDrift) hold.
+func (e *DriftError) Unwrap() error { return ErrNumericalDrift }
+
+// newEngineFault classifies a recovered panic value: scheduler TaskPanic
+// envelopes are unwrapped, injected faults carry their point name and
+// transience, anything else is an organic (non-retryable) fault.
+func newEngineFault(r any) *EngineFault {
+	ef := &EngineFault{Value: r, Stack: string(debug.Stack())}
+	if tp, ok := r.(*sched.TaskPanic); ok {
+		ef.Value = tp.Value
+		ef.Stack = tp.Stack
+	}
+	if inj, ok := ef.Value.(*faults.Injected); ok {
+		ef.Point = inj.Point
+		ef.Transient = inj.Transient
+	}
+	return ef
+}
+
+// FlatWorkingSetBytes returns the flat-array phase's working set for an
+// n-qubit register: state plus scratch vector, 16 bytes per amplitude
+// each. This is the figure Options.MemoryBudget is compared against at
+// conversion time (the DD-phase node memory is comparatively small and
+// already spent by then).
+func FlatWorkingSetBytes(n int) uint64 { return 32 << uint(n) }
 
 // Phase identifies which engine produced a result or trace event.
 type Phase int
@@ -157,6 +242,26 @@ type Options struct {
 	// ApproxThreshold is the node count above which approximation kicks in
 	// (default 256 when ApproxBudget > 0).
 	ApproxThreshold int
+	// MemoryBudget, when positive, caps the flat-array working set in
+	// bytes. If FlatWorkingSetBytes(n) exceeds the budget when the
+	// conversion controller fires, the conversion is suppressed and the
+	// run completes in the DD phase — graceful degradation: correct
+	// results, recorded in Stats.Degraded and the core.degraded metric,
+	// instead of an allocation the host cannot afford.
+	MemoryBudget uint64
+	// IntegrityEvery, when positive, runs a numerical-integrity sweep
+	// (NaN/Inf scan + norm check) over the flat state every IntegrityEvery
+	// DMAV gates. A failing sweep aborts the run with ErrNumericalDrift.
+	IntegrityEvery int
+	// IntegrityTol is the allowed |norm−1| deviation for the sweep
+	// (default 1e-6). The norm check is skipped when ApproxBudget > 0,
+	// since approximation legitimately sheds probability mass; NaN/Inf
+	// detection stays on.
+	IntegrityTol float64
+	// Faults, when non-nil, arms the run's fault-injection hooks
+	// (tests only; production runs leave it nil and pay one pointer
+	// check per hook site).
+	Faults *faults.Registry
 }
 
 func (o *Options) withDefaults() Options {
@@ -181,6 +286,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if v.ApproxBudget > 0 && v.ApproxThreshold <= 0 {
 		v.ApproxThreshold = 256
+	}
+	if v.IntegrityEvery > 0 && v.IntegrityTol <= 0 {
+		v.IntegrityTol = 1e-6
 	}
 	return v
 }
@@ -235,6 +343,14 @@ type Stats struct {
 	Fidelity float64
 	// Approximations counts how many pruning passes ran.
 	Approximations int
+	// Degraded reports that the run suppressed its DD→flat conversion and
+	// completed DD-only (graceful degradation); DegradedReason says why:
+	// "memory_budget" (flat working set over Options.MemoryBudget) or
+	// "alloc_failed" (flat-array allocation failure, injected or real).
+	Degraded       bool
+	DegradedReason string
+	// IntegrityChecks counts the DMAV-phase integrity sweeps performed.
+	IntegrityChecks int
 }
 
 // Simulator is a FlatDD hybrid simulator for one register size.
@@ -252,6 +368,14 @@ type Simulator struct {
 
 	// approxAngle accumulates arccos(sqrt(f_i)) over approximation steps.
 	approxAngle float64
+
+	// suppressConvert pins the run to the DD phase after a degradation
+	// decision (the controller may keep firing; it must not re-trigger).
+	suppressConvert bool
+
+	// convertAlloc is the simulated-allocation-failure injection point
+	// (nil in production).
+	convertAlloc *faults.Point
 
 	stats Stats
 
@@ -274,6 +398,10 @@ type coreMetrics struct {
 	ddSize           *obs.Gauge
 	ewma             *obs.FloatGauge
 	convertedAt      *obs.Gauge
+	degraded         *obs.Gauge
+	engineFaults     *obs.Counter
+	driftAborts      *obs.Counter
+	integrityChecks  *obs.Counter
 }
 
 // traceRecord is the JSONL wire form of one per-gate event.
@@ -325,9 +453,14 @@ func New(n int, opts Options) *Simulator {
 			ddSize:           r.Gauge("core.dd_size"),
 			ewma:             r.FloatGauge("core.ewma"),
 			convertedAt:      r.Gauge("core.converted_at_gate"),
+			degraded:         r.Gauge("core.degraded"),
+			engineFaults:     r.Counter("core.engine_faults"),
+			driftAborts:      r.Counter("core.drift_aborts"),
+			integrityChecks:  r.Counter("core.integrity_checks"),
 		}
 		s.met.convertedAt.Set(-1)
 	}
+	s.convertAlloc = o.Faults.Point(faults.CoreConvertAlloc)
 	if o.TraceJSONL != nil {
 		s.tw = obs.NewTraceWriter(o.TraceJSONL)
 	}
@@ -391,10 +524,36 @@ func (s *Simulator) Run(c *circuit.Circuit) Stats {
 // the simulator stays queryable: the state is the one left by the last
 // fully applied gate (a partially converted array or partially applied
 // DMAV gate is discarded).
-func (s *Simulator) RunContext(ctx context.Context, c *circuit.Circuit) (Stats, error) {
+//
+// Fault containment: a panic escaping the dd/convert/dmav engines —
+// on the calling goroutine or on a scheduler worker (re-raised by the
+// pool as *sched.TaskPanic) — is recovered here and returned as a
+// *EngineFault instead of crossing into the caller. The simulator's
+// state is then undefined and must be discarded, but the process
+// survives: one malformed job cannot take down a serving host.
+func (s *Simulator) RunContext(ctx context.Context, c *circuit.Circuit) (st Stats, err error) {
 	if c.Qubits != s.n {
+		// Caller bug, not an engine fault: panic before the containment
+		// barrier is installed.
 		panic(fmt.Sprintf("core: circuit on %d qubits, simulator has %d", c.Qubits, s.n))
 	}
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			ef := newEngineFault(r)
+			if s.met != nil {
+				s.met.engineFaults.Inc()
+			}
+			s.finishStats(start)
+			st, err = s.stats, ef
+		}
+	}()
+	return s.runContext(ctx, c, start)
+}
+
+// runContext is RunContext's body; the split keeps the containment
+// barrier (and the deferred recover's cost) out of the phase loops.
+func (s *Simulator) runContext(ctx context.Context, c *circuit.Circuit, start time.Time) (Stats, error) {
 	if !s.opts.Deadline.IsZero() {
 		// Deprecated Options.Deadline maps onto the run context.
 		var cancel context.CancelFunc
@@ -417,7 +576,6 @@ func (s *Simulator) RunContext(ctx context.Context, c *circuit.Circuit) (Stats, 
 	if done != nil {
 		taskCheck = check
 	}
-	start := time.Now()
 	s.stats = Stats{Gates: c.GateCount(), ConvertedAtGate: -1, Fidelity: 1}
 	ctl := ewma.New(s.opts.Beta, s.opts.Epsilon)
 	if s.met != nil {
@@ -445,10 +603,18 @@ func (s *Simulator) RunContext(ctx context.Context, c *circuit.Circuit) (Stats, 
 			}
 		}
 		convertNow := ctl.Observe(size)
-		if s.opts.DisableConversion {
+		if s.opts.DisableConversion || s.suppressConvert {
 			convertNow = false
 		} else if s.opts.ForceConvertAfter >= 0 {
 			convertNow = i+1 >= s.opts.ForceConvertAfter
+		}
+		if convertNow && i+1 < len(c.Gates) {
+			// Graceful degradation: decided at the fire site, before the
+			// trace event, so the Converted flag reflects what happened.
+			if reason := s.conversionBlocked(); reason != "" {
+				s.degrade(reason)
+				convertNow = false
+			}
 		}
 		if s.met != nil {
 			s.met.gatesDD.Inc()
@@ -483,6 +649,7 @@ func (s *Simulator) RunContext(ctx context.Context, c *circuit.Circuit) (Stats, 
 	if pool == nil {
 		pool = sched.New(s.opts.Threads)
 		pool.SetMetrics(s.opts.Metrics)
+		pool.SetFaults(s.opts.Faults)
 		defer pool.Close()
 	}
 	convStart := time.Now()
@@ -492,9 +659,15 @@ func (s *Simulator) RunContext(ctx context.Context, c *circuit.Circuit) (Stats, 
 		s.m.FillArray(s.sim.State(), s.n, s.state)
 		converted = !check()
 	} else {
-		converted = convert.ParallelIntoPoolCancel(s.sim.State(), s.n, pool, s.state,
+		ok, cerr := convert.ParallelIntoPoolCancel(s.sim.State(), s.n, pool, s.state,
 			convert.NewMetrics(s.opts.Metrics), taskCheck)
-		converted = converted && !check()
+		if cerr != nil {
+			// Internal invariant (we sized the array ourselves), but
+			// contain rather than crash: surface it as an engine fault.
+			s.state = nil
+			return s.stats, newEngineFault(cerr)
+		}
+		converted = ok && !check()
 	}
 	s.stats.ConversionTime = time.Since(convStart)
 	if !converted {
@@ -515,6 +688,7 @@ func (s *Simulator) RunContext(ctx context.Context, c *circuit.Circuit) (Stats, 
 	s.eng.SetMetrics(s.opts.Metrics)
 	s.eng.SetPool(pool)
 	s.eng.SetCancel(taskCheck)
+	s.eng.SetFaults(s.opts.Faults)
 
 	// Release the DD state: only gate matrices stay live from here on.
 	s.sim.SetState(s.m.VZeroEdge())
@@ -552,13 +726,21 @@ func (s *Simulator) RunContext(ctx context.Context, c *circuit.Circuit) (Stats, 
 	dmavStart := time.Now()
 	gateIdx := i
 	aborted := false
+	sinceSweep := 0
+	var runErr error
 	for _, g := range remaining {
 		if check() {
 			aborted = true
 			break
 		}
 		gStart := time.Now()
-		cost := s.eng.Apply(g, s.state, s.buf)
+		cost, aerr := s.eng.Apply(g, s.state, s.buf)
+		if aerr != nil {
+			// Caller-error path of Apply; unreachable with the vectors the
+			// run owns, but contain it rather than drop it.
+			runErr = newEngineFault(aerr)
+			break
+		}
 		if check() {
 			// Canceled mid-multiplication: s.buf holds a partial product,
 			// so keep the pre-gate state and discard the gate.
@@ -577,14 +759,87 @@ func (s *Simulator) RunContext(ctx context.Context, c *circuit.Circuit) (Stats, 
 			})
 		}
 		gateIdx++
+		if ie := s.opts.IntegrityEvery; ie > 0 {
+			sinceSweep++
+			if sinceSweep >= ie {
+				sinceSweep = 0
+				if err := s.integritySweep(gateIdx - 1); err != nil {
+					runErr = err
+					break
+				}
+			}
+		}
 	}
 	s.stats.DMAVTime = time.Since(dmavStart)
 	s.stats.DMAVStats = s.eng.Stats()
+	if runErr != nil {
+		s.finishStats(start)
+		return s.stats, runErr
+	}
 	if aborted {
 		return s.abort(ctx, start)
 	}
 	s.finishStats(start)
 	return s.stats, nil
+}
+
+// conversionBlocked decides, at the moment the controller fires, whether
+// the DD→flat conversion may proceed. It returns "" to allow it, or the
+// degradation reason: "alloc_failed" when the (injected) flat-array
+// allocation fails, "memory_budget" when the flat working set would
+// exceed Options.MemoryBudget.
+func (s *Simulator) conversionBlocked() string {
+	if s.convertAlloc.Err() != nil {
+		return "alloc_failed"
+	}
+	if b := s.opts.MemoryBudget; b > 0 && FlatWorkingSetBytes(s.n) > b {
+		return "memory_budget"
+	}
+	return ""
+}
+
+// degrade records the degradation decision and pins the run to the DD
+// phase (results stay exact; only the flat-array speedup is lost).
+func (s *Simulator) degrade(reason string) {
+	s.suppressConvert = true
+	s.stats.Degraded = true
+	s.stats.DegradedReason = reason
+	if s.met != nil {
+		s.met.degraded.Set(1)
+	}
+}
+
+// integritySweep scans the flat state for NaN/Inf amplitudes and checks
+// the norm against 1 within IntegrityTol. The norm check is skipped when
+// approximation is on (pruning legitimately sheds probability mass);
+// NaN/Inf amplitudes are excluded from the norm and counted separately.
+func (s *Simulator) integritySweep(gate int) error {
+	s.stats.IntegrityChecks++
+	if s.met != nil {
+		s.met.integrityChecks.Inc()
+	}
+	var norm float64
+	nans, infs := 0, 0
+	for _, a := range s.state {
+		re, im := real(a), imag(a)
+		if math.IsNaN(re) || math.IsNaN(im) {
+			nans++
+			continue
+		}
+		if math.IsInf(re, 0) || math.IsInf(im, 0) {
+			infs++
+			continue
+		}
+		norm += re*re + im*im
+	}
+	normOK := s.opts.ApproxBudget > 0 || math.Abs(norm-1) <= s.opts.IntegrityTol
+	if nans == 0 && infs == 0 && normOK {
+		return nil
+	}
+	if s.met != nil {
+		s.met.driftAborts.Inc()
+	}
+	return &DriftError{Gate: gate, Norm: norm, NaNs: nans, Infs: infs}
 }
 
 // abort finalizes the statistics of a context-terminated run and maps the

@@ -75,6 +75,7 @@ func Check(c *circuit.Circuit, threads int) error {
 		{"statevec", runStatevec},
 		{"dmav", runDMAV},
 		{"hybrid", runHybrid},
+		{"degraded", runDegraded},
 	}
 	for _, e := range engines {
 		got := e.run(c, threads)
@@ -151,6 +152,30 @@ func runHybrid(c *circuit.Circuit, threads int) []complex128 {
 	s := core.New(c.Qubits, core.Options{Threads: threads, ForceConvertAfter: fca})
 	if _, err := s.RunContext(context.Background(), c); err != nil {
 		panic(fmt.Sprintf("difftest: hybrid run failed: %v", err))
+	}
+	return s.Amplitudes()
+}
+
+// runDegraded is the graceful-degradation path: conversion is requested
+// (same forced trigger as runHybrid) but a one-byte memory budget vetoes
+// it, so the run must complete DD-only and still produce exact results.
+func runDegraded(c *circuit.Circuit, threads int) []complex128 {
+	fca := len(c.Gates) / 3
+	if fca < 1 {
+		fca = 1
+	}
+	s := core.New(c.Qubits, core.Options{
+		Threads: threads, ForceConvertAfter: fca, MemoryBudget: 1,
+	})
+	st, err := s.RunContext(context.Background(), c)
+	if err != nil {
+		panic(fmt.Sprintf("difftest: degraded run failed: %v", err))
+	}
+	if len(c.Gates) > fca && !st.Degraded {
+		panic("difftest: budget-vetoed run did not report degraded")
+	}
+	if st.ConvertedAtGate != -1 {
+		panic(fmt.Sprintf("difftest: degraded run converted at gate %d", st.ConvertedAtGate))
 	}
 	return s.Amplitudes()
 }

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"flatdd/internal/dd"
+	"flatdd/internal/faults"
 	"flatdd/internal/obs"
 	"flatdd/internal/sched"
 )
@@ -179,6 +180,16 @@ type Engine struct {
 	// met is nil when metrics are off: Apply gates all instrumentation
 	// behind this one pointer check.
 	met *engMetrics
+
+	// fts holds the fault-injection hooks; nil points in production, so
+	// each hook site costs one pointer check.
+	fts engFaults
+}
+
+// engFaults are the engine's injection points (see internal/faults).
+type engFaults struct {
+	cacheCorrupt   *faults.Point
+	computeCorrupt *faults.Point
 }
 
 // engMetrics holds the engine's registry handles (see DESIGN.md,
@@ -364,6 +375,20 @@ func (e *Engine) SetMetrics(r *obs.Registry) {
 	}
 }
 
+// SetFaults wires the engine's injection points to a fault registry
+// (nil detaches; production engines never call this). Must be called
+// before Apply, like SetMetrics.
+func (e *Engine) SetFaults(r *faults.Registry) {
+	if r == nil {
+		e.fts = engFaults{}
+		return
+	}
+	e.fts = engFaults{
+		cacheCorrupt:   r.Point(faults.DMAVCacheCorrupt),
+		computeCorrupt: r.Point(faults.DMAVComputeCorrupt),
+	}
+}
+
 // borderLevel is n - log2(cchunks) - 1 (Section 3.2.1): AssignCache
 // stops there and run starts there.
 func (e *Engine) borderLevel() int { return e.n - int(e.clogT) - 1 }
@@ -375,18 +400,19 @@ func (e *Engine) borderLevel() int { return e.n - int(e.clogT) - 1 }
 func (e *Engine) inline() bool { return e.threads == 1 || e.dim < serialCutoffDim }
 
 // Apply computes W = M·V, choosing the execution mode per the engine
-// policy. V and W must have length 2^n and must not alias. It returns the
-// cost-model evaluation used for the decision.
-func (e *Engine) Apply(M dd.MEdge, V, W []complex128) GateCost {
+// policy. V and W must have length 2^n and must not alias — violations
+// are caller errors and reported as such (internal invariants still
+// panic). It returns the cost-model evaluation used for the decision.
+func (e *Engine) Apply(M dd.MEdge, V, W []complex128) (GateCost, error) {
 	if uint64(len(V)) != e.dim || uint64(len(W)) != e.dim {
-		panic(fmt.Sprintf("dmav: vector length %d/%d, want %d", len(V), len(W), e.dim))
+		return GateCost{}, fmt.Errorf("dmav: vector length %d/%d, want %d", len(V), len(W), e.dim)
 	}
-	if &V[0] == &W[0] {
-		panic("dmav: V and W must not alias")
+	if len(V) > 0 && &V[0] == &W[0] {
+		return GateCost{}, fmt.Errorf("dmav: V and W must not alias")
 	}
 	zero(W)
 	if M.IsZero() {
-		return GateCost{}
+		return GateCost{}, nil
 	}
 	var start time.Time
 	if e.met != nil {
@@ -409,7 +435,7 @@ func (e *Engine) Apply(M dd.MEdge, V, W []complex128) GateCost {
 	if e.cancelled() {
 		// Aborted mid-gate: W is partial and the caller discards it, so
 		// neither Stats nor the metrics count this Apply.
-		return cost
+		return cost, nil
 	}
 	if useCache {
 		e.stats.CachedGates++
@@ -430,7 +456,7 @@ func (e *Engine) Apply(M dd.MEdge, V, W []complex128) GateCost {
 		}
 		e.accountLoad(met, M, useCache)
 	}
-	return cost
+	return cost, nil
 }
 
 // accountLoad attributes the exact load of the Apply that just ran:
@@ -538,6 +564,7 @@ func (e *Engine) applyUncached(M dd.MEdge, V, W []complex128, k1 int64) {
 			for _, tk := range c.items {
 				run(tk.edge, V, W, tk.idx, c.ir, tk.f)
 			}
+			e.corruptRow(W, c.ir)
 		}
 		return
 	}
@@ -552,6 +579,7 @@ func (e *Engine) applyUncached(M dd.MEdge, V, W []complex128, k1 int64) {
 			for _, tk := range c.items {
 				run(tk.edge, V, W, tk.idx, c.ir, tk.f)
 			}
+			e.corruptRow(W, c.ir)
 		})
 	}
 	e.execTasks = ts
@@ -678,6 +706,11 @@ func (e *Engine) applyCached(M dd.MEdge, V, W []complex128) int64 {
 			}
 			run(tk.edge, V, buf, iv, tk.idx, tk.f)
 			cache[tk.edge.N] = cacheEntry{f: fFull, start: tk.idx}
+			if e.fts.cacheCorrupt != nil {
+				if z, ok := e.fts.cacheCorrupt.Corrupt(buf[tk.idx]); ok {
+					buf[tk.idx] = z
+				}
+			}
 		}
 		if local > 0 {
 			hits.Add(local)
@@ -705,6 +738,18 @@ func (e *Engine) applyCached(M dd.MEdge, V, W []complex128) int64 {
 
 	e.sumBuffers(W, nBuf)
 	return hits.Load()
+}
+
+// corruptRow is the uncached path's corruption hook: after a row chunk
+// computes, the armed fault flips the chunk's first output amplitude
+// (chunks own disjoint row ranges, so the write races with nothing).
+func (e *Engine) corruptRow(W []complex128, ir uint64) {
+	if e.fts.computeCorrupt == nil {
+		return
+	}
+	if z, ok := e.fts.computeCorrupt.Corrupt(W[ir]); ok {
+		W[ir] = z
+	}
 }
 
 // sumBuffers adds the partial-output buffers into W as ~chunksPerThread

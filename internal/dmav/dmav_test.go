@@ -263,7 +263,10 @@ func TestAutoModeMatchesDecision(t *testing.T) {
 	W := make([]complex128, len(V))
 	g := circuit.H(n - 1)
 	M := ddsim.BuildGateDD(m, n, &g)
-	cost := e.Apply(M, V, W)
+	cost, err := e.Apply(M, V, W)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
 	st := e.Stats()
 	if cost.UseCache() && st.CachedGates != 1 {
 		t.Fatalf("cost prefers cache but engine did not cache: %+v", st)
@@ -363,21 +366,23 @@ func TestSequenceOfGatesMatchesStatevec(t *testing.T) {
 	}
 }
 
-func TestApplyPanicsOnAliasOrBadLength(t *testing.T) {
+func TestApplyRejectsAliasOrBadLength(t *testing.T) {
 	m := dd.New(3)
 	e := New(m, 3, 2, Auto)
 	V := make([]complex128, 8)
-	mustPanic := func(name string, f func()) {
-		t.Helper()
-		defer func() {
-			if recover() == nil {
-				t.Fatalf("%s did not panic", name)
-			}
-		}()
-		f()
+	if _, err := e.Apply(m.Identity(3), V, V); err == nil {
+		t.Fatal("aliased V/W not rejected")
 	}
-	mustPanic("alias", func() { e.Apply(m.Identity(3), V, V) })
-	mustPanic("short W", func() { e.Apply(m.Identity(3), V, make([]complex128, 4)) })
+	if _, err := e.Apply(m.Identity(3), V, make([]complex128, 4)); err == nil {
+		t.Fatal("short W not rejected")
+	}
+	if _, err := e.Apply(m.Identity(3), make([]complex128, 4), make([]complex128, 8)); err == nil {
+		t.Fatal("short V not rejected")
+	}
+	// A rejected Apply must not have counted a gate.
+	if st := e.Stats(); st.Gates != 0 {
+		t.Fatalf("rejected Apply counted %d gates", st.Gates)
+	}
 }
 
 func TestScalarMulInto(t *testing.T) {

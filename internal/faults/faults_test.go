@@ -1,0 +1,215 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryAndPointAreNoOps(t *testing.T) {
+	var r *Registry
+	p := r.Point("anything")
+	if p != nil {
+		t.Fatal("nil registry handed out a non-nil point")
+	}
+	if f := p.Fire(); f != nil {
+		t.Fatal("nil point fired")
+	}
+	p.Panic() // must not panic
+	if err := p.Err(); err != nil {
+		t.Fatalf("nil point Err = %v", err)
+	}
+	if z, ok := p.Corrupt(3 + 4i); ok || z != 3+4i {
+		t.Fatalf("nil point corrupted: %v %v", z, ok)
+	}
+	p.Sleep()
+	if p.Hits() != 0 || p.Fires() != 0 || p.Name() != "" {
+		t.Fatal("nil point has state")
+	}
+	if r.Names() != nil {
+		t.Fatal("nil registry has names")
+	}
+}
+
+func TestUnarmedPointCountsButNeverFires(t *testing.T) {
+	r := New(1)
+	p := r.Point("x")
+	for i := 0; i < 100; i++ {
+		if f := p.Fire(); f != nil {
+			t.Fatal("unarmed point fired")
+		}
+	}
+	if p.Hits() != 100 || p.Fires() != 0 {
+		t.Fatalf("hits=%d fires=%d", p.Hits(), p.Fires())
+	}
+}
+
+func TestNthHitTrigger(t *testing.T) {
+	r := New(1)
+	p := r.Arm("x", Trigger{Nth: 3, Transient: true})
+	for i := int64(1); i <= 10; i++ {
+		f := p.Fire()
+		if (f != nil) != (i == 3) {
+			t.Fatalf("hit %d: fired=%v", i, f != nil)
+		}
+		if f != nil {
+			if f.Point != "x" || !f.Transient {
+				t.Fatalf("injected = %+v", f)
+			}
+		}
+	}
+	if p.Fires() != 1 {
+		t.Fatalf("fires = %d, want 1", p.Fires())
+	}
+}
+
+func TestProbabilityTriggerIsSeedDeterministic(t *testing.T) {
+	run := func() []int64 {
+		r := New(42)
+		p := r.Arm("x", Trigger{Prob: 0.25})
+		var fired []int64
+		for i := int64(1); i <= 200; i++ {
+			if p.Fire() != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("prob 0.25 never fired over 200 hits")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic fire count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic fire sequence at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimesCapsFires(t *testing.T) {
+	r := New(1)
+	p := r.Arm("x", Trigger{Prob: 1, Times: 2})
+	n := 0
+	for i := 0; i < 10; i++ {
+		if p.Fire() != nil {
+			n++
+		}
+	}
+	if n != 2 || p.Fires() != 2 {
+		t.Fatalf("fired %d times (point says %d), want 2", n, p.Fires())
+	}
+}
+
+func TestDisarmStopsFiring(t *testing.T) {
+	r := New(1)
+	p := r.Arm("x", Trigger{Prob: 1})
+	if p.Fire() == nil {
+		t.Fatal("armed point did not fire")
+	}
+	r.Disarm("x")
+	if p.Fire() != nil {
+		t.Fatal("disarmed point fired")
+	}
+	if p.Hits() != 2 {
+		t.Fatalf("hits = %d, want 2 (counting continues)", p.Hits())
+	}
+}
+
+func TestPanicAndErrHelpers(t *testing.T) {
+	r := New(1)
+	p := r.Arm("boom", Trigger{Nth: 1})
+	func() {
+		defer func() {
+			rec := recover()
+			inj, ok := rec.(*Injected)
+			if !ok || inj.Point != "boom" {
+				t.Fatalf("recovered %v (%T)", rec, rec)
+			}
+		}()
+		p.Panic()
+		t.Fatal("Panic did not panic on a firing point")
+	}()
+
+	q := r.Arm("alloc", Trigger{Nth: 1})
+	err := q.Err()
+	var inj *Injected
+	if !errors.As(err, &inj) || inj.Point != "alloc" {
+		t.Fatalf("Err = %v", err)
+	}
+	if q.Err() != nil {
+		t.Fatal("Nth=1 fired twice")
+	}
+}
+
+func TestCorruptFactorAndNaN(t *testing.T) {
+	r := New(1)
+	p := r.Arm("c", Trigger{Nth: 1, Factor: 2})
+	z, ok := p.Corrupt(1 + 1i)
+	if !ok || z != 2+2i {
+		t.Fatalf("Corrupt = %v %v, want (2+2i) true", z, ok)
+	}
+	q := r.Arm("c2", Trigger{Nth: 1}) // zero Factor: NaN
+	z, ok = q.Corrupt(1)
+	if !ok || !math.IsNaN(real(z)) || !math.IsNaN(imag(z)) {
+		t.Fatalf("Corrupt = %v %v, want NaN true", z, ok)
+	}
+}
+
+func TestSleepDelays(t *testing.T) {
+	r := New(1)
+	p := r.Arm("slow", Trigger{Nth: 1, Delay: 20 * time.Millisecond})
+	t0 := time.Now()
+	p.Sleep()
+	if d := time.Since(t0); d < 15*time.Millisecond {
+		t.Fatalf("Sleep returned after %v, want ~20ms", d)
+	}
+	t0 = time.Now()
+	p.Sleep() // no longer firing
+	if d := time.Since(t0); d > 10*time.Millisecond {
+		t.Fatalf("non-firing Sleep took %v", d)
+	}
+}
+
+func TestConcurrentHitsAreCountedExactly(t *testing.T) {
+	r := New(7)
+	p := r.Arm("x", Trigger{Nth: 500})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fires := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				if p.Fire() != nil {
+					mu.Lock()
+					fires++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Hits() != 2000 {
+		t.Fatalf("hits = %d, want 2000", p.Hits())
+	}
+	if fires != 1 || p.Fires() != 1 {
+		t.Fatalf("fires = %d (point says %d), want exactly 1", fires, p.Fires())
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := New(1)
+	r.Point("b")
+	r.Point("a")
+	r.Arm("c", Trigger{})
+	got := r.Names()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("Names = %v", got)
+	}
+}

@@ -67,7 +67,7 @@ func ablationBufferSharing(cfg Config) {
 		maxBuf := 0
 		start := time.Now()
 		for _, g := range gates {
-			c := eng.Apply(g, v, w)
+			c, _ := eng.Apply(g, v, w)
 			v, w = w, v
 			if c.Buffers > maxBuf {
 				maxBuf = c.Buffers

@@ -21,12 +21,30 @@ package sched
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"flatdd/internal/faults"
 	"flatdd/internal/obs"
 )
+
+// TaskPanic is how a panic inside a pool task surfaces: the worker
+// recovers it (keeping the worker goroutine and every sibling task
+// alive), the batch drains normally, and Run re-raises the first
+// recovered panic as a *TaskPanic on the calling goroutine — so fault
+// containment composes exactly like an inline panic would, but a
+// runaway task can no longer kill an unrelated goroutine's process-wide
+// scheduler. core.RunContext recovers it and returns ErrEngineFault.
+type TaskPanic struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the worker's stack at recovery time.
+	Stack string
+}
+
+func (t *TaskPanic) Error() string { return fmt.Sprintf("sched: task panic: %v", t.Value) }
 
 // Task is one unit of work. Tasks in a batch must be independent: the
 // pool runs them in arbitrary order on arbitrary workers.
@@ -125,7 +143,20 @@ type Pool struct {
 	closed  bool
 	once    sync.Once
 
+	// fault holds the first panic recovered from a task of the current
+	// batch (guarded by faultMu; reset by Run before re-raising).
+	faultMu sync.Mutex
+	fault   *TaskPanic
+
 	met *poolMetrics
+	fts poolFaults
+}
+
+// poolFaults holds the pool's fault-injection hooks (nil = injection
+// off, the production state; see internal/faults).
+type poolFaults struct {
+	panicPt *faults.Point // faults.SchedWorkerPanic
+	slow    *faults.Point // faults.SchedTaskSlow
 }
 
 // poolMetrics holds the pool's registry handles (see DESIGN.md §7 for
@@ -136,6 +167,7 @@ type poolMetrics struct {
 	tasks      *obs.Counter
 	steals     *obs.Counter
 	idleNs     *obs.Counter
+	panics     *obs.Counter
 	perWorker  []workerCounters
 	lastTasks  []int64
 	lastSteals []int64
@@ -186,6 +218,7 @@ func (p *Pool) SetMetrics(r *obs.Registry) {
 		tasks:      r.Counter("sched.tasks"),
 		steals:     r.Counter("sched.steals"),
 		idleNs:     r.Counter("sched.idle_ns"),
+		panics:     r.Counter("sched.panics"),
 		perWorker:  make([]workerCounters, t),
 		lastTasks:  make([]int64, t),
 		lastSteals: make([]int64, t),
@@ -209,6 +242,23 @@ func (p *Pool) SetMetrics(r *obs.Registry) {
 	p.met = m
 }
 
+// SetFaults attaches the pool's fault-injection hooks to a registry
+// (nil detaches — the production state). Armed points fire inside exec:
+// faults.SchedWorkerPanic panics mid-task and faults.SchedTaskSlow
+// sleeps, both before the task body runs.
+func (p *Pool) SetFaults(r *faults.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r == nil {
+		p.fts = poolFaults{}
+		return
+	}
+	p.fts = poolFaults{
+		panicPt: r.Point(faults.SchedWorkerPanic),
+		slow:    r.Point(faults.SchedTaskSlow),
+	}
+}
+
 // Stats returns each worker's lifetime totals.
 func (p *Pool) Stats() []WorkerStats {
 	out := make([]WorkerStats, len(p.workers))
@@ -227,6 +277,12 @@ func (p *Pool) Stats() []WorkerStats {
 // the spawned workers; the join guarantees every worker is parked
 // before the next batch's deques are installed, which is what makes
 // the owner pop safe without any reset-time synchronization.
+//
+// Fault containment: a panic inside a task never kills its worker.
+// exec recovers it, the rest of the batch still runs, and once every
+// worker has parked Run re-raises the first recovered panic as a
+// *TaskPanic on the calling goroutine. The pool stays fully usable for
+// the next batch — essential when one Pool is shared across jobs.
 func (p *Pool) Run(tasks []Task) {
 	if len(tasks) == 0 {
 		return
@@ -236,12 +292,15 @@ func (p *Pool) Run(tasks []Task) {
 	w0 := p.workers[0]
 	if p.closed || len(p.workers) == 1 || len(tasks) == 1 {
 		// Inline: nothing to distribute (or the pool was closed —
-		// degrade to serial rather than touching dead channels).
+		// degrade to serial rather than touching dead channels). The
+		// same exec wrapper applies, so panic containment and fault
+		// hooks behave identically to the distributed path.
+		p.pending.Store(int64(len(tasks)))
 		for _, t := range tasks {
-			t()
-			w0.tasks.Add(1)
+			p.exec(w0, t)
 		}
 		p.publish()
+		p.rethrow()
 		return
 	}
 	nt := len(p.workers)
@@ -258,6 +317,7 @@ func (p *Pool) Run(tasks []Task) {
 	p.runWorker(w0)
 	p.join.Wait()
 	p.publish()
+	p.rethrow()
 }
 
 // workerLoop parks a spawned worker between batches.
@@ -305,12 +365,51 @@ func (p *Pool) runWorker(w *worker) {
 }
 
 // exec runs one task and retires it from the batch. The pending
-// decrement comes after the task body so no worker can conclude the
-// batch is over while a task is still executing.
+// decrement comes after the task body (in the deferred block) so no
+// worker can conclude the batch is over while a task is still
+// executing. A panicking task is recovered here — the worker survives,
+// the batch drains, and Run re-raises the panic on its caller.
 func (p *Pool) exec(w *worker, t Task) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.recordPanic(r)
+		}
+		w.tasks.Add(1)
+		p.pending.Add(-1)
+	}()
+	if p.fts.slow != nil {
+		p.fts.slow.Sleep()
+	}
+	if p.fts.panicPt != nil {
+		p.fts.panicPt.Panic()
+	}
 	t()
-	w.tasks.Add(1)
-	p.pending.Add(-1)
+}
+
+// recordPanic keeps the first panic of the batch (later ones are
+// counted but dropped — one fault fails the batch either way).
+func (p *Pool) recordPanic(r any) {
+	tp := &TaskPanic{Value: r, Stack: string(debug.Stack())}
+	p.faultMu.Lock()
+	if p.fault == nil {
+		p.fault = tp
+	}
+	p.faultMu.Unlock()
+	if m := p.met; m != nil {
+		m.panics.Inc()
+	}
+}
+
+// rethrow re-raises the batch's recorded panic, if any, on the calling
+// goroutine. Called by Run after every worker has parked.
+func (p *Pool) rethrow() {
+	p.faultMu.Lock()
+	f := p.fault
+	p.fault = nil
+	p.faultMu.Unlock()
+	if f != nil {
+		panic(f)
+	}
 }
 
 // publish pushes the delta since the last publish into the registry.

@@ -6,7 +6,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"flatdd/internal/faults"
 	"flatdd/internal/obs"
 )
 
@@ -246,4 +248,99 @@ func snapSumWorkers(s obs.Snapshot, suffix string) int64 {
 		sum += s.Counters["sched.worker."+string(rune('0'+i))+"."+suffix]
 	}
 	return sum
+}
+
+func TestTaskPanicContained(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		p := New(threads)
+		const n = 64
+		var ran atomic.Int32
+		tasks := make([]Task, n)
+		for i := range tasks {
+			i := i
+			tasks[i] = func() {
+				if i == 17 {
+					panic("boom-17")
+				}
+				ran.Add(1)
+			}
+		}
+		var rec any
+		func() {
+			defer func() { rec = recover() }()
+			p.Run(tasks)
+		}()
+		tp, ok := rec.(*TaskPanic)
+		if !ok {
+			t.Fatalf("threads=%d: Run recovered %v (%T), want *TaskPanic", threads, rec, rec)
+		}
+		if tp.Value != "boom-17" {
+			t.Fatalf("threads=%d: panic value = %v", threads, tp.Value)
+		}
+		if tp.Stack == "" {
+			t.Fatalf("threads=%d: no stack captured", threads)
+		}
+		if got := ran.Load(); got != n-1 {
+			t.Fatalf("threads=%d: %d sibling tasks ran, want %d", threads, got, n-1)
+		}
+		// The pool must remain fully usable after a contained panic.
+		var again atomic.Int32
+		next := make([]Task, 32)
+		for i := range next {
+			next[i] = func() { again.Add(1) }
+		}
+		p.Run(next)
+		if got := again.Load(); got != 32 {
+			t.Fatalf("threads=%d: post-panic batch ran %d tasks, want 32", threads, got)
+		}
+		p.Close()
+	}
+}
+
+func TestFaultHookPanicsWorker(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	reg := faults.New(1)
+	reg.Arm(faults.SchedWorkerPanic, faults.Trigger{Nth: 5, Transient: true})
+	p.SetFaults(reg)
+	tasks := make([]Task, 20)
+	var ran atomic.Int32
+	for i := range tasks {
+		tasks[i] = func() { ran.Add(1) }
+	}
+	var rec any
+	func() {
+		defer func() { rec = recover() }()
+		p.Run(tasks)
+	}()
+	tp, ok := rec.(*TaskPanic)
+	if !ok {
+		t.Fatalf("Run recovered %v (%T), want *TaskPanic", rec, rec)
+	}
+	inj, ok := tp.Value.(*faults.Injected)
+	if !ok || inj.Point != faults.SchedWorkerPanic || !inj.Transient {
+		t.Fatalf("panic value = %#v", tp.Value)
+	}
+	if got := ran.Load(); got != 19 {
+		t.Fatalf("%d sibling tasks ran, want 19", got)
+	}
+	// Disable hooks: the pool runs clean again.
+	p.SetFaults(nil)
+	p.Run(tasks)
+	if got := ran.Load(); got != 39 {
+		t.Fatalf("post-disarm batch: ran=%d, want 39", got)
+	}
+}
+
+func TestFaultHookSlowTask(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	reg := faults.New(1)
+	reg.Arm(faults.SchedTaskSlow, faults.Trigger{Nth: 1, Delay: 30 * time.Millisecond})
+	p.SetFaults(reg)
+	t0 := time.Now()
+	p.Run([]Task{func() {}})
+	if d := time.Since(t0); d < 20*time.Millisecond {
+		t.Fatalf("slow-task fault did not delay: batch took %v", d)
+	}
 }

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"flatdd/internal/faults"
+)
+
+// pooledSubmit is the smallest workload whose conversion and DMAV phases
+// batch onto the shared scheduler pool (n=12 ⇒ dim 4096, the serial
+// cutoff), so injected worker faults deterministically reach it. QV
+// scrambles enough that the controller converts early.
+func pooledSubmit(seed int64) *SubmitRequest {
+	return &SubmitRequest{Circuit: "qv", N: 12, Seed: seed, TimeoutMS: 60_000}
+}
+
+func TestFaultWorkerPanicFailsOnlyThatJob(t *testing.T) {
+	reg := faults.New(1)
+	// One non-transient worker panic: the first pooled task of whichever
+	// job reaches the pool first dies; Times caps it there.
+	reg.Arm(faults.SchedWorkerPanic, faults.Trigger{Nth: 1, Times: 1})
+	h := newTestServer(t, Config{Threads: 4, MaxRetries: -1, Faults: reg})
+
+	a := h.submit(pooledSubmit(1))
+	b := h.submit(pooledSubmit(2))
+	va := h.waitState(a.ID, StateDone, StateFailed)
+	vb := h.waitState(b.ID, StateDone, StateFailed)
+
+	failed, done := va, vb
+	if va.State == StateDone {
+		failed, done = vb, va
+	}
+	if failed.State != StateFailed || done.State != StateDone {
+		t.Fatalf("states = %q/%q, want exactly one failed and one done", va.State, vb.State)
+	}
+	if failed.Reason != "engine_fault" {
+		t.Fatalf("failed job reason = %q, want engine_fault", failed.Reason)
+	}
+	if failed.Error == "" {
+		t.Fatal("failed job carries no error message")
+	}
+
+	// The service is still alive: /healthz reports ok and counts the
+	// fault, and a fresh job completes on the same pool.
+	code, body := h.do("GET", "/healthz", nil)
+	if code != http.StatusOK {
+		t.Fatalf("healthz after fault: %d %s", code, body)
+	}
+	var health map[string]any
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("healthz status = %v after contained fault", health["status"])
+	}
+	if health["faults"].(float64) < 1 {
+		t.Fatalf("healthz faults = %v, want >= 1", health["faults"])
+	}
+	after := h.submit(pooledSubmit(3))
+	if v := h.waitState(after.ID, StateDone, StateFailed); v.State != StateDone {
+		t.Fatalf("post-fault job %s: %q (%s)", v.ID, v.State, v.Error)
+	}
+}
+
+func TestFaultTransientRetrySucceeds(t *testing.T) {
+	reg := faults.New(1)
+	reg.Arm(faults.SchedWorkerPanic, faults.Trigger{Nth: 1, Times: 1, Transient: true})
+	h := newTestServer(t, Config{
+		Threads:        4,
+		RetryBaseDelay: time.Millisecond,
+		Faults:         reg,
+	})
+
+	v := h.submit(pooledSubmit(4))
+	v = h.waitState(v.ID, StateDone, StateFailed)
+	if v.State != StateDone {
+		t.Fatalf("retried job ended %q (%s)", v.State, v.Error)
+	}
+	if v.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one fault, one clean rerun)", v.Attempts)
+	}
+	if got := h.srv.Registry().Counter("serve.jobs.retried").Value(); got != 1 {
+		t.Fatalf("serve.jobs.retried = %d, want 1", got)
+	}
+	if got := h.srv.Registry().Counter("serve.jobs.failed").Value(); got != 0 {
+		t.Fatalf("serve.jobs.failed = %d, want 0", got)
+	}
+}
+
+func TestFaultRetriesExhaustedFailsJob(t *testing.T) {
+	reg := faults.New(1)
+	// Every pooled batch dies (Prob 1 re-fires on each hit): retries burn
+	// out and the job fails for good, still classified as an engine fault.
+	reg.Arm(faults.SchedWorkerPanic, faults.Trigger{Prob: 1, Transient: true})
+	h := newTestServer(t, Config{
+		Threads:        4,
+		MaxRetries:     1,
+		RetryBaseDelay: time.Millisecond,
+		Faults:         reg,
+	})
+
+	v := h.submit(pooledSubmit(5))
+	v = h.waitState(v.ID, StateDone, StateFailed)
+	if v.State != StateFailed || v.Reason != "engine_fault" {
+		t.Fatalf("job = %q reason %q, want failed/engine_fault", v.State, v.Reason)
+	}
+	if v.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (initial + 1 retry)", v.Attempts)
+	}
+}
+
+func TestFaultNumericalDriftFailsWithoutRetry(t *testing.T) {
+	reg := faults.New(1)
+	reg.Arm(faults.DMAVComputeCorrupt, faults.Trigger{Nth: 1, Times: 1})
+	h := newTestServer(t, Config{
+		Threads:        4,
+		IntegrityEvery: 1,
+		RetryBaseDelay: time.Millisecond,
+		Faults:         reg,
+	})
+
+	req := pooledSubmit(6)
+	req.Cache = "never" // pin the engine on the uncached kernel the hook lives in
+	v := h.submit(req)
+	v = h.waitState(v.ID, StateDone, StateFailed)
+	if v.State != StateFailed || v.Reason != "numerical_drift" {
+		t.Fatalf("job = %q reason %q (%s), want failed/numerical_drift", v.State, v.Reason, v.Error)
+	}
+	if v.Attempts != 1 {
+		t.Fatalf("attempts = %d: drift must not be retried", v.Attempts)
+	}
+}
+
+func TestDegradedJobSurfacedInResultAndHealth(t *testing.T) {
+	h := newTestServer(t, Config{Threads: 4, EngineMemoryBudget: 1})
+
+	// Degradation triggers at the conversion decision, which any QV size
+	// reaches; a small register keeps the forced DD-only run fast.
+	v := h.submit(&SubmitRequest{Circuit: "qv", N: 8, Seed: 7, TimeoutMS: 60_000})
+	v = h.waitState(v.ID, StateDone, StateFailed)
+	if v.State != StateDone {
+		t.Fatalf("degraded job ended %q (%s)", v.State, v.Error)
+	}
+	code, body := h.do("GET", "/v1/jobs/"+v.ID+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %s", code, body)
+	}
+	var res JobResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Degraded || res.Stats.DegradedReason != "memory_budget" {
+		t.Fatalf("stats = %+v, want degraded with memory_budget", res.Stats)
+	}
+	if res.Stats.ConvertedAtGate != -1 || res.Stats.FinalPhase != "dd" {
+		t.Fatalf("degraded job left the DD phase: %+v", res.Stats)
+	}
+	code, body = h.do("GET", "/healthz", nil)
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	var health map[string]any
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["degraded"].(float64) != 1 {
+		t.Fatalf("healthz degraded = %v, want 1", health["degraded"])
+	}
+}
+
+func TestSubmitRejectionsCarryRetryAfterAndReason(t *testing.T) {
+	h := newTestServer(t, Config{
+		Threads:      2,
+		MaxInFlight:  1,
+		QueueDepth:   1,
+		MemoryBudget: WorstCaseBytes(16), // admits slowSubmit, rejects 17
+	})
+
+	// Occupy the single runner, then the single queue slot.
+	running := h.submit(slowSubmit())
+	h.waitState(running.ID, StateRunning)
+	h.submit(&SubmitRequest{QASM: bellQASM})
+
+	reject := func(req *SubmitRequest) (int, string, string, errorBody) {
+		t.Helper()
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(h.ts.URL+"/v1/jobs", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var eb errorBody
+		json.NewDecoder(resp.Body).Decode(&eb) //nolint:errcheck
+		return resp.StatusCode, resp.Header.Get("Retry-After"), eb.Reason, eb
+	}
+
+	code, ra, reason, _ := reject(&SubmitRequest{QASM: bellQASM})
+	if code != http.StatusTooManyRequests || ra != "1" || reason != "queue_full" {
+		t.Fatalf("queue-full reject: %d Retry-After=%q reason=%q", code, ra, reason)
+	}
+	code, ra, reason, _ = reject(&SubmitRequest{Circuit: "ghz", N: 17})
+	if code != http.StatusRequestEntityTooLarge || reason != "memory_budget" || ra != "" {
+		t.Fatalf("budget reject: %d Retry-After=%q reason=%q", code, ra, reason)
+	}
+
+	// Unblock and drain, then a draining server advertises a backoff.
+	h.do("DELETE", "/v1/jobs/"+running.ID, nil)
+	h.srv.Shutdown()
+	code, ra, reason, _ = reject(&SubmitRequest{QASM: bellQASM})
+	if code != http.StatusServiceUnavailable || ra != "5" || reason != "draining" {
+		t.Fatalf("draining reject: %d Retry-After=%q reason=%q", code, ra, reason)
+	}
+}

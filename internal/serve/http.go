@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/cmplx"
 	"net/http"
+	"strconv"
 	"time"
 
 	"flatdd/internal/core"
@@ -46,6 +47,8 @@ type JobView struct {
 	StartedAt     *time.Time `json:"started_at,omitempty"`
 	FinishedAt    *time.Time `json:"finished_at,omitempty"`
 	Error         string     `json:"error,omitempty"`
+	Reason        string     `json:"reason,omitempty"`         // failure classification (failed jobs)
+	Attempts      int        `json:"attempts,omitempty"`       // >1 when transient faults were retried
 	QueuePosition int        `json:"queue_position,omitempty"` // 1-based; queued jobs only
 }
 
@@ -69,6 +72,11 @@ type ResultStats struct {
 	PeakDDNodes     int     `json:"peak_dd_nodes"`
 	MemoryBytes     uint64  `json:"memory_bytes"`
 	Fidelity        float64 `json:"fidelity"`
+	// Degraded reports that the engine stayed in the (slower but correct)
+	// DD phase instead of converting — e.g. the flat working set would
+	// have exceeded the engine memory budget.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // JobResult is the wire form of GET /v1/jobs/{id}/result.
@@ -111,6 +119,8 @@ func buildResult(j *job, sim *core.Simulator, st core.Stats) *JobResult {
 			PeakDDNodes:     st.PeakDDNodes,
 			MemoryBytes:     st.MemoryBytes,
 			Fidelity:        st.Fidelity,
+			Degraded:        st.Degraded,
+			DegradedReason:  st.DegradedReason,
 		},
 		Top:   top,
 		Shots: sampleShots(sim, n, j.opts.shots, j.opts.seed),
@@ -127,6 +137,8 @@ func (s *Server) viewLocked(j *job) JobView {
 		Gates:       j.circ.GateCount(),
 		SubmittedAt: j.submitted,
 		Error:       j.errMsg,
+		Reason:      j.reason,
+		Attempts:    j.attempts,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -182,11 +194,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 type errorBody struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"` // machine-readable, e.g. "queue_full", "memory_budget"
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorBody{Error: msg})
+}
+
+func writeErrorReason(w http.ResponseWriter, status int, msg, reason string) {
+	writeJSON(w, status, errorBody{Error: msg, Reason: reason})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -200,7 +217,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, aerr := s.submit(&req)
 	if aerr != nil {
-		writeError(w, aerr.status, aerr.msg)
+		if aerr.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(aerr.retryAfter))
+		}
+		writeErrorReason(w, aerr.status, aerr.msg, aerr.reason)
 		return
 	}
 	s.mu.Lock()
@@ -282,9 +302,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		status = "draining"
 	}
 	body := map[string]any{
-		"status":  status,
-		"queued":  s.countLocked(StateQueued),
-		"running": s.countLocked(StateRunning),
+		"status":   status,
+		"queued":   s.countLocked(StateQueued),
+		"running":  s.countLocked(StateRunning),
+		"degraded": s.met.degraded.Value(),
+		"retried":  s.met.retried.Value(),
+		"faults":   s.met.faults.Value(),
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, body)

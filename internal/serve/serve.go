@@ -26,6 +26,7 @@ import (
 	"flatdd/internal/circuit"
 	"flatdd/internal/core"
 	"flatdd/internal/dmav"
+	"flatdd/internal/faults"
 	"flatdd/internal/obs"
 	"flatdd/internal/qasm"
 	"flatdd/internal/sched"
@@ -83,6 +84,27 @@ type Config struct {
 	// Metrics is the registry jobs and the service instrument (default: a
 	// fresh registry; it also backs the handler's /debug/metrics).
 	Metrics *obs.Registry
+	// EngineMemoryBudget, when positive, is handed to every job as
+	// core.Options.MemoryBudget: a job whose flat-array working set would
+	// exceed it completes DD-only in degraded mode (correct but slower)
+	// instead of allocating arrays the host cannot afford. This is the
+	// graceful-degradation lever; MemoryBudget above is the hard
+	// admission reject.
+	EngineMemoryBudget uint64
+	// MaxRetries is how many times a job that fails with a transient
+	// engine fault is re-queued (default 2; negative disables retries).
+	MaxRetries int
+	// RetryBaseDelay and RetryMaxDelay shape the retry backoff: attempt
+	// k waits RetryBaseDelay·2^(k−1), capped at RetryMaxDelay, plus up to
+	// 50% jitter (defaults 50ms and 2s).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// IntegrityEvery is the per-job numerical-integrity sweep cadence in
+	// DMAV gates (core.Options.IntegrityEvery; 0 disables).
+	IntegrityEvery int
+	// Faults, when non-nil, arms fault injection on the shared pool and
+	// every job's engine (tests only; production servers leave it nil).
+	Faults *faults.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +141,18 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = obs.New()
 	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = 2
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = 2 * time.Second
+	}
 	return c
 }
 
@@ -139,6 +173,8 @@ type job struct {
 
 	state     string
 	errMsg    string
+	reason    string // structured failure class (failureReason) on failed jobs
+	attempts  int    // execution attempts started (retries increment it)
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -167,6 +203,9 @@ type serveMetrics struct {
 	rejectBudget  *obs.Counter
 	rejectQueue   *obs.Counter
 	rejectInvalid *obs.Counter
+	retried       *obs.Counter
+	degraded      *obs.Counter
+	faults        *obs.Counter
 	queueDepth    *obs.Gauge
 	running       *obs.Gauge
 	latencyNs     *obs.Histogram
@@ -209,6 +248,11 @@ func New(cfg Config) *Server {
 		s.ownPool = true
 	}
 	s.pool.SetMetrics(s.reg)
+	if cfg.Faults != nil {
+		// Only arm, never clear: an injected pool may carry its owner's
+		// fault wiring.
+		s.pool.SetFaults(cfg.Faults)
+	}
 	r := s.reg
 	s.met = serveMetrics{
 		submitted:     r.Counter("serve.jobs.submitted"),
@@ -218,6 +262,9 @@ func New(cfg Config) *Server {
 		rejectBudget:  r.Counter("serve.jobs.rejected.budget"),
 		rejectQueue:   r.Counter("serve.jobs.rejected.queue_full"),
 		rejectInvalid: r.Counter("serve.jobs.rejected.invalid"),
+		retried:       r.Counter("serve.jobs.retried"),
+		degraded:      r.Counter("serve.jobs.degraded"),
+		faults:        r.Counter("serve.jobs.faults"),
 		queueDepth:    r.Gauge("serve.queue.depth"),
 		running:       r.Gauge("serve.jobs.running"),
 		latencyNs:     r.Histogram("serve.job.latency_ns", obs.DurationBuckets()),
@@ -234,10 +281,14 @@ func New(cfg Config) *Server {
 // Registry returns the metrics registry the server instruments.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// admissionError is a submit-time rejection with an HTTP status.
+// admissionError is a submit-time rejection with an HTTP status, a
+// machine-readable reason for the JSON error body, and an optional
+// Retry-After hint in seconds (429/503 — the retryable rejections).
 type admissionError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	reason     string
+	retryAfter int
 }
 
 func (e *admissionError) Error() string { return e.msg }
@@ -317,33 +368,36 @@ func (s *Server) submit(req *SubmitRequest) (*job, *admissionError) {
 	c, err := buildCircuit(req)
 	if err != nil {
 		s.met.rejectInvalid.Inc()
-		return nil, &admissionError{400, err.Error()}
+		return nil, &admissionError{status: 400, msg: err.Error(), reason: "invalid"}
 	}
 	opts, err := s.normalize(req)
 	if err != nil {
 		s.met.rejectInvalid.Inc()
-		return nil, &admissionError{400, err.Error()}
+		return nil, &admissionError{status: 400, msg: err.Error(), reason: "invalid"}
 	}
 	if c.Qubits < 1 {
 		s.met.rejectInvalid.Inc()
-		return nil, &admissionError{400, "circuit has no qubits"}
+		return nil, &admissionError{status: 400, msg: "circuit has no qubits", reason: "invalid"}
 	}
 	if c.Qubits > s.cfg.MaxQubits {
 		s.met.rejectBudget.Inc()
-		return nil, &admissionError{413, fmt.Sprintf(
-			"circuit has %d qubits, server cap is %d", c.Qubits, s.cfg.MaxQubits)}
+		return nil, &admissionError{status: 413, msg: fmt.Sprintf(
+			"circuit has %d qubits, server cap is %d", c.Qubits, s.cfg.MaxQubits),
+			reason: "qubit_cap"}
 	}
 	if w := WorstCaseBytes(c.Qubits); w > s.cfg.MemoryBudget {
 		s.met.rejectBudget.Inc()
-		return nil, &admissionError{413, fmt.Sprintf(
+		return nil, &admissionError{status: 413, msg: fmt.Sprintf(
 			"flat-array worst case for %d qubits is %d bytes, over the %d-byte budget",
-			c.Qubits, w, s.cfg.MemoryBudget)}
+			c.Qubits, w, s.cfg.MemoryBudget),
+			reason: "memory_budget"}
 	}
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		return nil, &admissionError{503, "server is draining"}
+		return nil, &admissionError{status: 503, msg: "server is draining",
+			reason: "draining", retryAfter: 5}
 	}
 	s.nextID++
 	j := &job{
@@ -358,8 +412,9 @@ func (s *Server) submit(req *SubmitRequest) (*job, *admissionError) {
 	default:
 		s.mu.Unlock()
 		s.met.rejectQueue.Inc()
-		return nil, &admissionError{429, fmt.Sprintf(
-			"queue full (%d jobs)", s.cfg.QueueDepth)}
+		return nil, &admissionError{status: 429, msg: fmt.Sprintf(
+			"queue full (%d jobs)", s.cfg.QueueDepth),
+			reason: "queue_full", retryAfter: 1}
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -391,6 +446,7 @@ func (s *Server) runJob(j *job) {
 	ctx, cancel := context.WithTimeout(context.Background(), j.opts.timeout)
 	j.state = StateRunning
 	j.started = time.Now()
+	j.attempts++
 	j.cancel = cancel
 	s.met.running.Set(s.countLocked(StateRunning))
 	s.met.queueWaitNs.Observe(j.started.Sub(j.submitted).Nanoseconds())
@@ -400,24 +456,43 @@ func (s *Server) runJob(j *job) {
 	res, runErr := s.execute(ctx, j)
 
 	s.mu.Lock()
-	j.finished = time.Now()
 	j.cancel = nil
 	switch {
 	case runErr == nil:
 		j.state = StateDone
 		j.result = res
 		s.met.completed.Inc()
+		if res.Stats.Degraded {
+			s.met.degraded.Inc()
+		}
 	case isCancel(runErr):
 		j.state = StateCanceled
 		j.errMsg = runErr.Error()
 		s.met.canceled.Inc()
 	default:
+		if errors.Is(runErr, core.ErrEngineFault) {
+			s.met.faults.Inc()
+		}
+		if core.IsTransient(runErr) && j.attempts <= s.cfg.MaxRetries && !s.draining {
+			// Transient engine fault: back off and re-queue rather than
+			// fail. The job is observable as queued again in the meantime.
+			j.state = StateQueued
+			j.errMsg = runErr.Error()
+			s.met.retried.Inc()
+			delay := s.retryDelay(j.attempts)
+			time.AfterFunc(delay, func() { s.enqueueRetry(j) })
+			break
+		}
 		j.state = StateFailed
 		j.errMsg = runErr.Error()
+		j.reason = failureReason(runErr)
 		s.met.failed.Inc()
 	}
+	if j.state != StateQueued {
+		j.finished = time.Now()
+		s.met.latencyNs.Observe(j.finished.Sub(j.submitted).Nanoseconds())
+	}
 	s.met.running.Set(s.countLocked(StateRunning))
-	s.met.latencyNs.Observe(j.finished.Sub(j.submitted).Nanoseconds())
 	s.mu.Unlock()
 }
 
@@ -425,6 +500,62 @@ func (s *Server) runJob(j *job) {
 // failure. A deadline abort is the job's own timeout, reported as failed
 // with the sentinel's message.
 func isCancel(err error) bool { return errors.Is(err, core.ErrCanceled) }
+
+// failureReason classifies a terminal job failure for the status API.
+func failureReason(err error) string {
+	switch {
+	case errors.Is(err, core.ErrNumericalDrift):
+		return "numerical_drift"
+	case errors.Is(err, core.ErrEngineFault):
+		return "engine_fault"
+	case errors.Is(err, core.ErrDeadlineExceeded):
+		return "timeout"
+	default:
+		return "error"
+	}
+}
+
+// retryDelay is the backoff before re-queuing attempt+1: base·2^(attempt−1)
+// capped at the maximum, plus up to 50% jitter so a burst of transient
+// failures does not re-queue in lockstep.
+func (s *Server) retryDelay(attempt int) time.Duration {
+	d := s.cfg.RetryBaseDelay << uint(attempt-1)
+	if d <= 0 || d > s.cfg.RetryMaxDelay {
+		d = s.cfg.RetryMaxDelay
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// enqueueRetry puts a backoff-expired job back on the FIFO. It re-checks
+// the world under s.mu: a drain that began while the timer ran has
+// already canceled the job (and closed the queue), and a client cancel
+// wins over the retry.
+func (s *Server) enqueueRetry(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != StateQueued {
+		return
+	}
+	if s.draining {
+		// Shutdown marks queued jobs canceled before closing the queue,
+		// so this branch is a narrow race guard; never touch the channel.
+		j.state = StateCanceled
+		j.errMsg = core.ErrCanceled.Error() + " (server draining)"
+		j.finished = time.Now()
+		s.met.canceled.Inc()
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.met.queueDepth.Set(int64(len(s.queue)))
+	default:
+		j.state = StateFailed
+		j.errMsg = "retry abandoned: queue full"
+		j.reason = "queue_full"
+		j.finished = time.Now()
+		s.met.failed.Inc()
+	}
+}
 
 // execute runs the simulation and assembles the result payload. A panic
 // in the engine fails the job instead of the server.
@@ -435,11 +566,14 @@ func (s *Server) execute(ctx context.Context, j *job) (res *JobResult, err error
 		}
 	}()
 	sim := core.New(j.circ.Qubits, core.Options{
-		Pool:      s.pool,
-		CacheMode: j.opts.cache,
-		Fusion:    j.opts.fusion,
-		K:         j.opts.k,
-		Metrics:   s.reg,
+		Pool:           s.pool,
+		CacheMode:      j.opts.cache,
+		Fusion:         j.opts.fusion,
+		K:              j.opts.k,
+		Metrics:        s.reg,
+		MemoryBudget:   s.cfg.EngineMemoryBudget,
+		IntegrityEvery: s.cfg.IntegrityEvery,
+		Faults:         s.cfg.Faults,
 	})
 	st, err := sim.RunContext(ctx, j.circ)
 	if err != nil {
