@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check faults fuzz serve-smoke bench-obs bench-record bench-gate csv
+.PHONY: build test check faults fuzz serve-smoke trace-schema bench-obs bench-record bench-gate csv
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,7 @@ check:
 	$(GO) test -race -short ./...
 	$(MAKE) faults
 	$(MAKE) serve-smoke
+	$(MAKE) trace-schema
 	$(MAKE) bench-record
 	$(MAKE) bench-gate
 
@@ -38,6 +39,14 @@ faults:
 # in-flight cap under concurrent submits, and a SIGTERM drain to exit 0.
 serve-smoke:
 	$(GO) test -race -run TestServeSmoke -count=1 ./cmd/flatdd-serve
+
+# trace-schema pins the span JSONL wire format (the golden file under
+# internal/obs/testdata) and the TraceWriter's sticky-error contract:
+# external consumers parse the stream, so a field rename is a breaking
+# change this target catches. Regenerate deliberately with
+# UPDATE_SPAN_GOLDEN=1 go test ./internal/obs -run SpanSchemaGolden.
+trace-schema:
+	$(GO) test -count=1 -run 'SpanSchemaGolden|TraceWriterSticky' ./internal/obs
 
 # fuzz runs the OpenQASM parser fuzzer for a bounded slice of time, seeded
 # from internal/qasm/testdata/fuzz. A crasher is written to that directory

@@ -19,6 +19,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -43,8 +45,34 @@ func main() {
 		engMB     = flag.Int("memory-budget", 0, "engine flat-array budget in MiB: over-budget jobs complete DD-only in degraded mode (0 = off)")
 		retries   = flag.Int("retries", 2, "max re-queues of a job that fails with a transient engine fault (0 = off)")
 		integrity = flag.Int("integrity-every", 0, "NaN/Inf/norm-sweep job states every N DMAV gates (0 = off)")
+		traceOut  = flag.String("trace-out", "", "append span + per-gate trace events as JSONL to this file (empty = off)")
+		flight    = flag.Int("flight", 64, "flight recorder capacity: last N job span trees kept at /debug/jobs")
+		logFormat = flag.String("log-format", "text", "request log format on stderr: text, json, or off")
 	)
 	flag.Parse()
+
+	var traceW io.Writer
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flatdd-serve:", err)
+			os.Exit(1)
+		}
+		defer f.Close() //nolint:errcheck // serve.Shutdown flushed already
+		traceW = f
+	}
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "off":
+		logger = slog.New(slog.DiscardHandler)
+	default:
+		fmt.Fprintf(os.Stderr, "flatdd-serve: unknown -log-format %q (want text, json, or off)\n", *logFormat)
+		os.Exit(2)
+	}
 
 	srv := serve.New(serve.Config{
 		Threads:            *threads,
@@ -58,6 +86,9 @@ func main() {
 		EngineMemoryBudget: uint64(*engMB) << 20,
 		MaxRetries:         normRetries(*retries),
 		IntegrityEvery:     *integrity,
+		TraceJSONL:         traceW,
+		FlightRecorderSize: *flight,
+		Logger:             logger,
 	})
 
 	ln, err := net.Listen("tcp", *listen)

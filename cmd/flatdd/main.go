@@ -108,6 +108,9 @@ func main() {
 			MemoryBudget:   uint64(*memMB) << 20,
 			IntegrityEvery: *integrity,
 		}
+		// With -trace-out, per-gate events and phase spans share one
+		// buffered TraceWriter so the JSONL stream interleaves safely.
+		var tw *obs.TraceWriter
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {
@@ -115,7 +118,8 @@ func main() {
 				os.Exit(1)
 			}
 			defer f.Close()
-			opts.TraceJSONL = f
+			tw = obs.NewTraceWriter(f)
+			opts.TraceWriter = tw
 		}
 		switch *fusionF {
 		case "none":
@@ -161,8 +165,28 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
+		// Root the run under a fresh trace so the engine's phase spans
+		// (phase.dd, phase.convert, phase.fuse, phase.dmav and the pool
+		// batches under them) land in the JSONL stream.
+		var root *obs.Span
+		if tw != nil {
+			root = obs.NewTracer(tw).Root("run", obs.TraceID{}, obs.SpanID{})
+			root.SetAttr("circuit", c.Name)
+			root.SetAttr("qubits", c.Qubits)
+			root.SetAttr("gates", c.GateCount())
+			ctx = obs.ContextWithSpan(ctx, root)
+		}
 		sim := core.New(c.Qubits, opts)
 		st, err := sim.RunContext(ctx, c)
+		if root != nil {
+			if err != nil {
+				root.SetAttr("error", err.Error())
+			}
+			root.End()
+			if ferr := tw.Flush(); ferr != nil {
+				fmt.Fprintln(os.Stderr, "flatdd: trace-out:", ferr)
+			}
+		}
 		switch {
 		case errors.Is(err, core.ErrDeadlineExceeded):
 			fmt.Println("TIMED OUT")

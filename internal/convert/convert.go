@@ -121,6 +121,15 @@ func ParallelIntoPool(e dd.VEdge, n int, p *sched.Pool, out []complex128, m *Met
 // after a false return, out holds a partial, unusable state and must be
 // discarded. A nil cancel keeps the leaf tasks probe-free.
 func ParallelIntoPoolCancel(e dd.VEdge, n int, p *sched.Pool, out []complex128, m *Metrics, cancel func() bool) (bool, error) {
+	return ParallelIntoPoolSpan(e, n, p, out, m, cancel, nil)
+}
+
+// ParallelIntoPoolSpan is ParallelIntoPoolCancel under a tracing span:
+// when span is non-nil the leaf-task batch runs as a "convert.batch"
+// child carrying the scheduler's per-batch attribution, and the span
+// itself receives the plan shape (task and scale-op counts). A nil span
+// is exactly ParallelIntoPoolCancel.
+func ParallelIntoPoolSpan(e dd.VEdge, n int, p *sched.Pool, out []complex128, m *Metrics, cancel func() bool, span *obs.Span) (bool, error) {
 	if uint64(len(out)) != uint64(1)<<uint(n) {
 		return false, fmt.Errorf("convert: output length %d, want %d", len(out), uint64(1)<<uint(n))
 	}
@@ -151,7 +160,11 @@ func ParallelIntoPoolCancel(e dd.VEdge, n int, p *sched.Pool, out []complex128, 
 			}
 		}
 	}
-	p.Run(tasks)
+	if span != nil {
+		span.SetAttr("tasks", len(tasks))
+		span.SetAttr("scales", len(scales))
+	}
+	p.RunSpanned(span, "convert.batch", tasks)
 	completed := cancel == nil || !cancel()
 	// Innermost-first: a scale discovered later lies inside the source
 	// region of one discovered earlier (DFS order), never the other way

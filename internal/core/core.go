@@ -217,6 +217,14 @@ type Options struct {
 	// ("Observability"). The writer is flushed when Run returns; closing
 	// the underlying file stays the caller's job.
 	TraceJSONL io.Writer
+	// TraceWriter, when non-nil, receives the per-gate event stream on an
+	// existing shared writer instead of wrapping TraceJSONL in a private
+	// one. Use it when the same sink also carries request spans (the
+	// serve layer, or a CLI tracing whole runs): one writer means one
+	// buffer and no interleaving corruption. Takes precedence over
+	// TraceJSONL; flushing on run end still happens, closing stays the
+	// owner's job.
+	TraceWriter *obs.TraceWriter
 	// Metrics, when non-nil, wires every engine layer (dd unique/compute
 	// tables, cnum, conversion, DMAV, the EWMA controller and this
 	// simulator's phase loop) into the registry. When nil, the hot paths
@@ -461,7 +469,9 @@ func New(n int, opts Options) *Simulator {
 		s.met.convertedAt.Set(-1)
 	}
 	s.convertAlloc = o.Faults.Point(faults.CoreConvertAlloc)
-	if o.TraceJSONL != nil {
+	if o.TraceWriter != nil {
+		s.tw = o.TraceWriter
+	} else if o.TraceJSONL != nil {
 		s.tw = obs.NewTraceWriter(o.TraceJSONL)
 	}
 	return s
@@ -582,13 +592,33 @@ func (s *Simulator) runContext(ctx context.Context, c *circuit.Circuit, start ti
 		ctl.Gauge = s.met.ewma
 	}
 
+	// Request tracing: a span carried on the context (the serve layer's
+	// per-attempt "run" span, or a CLI root) parents one child span per
+	// phase. A context without a span makes every Child call a nil no-op,
+	// so the tracing-off cost is one context lookup per run.
+	span := obs.SpanFromContext(ctx)
+
 	// Phase 1: DD-based simulation with conversion monitoring.
+	ddSpan := span.Child("phase.dd")
+	endDD := func(gates int) {
+		if ddSpan == nil {
+			return
+		}
+		ddSpan.SetAttr("gates", gates)
+		ddSpan.SetAttr("dd_size", s.stats.FinalDDSize)
+		ddSpan.SetAttr("ewma", s.stats.ControllerEnd)
+		if s.stats.Degraded {
+			ddSpan.SetAttr("degraded", s.stats.DegradedReason)
+		}
+		ddSpan.End()
+	}
 	i := 0
 	for ; i < len(c.Gates); i++ {
 		if check() {
 			s.stats.DDTime = time.Since(start)
 			s.stats.FinalDDSize = s.sim.StateSize()
 			s.stats.ControllerEnd = ctl.Average()
+			endDD(i)
 			return s.abort(ctx, start)
 		}
 		gStart := time.Now()
@@ -635,6 +665,7 @@ func (s *Simulator) runContext(ctx context.Context, c *circuit.Circuit, start ti
 	s.stats.DDTime = time.Since(start)
 	s.stats.FinalDDSize = s.sim.StateSize()
 	s.stats.ControllerEnd = ctl.Average()
+	endDD(i)
 
 	if i >= len(c.Gates) {
 		// Whole circuit ran in the DD phase.
@@ -652,6 +683,11 @@ func (s *Simulator) runContext(ctx context.Context, c *circuit.Circuit, start ti
 		pool.SetFaults(s.opts.Faults)
 		defer pool.Close()
 	}
+	convSpan := span.Child("phase.convert")
+	if convSpan != nil {
+		convSpan.SetAttr("amps", uint64(1)<<uint(s.n))
+		convSpan.SetAttr("sequential", s.opts.SequentialConversion)
+	}
 	convStart := time.Now()
 	s.state = make([]complex128, uint64(1)<<uint(s.n))
 	converted := true
@@ -659,17 +695,22 @@ func (s *Simulator) runContext(ctx context.Context, c *circuit.Circuit, start ti
 		s.m.FillArray(s.sim.State(), s.n, s.state)
 		converted = !check()
 	} else {
-		ok, cerr := convert.ParallelIntoPoolCancel(s.sim.State(), s.n, pool, s.state,
-			convert.NewMetrics(s.opts.Metrics), taskCheck)
+		ok, cerr := convert.ParallelIntoPoolSpan(s.sim.State(), s.n, pool, s.state,
+			convert.NewMetrics(s.opts.Metrics), taskCheck, convSpan)
 		if cerr != nil {
 			// Internal invariant (we sized the array ourselves), but
 			// contain rather than crash: surface it as an engine fault.
 			s.state = nil
+			convSpan.End()
 			return s.stats, newEngineFault(cerr)
 		}
 		converted = ok && !check()
 	}
 	s.stats.ConversionTime = time.Since(convStart)
+	if convSpan != nil {
+		convSpan.SetAttr("completed", converted)
+		convSpan.End()
+	}
 	if !converted {
 		// Aborted mid-conversion: drop the partial array and stay in the
 		// DD phase (the state DD is untouched), so the simulator remains
@@ -695,12 +736,23 @@ func (s *Simulator) runContext(ctx context.Context, c *circuit.Circuit, start ti
 	s.m.Collect(dd.Roots{})
 
 	// Phase 3: build (and optionally fuse) the remaining gate matrices.
+	fuseSpan := span.Child("phase.fuse")
 	fuseStart := time.Now()
 	remaining := make([]dd.MEdge, 0, len(c.Gates)-i)
+	endFuse := func() {
+		if fuseSpan == nil {
+			return
+		}
+		fuseSpan.SetAttr("mode", s.opts.Fusion.String())
+		fuseSpan.SetAttr("gates_in", len(c.Gates)-i)
+		fuseSpan.SetAttr("gates_out", len(remaining))
+		fuseSpan.End()
+	}
 	roots := dd.Roots{}
 	for j := i; j < len(c.Gates); j++ {
 		if check() {
 			s.stats.FusionTime = time.Since(fuseStart)
+			endFuse()
 			return s.abort(ctx, start)
 		}
 		g := ddsim.BuildGateDD(s.m, s.n, &c.Gates[j])
@@ -721,8 +773,11 @@ func (s *Simulator) runContext(ctx context.Context, c *circuit.Circuit, start ti
 	}
 	s.stats.FusionTime = time.Since(fuseStart)
 	s.stats.FusedGates = len(remaining)
+	endFuse()
 
 	// Phase 4: DMAV over the flat state.
+	dmavSpan := span.Child("phase.dmav")
+	s.eng.SetSpan(dmavSpan)
 	dmavStart := time.Now()
 	gateIdx := i
 	aborted := false
@@ -772,6 +827,13 @@ func (s *Simulator) runContext(ctx context.Context, c *circuit.Circuit, start ti
 	}
 	s.stats.DMAVTime = time.Since(dmavStart)
 	s.stats.DMAVStats = s.eng.Stats()
+	if dmavSpan != nil {
+		dmavSpan.SetAttr("gates", s.stats.DMAVStats.Gates)
+		dmavSpan.SetAttr("cached_gates", s.stats.DMAVStats.CachedGates)
+		dmavSpan.SetAttr("cache_hits", s.stats.DMAVStats.CacheHits)
+		dmavSpan.SetAttr("aborted", aborted)
+		dmavSpan.End()
+	}
 	if runErr != nil {
 		s.finishStats(start)
 		return s.stats, runErr

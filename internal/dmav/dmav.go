@@ -175,6 +175,11 @@ type Engine struct {
 	// output vector is then partial and must be discarded by the caller.
 	cancel func() bool
 
+	// span, when non-nil, parents the engine's pool batches so the
+	// scheduler attributes per-batch steal/idle deltas to this gate
+	// stream. Nil (the default) keeps the batches span-free.
+	span *obs.Span
+
 	stats Stats
 
 	// met is nil when metrics are off: Apply gates all instrumentation
@@ -331,6 +336,14 @@ func (e *Engine) SetCancel(f func() bool) { e.cancel = f }
 
 // cancelled reports whether the installed probe has fired.
 func (e *Engine) cancelled() bool { return e.cancel != nil && e.cancel() }
+
+// SetSpan installs the tracing span under which the engine's pool
+// batches run (nil removes it — the production default). Batches appear
+// as "dmav.rows" / "dmav.chunks" / "dmav.sum" children carrying the
+// scheduler's per-batch attribution; the span collector's cap bounds
+// how many are retained per trace. Like SetCancel, it is set per run,
+// not per gate.
+func (e *Engine) SetSpan(s *obs.Span) { e.span = s }
 
 // SetBufferSharing enables or disables the shared partial-output buffers
 // of Algorithm 2 (enabled by default; disabling is for ablation studies).
@@ -583,7 +596,7 @@ func (e *Engine) applyUncached(M dd.MEdge, V, W []complex128, k1 int64) {
 		})
 	}
 	e.execTasks = ts
-	e.pool.Run(ts)
+	e.pool.RunSpanned(e.span, "dmav.rows", ts)
 }
 
 // assignRows builds the uncached path's row-space chunk plan: starting
@@ -733,7 +746,7 @@ func (e *Engine) applyCached(M dd.MEdge, V, W []complex128) int64 {
 			ts = append(ts, func() { runChunk(u) })
 		}
 		e.execTasks = ts
-		e.pool.Run(ts)
+		e.pool.RunSpanned(e.span, "dmav.chunks", ts)
 	}
 
 	e.sumBuffers(W, nBuf)
@@ -791,7 +804,7 @@ func (e *Engine) sumBuffers(W []complex128, nBuf int) {
 		})
 	}
 	e.sumTasks = ts
-	e.pool.Run(ts)
+	e.pool.RunSpanned(e.span, "dmav.sum", ts)
 }
 
 // assignCache populates e.tasks with column-space border tasks

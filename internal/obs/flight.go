@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// FlightRecorder is a bounded in-memory ring of recently finished job
+// span trees: when a job goes wrong in production, the recorder answers
+// "what did its last moments look like" without any external tracing
+// backend. It keeps two rings of equal capacity — one for ordinary
+// completions and one for *pinned* traces (failed, degraded or retried
+// jobs) — so a burst of healthy traffic can never evict the interesting
+// failures. Both rings are bounded; within the pinned ring, older pinned
+// jobs are evicted by newer pinned jobs only.
+//
+// The nil *FlightRecorder is a valid no-op.
+
+// JobTrace is one finished job's recorded trace: identity, outcome, and
+// the flattened span tree (parent links reconstruct the hierarchy).
+type JobTrace struct {
+	JobID      string       `json:"job_id"`
+	Trace      string       `json:"trace"`
+	State      string       `json:"state"`
+	Reason     string       `json:"reason,omitempty"`
+	Pinned     bool         `json:"pinned"`
+	FinishedAt time.Time    `json:"finished_at"`
+	Spans      []SpanRecord `json:"spans"`
+	// DroppedSpans counts spans lost to the per-trace collection cap.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
+}
+
+// FlightRecorder holds the last N job traces per class. Use
+// NewFlightRecorder; the zero value has no capacity.
+type FlightRecorder struct {
+	mu     sync.Mutex
+	recent ring
+	pinned ring
+}
+
+// ring is a fixed-capacity insertion-ordered buffer.
+type ring struct {
+	buf  []*JobTrace
+	next int
+	n    int
+}
+
+func (r *ring) add(jt *JobTrace) {
+	if len(r.buf) == 0 {
+		return
+	}
+	r.buf[r.next] = jt
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// newestFirst appends the ring's entries, newest first, to out.
+func (r *ring) newestFirst(out []*JobTrace) []*JobTrace {
+	for i := 0; i < r.n; i++ {
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// NewFlightRecorder returns a recorder keeping the last size ordinary
+// and the last size pinned job traces (size < 1 defaults to 64).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size < 1 {
+		size = 64
+	}
+	return &FlightRecorder{
+		recent: ring{buf: make([]*JobTrace, size)},
+		pinned: ring{buf: make([]*JobTrace, size)},
+	}
+}
+
+// Record files one finished job trace. Pinned traces (jt.Pinned) go to
+// the pinned ring, everything else to the recent ring. No-op on a nil
+// recorder or a nil trace.
+func (f *FlightRecorder) Record(jt *JobTrace) {
+	if f == nil || jt == nil {
+		return
+	}
+	f.mu.Lock()
+	if jt.Pinned {
+		f.pinned.add(jt)
+	} else {
+		f.recent.add(jt)
+	}
+	f.mu.Unlock()
+}
+
+// Jobs returns every retained trace, pinned first, newest first within
+// each class. The returned slice is fresh; the *JobTrace values are
+// shared and must be treated as immutable.
+func (f *FlightRecorder) Jobs() []*JobTrace {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*JobTrace, 0, f.pinned.n+f.recent.n)
+	out = f.pinned.newestFirst(out)
+	out = f.recent.newestFirst(out)
+	return out
+}
+
+// Get returns the retained trace of one job (or of one trace ID), if it
+// is still in a ring.
+func (f *FlightRecorder) Get(id string) *JobTrace {
+	for _, jt := range f.Jobs() {
+		if jt.JobID == id || jt.Trace == id {
+			return jt
+		}
+	}
+	return nil
+}
+
+// Handler serves the recorder as JSON:
+//
+//	GET /debug/jobs          — every retained trace (pinned first)
+//	GET /debug/jobs?id=<id>  — one trace, by job ID or trace ID
+//
+// It works on a nil recorder (empty list).
+func (f *FlightRecorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id := r.URL.Query().Get("id"); id != "" {
+			jt := f.Get(id)
+			if jt == nil {
+				w.WriteHeader(http.StatusNotFound)
+				enc.Encode(map[string]string{"error": "no retained trace for " + id}) //nolint:errcheck
+				return
+			}
+			enc.Encode(jt) //nolint:errcheck // best-effort HTTP write
+			return
+		}
+		jobs := f.Jobs()
+		if jobs == nil {
+			jobs = []*JobTrace{}
+		}
+		enc.Encode(jobs) //nolint:errcheck // best-effort HTTP write
+	})
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+)
+
+func jt(id string, pinned bool) *JobTrace {
+	return &JobTrace{JobID: id, Trace: id + "-trace", State: "done", Pinned: pinned}
+}
+
+func TestFlightRecorderRingEviction(t *testing.T) {
+	f := NewFlightRecorder(3)
+	for i := 0; i < 5; i++ {
+		f.Record(jt(fmt.Sprintf("j-%d", i), false))
+	}
+	jobs := f.Jobs()
+	if len(jobs) != 3 {
+		t.Fatalf("retained %d, want 3", len(jobs))
+	}
+	// Newest first: j-4, j-3, j-2.
+	for i, want := range []string{"j-4", "j-3", "j-2"} {
+		if jobs[i].JobID != want {
+			t.Errorf("jobs[%d] = %s, want %s", i, jobs[i].JobID, want)
+		}
+	}
+	if f.Get("j-0") != nil {
+		t.Error("evicted trace still retrievable")
+	}
+	if f.Get("j-4-trace") == nil {
+		t.Error("lookup by trace ID failed")
+	}
+}
+
+func TestFlightRecorderPinnedSurviveTraffic(t *testing.T) {
+	f := NewFlightRecorder(2)
+	f.Record(&JobTrace{JobID: "bad", State: "failed", Pinned: true})
+	// A flood of healthy completions must not evict the pinned failure.
+	for i := 0; i < 20; i++ {
+		f.Record(jt(fmt.Sprintf("ok-%d", i), false))
+	}
+	if f.Get("bad") == nil {
+		t.Fatal("pinned trace evicted by ordinary completions")
+	}
+	// Pinned traces come first in the listing.
+	if jobs := f.Jobs(); jobs[0].JobID != "bad" {
+		t.Errorf("jobs[0] = %s, want pinned bad", jobs[0].JobID)
+	}
+	// But newer pinned traces do evict older pinned ones (bounded ring).
+	f.Record(&JobTrace{JobID: "bad2", State: "failed", Pinned: true})
+	f.Record(&JobTrace{JobID: "bad3", State: "failed", Pinned: true})
+	if f.Get("bad") != nil {
+		t.Error("pinned ring unbounded")
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(jt("x", false))
+	if f.Jobs() != nil {
+		t.Error("nil recorder returned jobs")
+	}
+	rr := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/jobs", nil))
+	if rr.Code != 200 {
+		t.Errorf("nil recorder handler status %d", rr.Code)
+	}
+}
+
+func TestFlightRecorderHandler(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.Record(&JobTrace{JobID: "j-1", Trace: "t1", State: "failed", Reason: "timeout", Pinned: true,
+		Spans: []SpanRecord{{Event: "span", Trace: "t1", Span: "s1", Name: "job"}}})
+
+	rr := httptest.NewRecorder()
+	f.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/jobs", nil))
+	var list []JobTrace
+	if err := json.Unmarshal(rr.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].JobID != "j-1" || len(list[0].Spans) != 1 {
+		t.Fatalf("unexpected listing: %+v", list)
+	}
+
+	rr = httptest.NewRecorder()
+	f.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/jobs?id=j-1", nil))
+	var one JobTrace
+	if err := json.Unmarshal(rr.Body.Bytes(), &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.Reason != "timeout" {
+		t.Errorf("reason = %q", one.Reason)
+	}
+
+	rr = httptest.NewRecorder()
+	f.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/jobs?id=nope", nil))
+	if rr.Code != 404 {
+		t.Errorf("missing id status %d, want 404", rr.Code)
+	}
+}

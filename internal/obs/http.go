@@ -9,10 +9,17 @@ import (
 )
 
 // Handler returns an http.Handler that serves the registry's current
-// Snapshot as indented JSON. It works on a nil registry (empty snapshot),
-// so a server can be mounted before metrics exist.
+// Snapshot as indented JSON, or — with ?format=prometheus — in the
+// Prometheus text exposition format, so the same endpoint feeds both
+// humans and scrapers. It works on a nil registry (empty snapshot), so a
+// server can be mounted before metrics exist.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "prometheus" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			WritePrometheus(w, r.Snapshot()) //nolint:errcheck // best-effort HTTP write
+			return
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) of a Snapshot, so the
+// registry can be scraped by any Prometheus-compatible collector without
+// a client-library dependency. Metric names are sanitized to the
+// Prometheus charset: every character outside [a-zA-Z0-9_] becomes '_'
+// (dd.unique.v.hits → dd_unique_v_hits). Histograms render the standard
+// cumulative _bucket{le=...} series plus _sum and _count.
+
+// promName sanitizes a registry metric name for Prometheus.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format. Output is deterministic (names sorted within each family
+// class), so it is golden-testable.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.FloatGauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, s.FloatGauges[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%d", h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", pn, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("serve.jobs.submitted").Add(7)
+	r.Gauge("serve.queue.depth").Set(3)
+	r.FloatGauge("convert.efficiency").Set(0.5)
+	h := r.Histogram("serve.job.latency_ns", []int64{1000, 4000})
+	h.Observe(500)
+	h.Observe(2000)
+	h.Observe(99999) // overflow
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE serve_jobs_submitted counter\nserve_jobs_submitted 7\n",
+		"# TYPE serve_queue_depth gauge\nserve_queue_depth 3\n",
+		"# TYPE convert_efficiency gauge\nconvert_efficiency 0.5\n",
+		"# TYPE serve_job_latency_ns histogram\n",
+		`serve_job_latency_ns_bucket{le="1000"} 1`,
+		`serve_job_latency_ns_bucket{le="4000"} 2`,
+		`serve_job_latency_ns_bucket{le="+Inf"} 3`,
+		"serve_job_latency_ns_sum 102499\nserve_job_latency_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	for in, want := range map[string]string{
+		"dd.unique.v.hits":     "dd_unique_v_hits",
+		"sched.worker.0.tasks": "sched_worker_0_tasks",
+		"0weird":               "_0weird",
+		"ok_name":              "ok_name",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMetricsHandlerPrometheusFormat(t *testing.T) {
+	r := New()
+	r.Counter("core.gates.dd").Add(42)
+
+	// Default stays JSON.
+	rr := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("default content type %q", ct)
+	}
+
+	rr = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/metrics?format=prometheus", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("prometheus content type %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "core_gates_dd 42") {
+		t.Errorf("prometheus body missing counter:\n%s", rr.Body.String())
+	}
+}

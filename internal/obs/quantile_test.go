@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileUniformBucket(t *testing.T) {
+	// One bucket [0,100] with 100 observations: the q-quantile of the
+	// interpolated estimate is q*100.
+	r := New()
+	h := r.Histogram("q", []int64{100, 200})
+	for i := 0; i < 100; i++ {
+		h.Observe(50)
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 50}, {0.95, 95}, {0.99, 99}, {1, 100},
+	} {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("q", []int64{10, 100, 1000})
+	// 90 observations in (0,10], 9 in (10,100], 1 in (100,1000].
+	for i := 0; i < 90; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(50)
+	}
+	h.Observe(500)
+	s := h.Snapshot()
+	// p50: rank 50 of 100 → bucket 0 → 10 * 50/90 ≈ 5.56.
+	if got := s.Quantile(0.50); math.Abs(got-10*50.0/90) > 1e-9 {
+		t.Errorf("p50 = %g", got)
+	}
+	// p95: rank 95 → bucket 1: lo=10 hi=100, (95-90)/9 through it.
+	want95 := 10 + 90*(5.0/9)
+	if got := s.Quantile(0.95); math.Abs(got-want95) > 1e-9 {
+		t.Errorf("p95 = %g, want %g", got, want95)
+	}
+	// p99.5: rank 99.5 → last finite bucket.
+	if got := s.Quantile(0.995); got <= 100 || got > 1000 {
+		t.Errorf("p99.5 = %g, want in (100,1000]", got)
+	}
+}
+
+func TestQuantileOverflowAndEmpty(t *testing.T) {
+	r := New()
+	h := r.Histogram("q", []int64{10})
+	if got := h.Snapshot().Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram Quantile = %g, want 0", got)
+	}
+	h.Observe(1_000_000) // overflow bucket
+	if got := h.Snapshot().Quantile(0.99); got != 10 {
+		t.Errorf("overflow Quantile = %g, want conservative floor 10", got)
+	}
+	var nilH *Histogram
+	if s := nilH.Snapshot(); s.Count != 0 || s.Quantile(0.5) != 0 {
+		t.Error("nil histogram snapshot not empty")
+	}
+}
+
+func TestQuantilesBatch(t *testing.T) {
+	r := New()
+	h := r.Histogram("q", []int64{100})
+	for i := 0; i < 10; i++ {
+		h.Observe(1)
+	}
+	qs := h.Snapshot().Quantiles(0.5, 0.95, 0.99)
+	if len(qs) != 3 {
+		t.Fatalf("got %d quantiles", len(qs))
+	}
+	for i := 1; i < len(qs); i++ {
+		if qs[i] < qs[i-1] {
+			t.Errorf("quantiles not monotone: %v", qs)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotDeltaHistogramConcurrent exercises Snapshot.Delta over
+// histograms while Observe runs concurrently: the delta between a
+// snapshot taken before and after a known number of observations must be
+// exact, and snapshots taken mid-flight must never go backwards.
+func TestSnapshotDeltaHistogramConcurrent(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", DurationBuckets())
+	const (
+		writers = 8
+		perW    = 2000
+	)
+	prev := r.Snapshot()
+
+	var writersWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	// A reader snapshotting mid-flight: delta counts must be monotone
+	// non-negative (no torn reads below zero).
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		last := int64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			d := r.Snapshot().Delta(prev)
+			hs := d.Histograms["lat"]
+			if hs.Count < last {
+				t.Errorf("delta count went backwards: %d -> %d", last, hs.Count)
+				return
+			}
+			for _, c := range hs.Counts {
+				if c < 0 {
+					t.Errorf("negative delta bucket count %d", c)
+					return
+				}
+			}
+			last = hs.Count
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(int64(1000 + i + w))
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	d := r.Snapshot().Delta(prev)
+	hs := d.Histograms["lat"]
+	if hs.Count != writers*perW {
+		t.Fatalf("delta count = %d, want %d", hs.Count, writers*perW)
+	}
+	var sum int64
+	for _, c := range hs.Counts {
+		sum += c
+	}
+	if sum != writers*perW {
+		t.Fatalf("delta bucket sum = %d, want %d", sum, writers*perW)
+	}
+	// A second run on the same registry is isolated by the delta.
+	prev2 := r.Snapshot()
+	h.Observe(1)
+	d2 := r.Snapshot().Delta(prev2)
+	if got := d2.Histograms["lat"].Count; got != 1 {
+		t.Fatalf("second-run delta count = %d, want 1", got)
+	}
+}
+
+// TestTraceWriterStickyMarshalError pins the sticky-error contract: the
+// first marshal failure suppresses every later emit and is what Flush
+// reports.
+func TestTraceWriterStickyMarshalError(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.Emit(map[string]any{"ok": 1})
+	tw.Emit(func() {}) // unmarshalable: first error sticks
+	tw.Emit(map[string]any{"after": 2})
+	err := tw.Flush()
+	if err == nil {
+		t.Fatal("Flush returned nil after a marshal error")
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"ok":1`) {
+		t.Errorf("pre-error line lost: %q", out)
+	}
+	if strings.Contains(out, "after") {
+		t.Errorf("post-error emit was not suppressed: %q", out)
+	}
+	// The error stays sticky across further emits and flushes.
+	tw.Emit(map[string]any{"later": 3})
+	if err2 := tw.Flush(); err2 == nil || err2.Error() != err.Error() {
+		t.Errorf("sticky error changed: %v -> %v", err, err2)
+	}
+	if strings.Contains(buf.String(), "later") {
+		t.Error("emit after sticky error reached the buffer")
+	}
+}
+
+// failWriter fails every Write after the first n bytes budget is spent.
+type failWriter struct {
+	budget int
+	err    error
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.budget <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.budget {
+		n := w.budget
+		w.budget = 0
+		return n, w.err
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+// TestTraceWriterStickyWriteError pins the write-side of the contract:
+// an underlying write failure surfaces at Flush, and later Flush calls
+// keep reporting the first error.
+func TestTraceWriterStickyWriteError(t *testing.T) {
+	wantErr := errors.New("disk full")
+	tw := NewTraceWriter(&failWriter{budget: 4, err: wantErr})
+	tw.Emit(map[string]any{"big": strings.Repeat("x", 100)})
+	if err := tw.Flush(); !errors.Is(err, wantErr) {
+		t.Fatalf("Flush = %v, want %v", err, wantErr)
+	}
+	tw.Emit(map[string]any{"more": 1}) // suppressed
+	if err := tw.Flush(); !errors.Is(err, wantErr) {
+		t.Fatalf("second Flush = %v, want sticky %v", err, wantErr)
+	}
+}

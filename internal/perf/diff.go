@@ -46,6 +46,13 @@ type CellDiff struct {
 	Delta   float64
 	Noise   float64
 	Verdict string
+	// TailDelta is (new-old)/old on the p99 wall time; HasTail reports
+	// whether both records carry percentiles (records predating the
+	// percentile fields decode them as zero). A tail regression flags the
+	// cell even when the mean moved less than the guard — a latency SLO
+	// gate, not just a throughput gate.
+	TailDelta float64
+	HasTail   bool
 }
 
 // Report is the outcome of comparing two records.
@@ -101,14 +108,18 @@ func compareCells(key string, oc, nc *Cell, threshold, minWallNs float64) CellDi
 	}
 	d.Delta = (nm - om) / om
 	d.Noise = 2 * (relStddev(oc.Wall) + relStddev(nc.Wall))
+	if op, np := oc.Wall.P99Ns, nc.Wall.P99Ns; op > 0 && np > 0 {
+		d.HasTail = true
+		d.TailDelta = (np - op) / op
+	}
 	if om < minWallNs && nm < minWallNs {
 		return d // below the measurement floor: report, never flag
 	}
 	guard := math.Max(threshold, d.Noise)
 	switch {
-	case d.Delta > guard:
+	case d.Delta > guard || (d.HasTail && d.TailDelta > guard):
 		d.Verdict = VerdictRegression
-	case d.Delta < -guard:
+	case d.Delta < -guard && (!d.HasTail || d.TailDelta <= guard):
 		d.Verdict = VerdictImprovement
 	}
 	return d
@@ -143,9 +154,9 @@ func (r Report) count(v string) int {
 // line. It always writes every row: records are small and an "ok" row
 // carries the measured delta, which is the point of the exercise.
 func (r Report) Render(w io.Writer) {
-	rows := make([][6]string, 0, len(r.Diffs))
+	rows := make([][7]string, 0, len(r.Diffs))
 	for _, d := range r.Diffs {
-		row := [6]string{d.Key, "-", "-", "-", "-", d.Verdict}
+		row := [7]string{d.Key, "-", "-", "-", "-", "-", d.Verdict}
 		if d.Old != nil {
 			row[1] = fmtNs(d.Old.Wall.MeanNs)
 		}
@@ -154,12 +165,15 @@ func (r Report) Render(w io.Writer) {
 		}
 		if d.Old != nil && d.New != nil && d.Old.Wall.MeanNs > 0 {
 			row[3] = fmt.Sprintf("%+.1f%%", 100*d.Delta)
-			row[4] = fmt.Sprintf("±%.1f%%", 100*math.Max(r.Threshold, d.Noise))
+			if d.HasTail {
+				row[4] = fmt.Sprintf("%+.1f%%", 100*d.TailDelta)
+			}
+			row[5] = fmt.Sprintf("±%.1f%%", 100*math.Max(r.Threshold, d.Noise))
 		}
 		rows = append(rows, row)
 	}
-	headers := [6]string{"cell", "old", "new", "delta", "guard", "verdict"}
-	widths := [6]int{}
+	headers := [7]string{"cell", "old", "new", "delta", "p99", "guard", "verdict"}
+	widths := [7]int{}
 	for i, h := range headers {
 		widths[i] = len(h)
 	}
@@ -170,10 +184,10 @@ func (r Report) Render(w io.Writer) {
 			}
 		}
 	}
-	printRow := func(cells [6]string) {
-		fmt.Fprintf(w, "%-*s  %*s  %*s  %*s  %*s  %s\n",
+	printRow := func(cells [7]string) {
+		fmt.Fprintf(w, "%-*s  %*s  %*s  %*s  %*s  %*s  %s\n",
 			widths[0], cells[0], widths[1], cells[1], widths[2], cells[2],
-			widths[3], cells[3], widths[4], cells[4], cells[5])
+			widths[3], cells[3], widths[4], cells[4], widths[5], cells[5], cells[6])
 	}
 	printRow(headers)
 	for _, row := range rows {

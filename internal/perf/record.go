@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -55,13 +56,22 @@ func CurrentHost() Host {
 }
 
 // Stat summarizes N repetitions of one measurement, in nanoseconds.
-// Stddev is the sample standard deviation (zero when N < 2).
+// Stddev is the sample standard deviation (zero when N < 2). The
+// percentile fields are additive (schema stays at 1): records written
+// before they existed simply decode them as zero, which Diff treats as
+// "no tail information".
 type Stat struct {
 	MeanNs   float64 `json:"mean_ns"`
 	StddevNs float64 `json:"stddev_ns"`
 	MinNs    float64 `json:"min_ns"`
 	MaxNs    float64 `json:"max_ns"`
 	N        int     `json:"n"`
+	// P50Ns/P95Ns/P99Ns are sample percentiles (linear interpolation
+	// between order statistics), the latency-SLO view of the repetition
+	// spread: the mean hides a bimodal run, the tail does not.
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P95Ns float64 `json:"p95_ns,omitempty"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
 }
 
 // NewStat computes repetition statistics over raw nanosecond samples.
@@ -86,7 +96,28 @@ func NewStat(ns []float64) Stat {
 		}
 		s.StddevNs = math.Sqrt(ss / float64(s.N-1))
 	}
+	sorted := append([]float64(nil), ns...)
+	sort.Float64s(sorted)
+	s.P50Ns = percentile(sorted, 0.50)
+	s.P95Ns = percentile(sorted, 0.95)
+	s.P99Ns = percentile(sorted, 0.99)
 	return s
+}
+
+// percentile interpolates the q-quantile of sorted samples at rank
+// q·(n−1), the same convention as numpy's default.
+func percentile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }
 
 // Cell is one (experiment, circuit, engine) measurement. Threads is only

@@ -1,0 +1,100 @@
+package perf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewStatPercentiles(t *testing.T) {
+	// 1..100: p50 = 50.5, p95 = 95.05, p99 = 99.01 (rank q·(n−1)).
+	ns := make([]float64, 100)
+	for i := range ns {
+		ns[i] = float64(100 - i) // unsorted on purpose
+	}
+	s := NewStat(ns)
+	for _, tc := range []struct {
+		got, want float64
+		name      string
+	}{
+		{s.P50Ns, 50.5, "p50"},
+		{s.P95Ns, 95.05, "p95"},
+		{s.P99Ns, 99.01, "p99"},
+	} {
+		if math.Abs(tc.got-tc.want) > 1e-9 {
+			t.Errorf("%s = %g, want %g", tc.name, tc.got, tc.want)
+		}
+	}
+	// Degenerate sizes.
+	if s := NewStat([]float64{7}); s.P50Ns != 7 || s.P99Ns != 7 {
+		t.Errorf("single sample percentiles: %+v", s)
+	}
+	if s := NewStat(nil); s.P99Ns != 0 {
+		t.Errorf("empty percentiles: %+v", s)
+	}
+	// NewStat must not reorder the caller's samples.
+	in := []float64{3, 1, 2}
+	NewStat(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("NewStat mutated its input: %v", in)
+	}
+}
+
+// tailCell builds a cell whose mean and p99 can diverge — the bimodal
+// shape the tail gate exists for.
+func tailCell(meanNs, p99Ns float64) Cell {
+	return Cell{
+		Exp: "table1", Circuit: "a", Engine: "FlatDD",
+		Wall: Stat{MeanNs: meanNs, MinNs: meanNs, MaxNs: p99Ns, N: 5,
+			P50Ns: meanNs, P95Ns: p99Ns, P99Ns: p99Ns},
+	}
+}
+
+func TestDiffTailRegression(t *testing.T) {
+	// Mean unchanged, p99 up 50%: a tail regression the mean gate misses.
+	d := diffOne(t, tailCell(1e6, 1.2e6), tailCell(1e6, 1.8e6), Options{})
+	if !d.HasTail || d.Verdict != VerdictRegression {
+		t.Fatalf("tail-only regression not flagged: %+v", d)
+	}
+	if math.Abs(d.TailDelta-0.5) > 1e-9 {
+		t.Errorf("TailDelta = %g, want 0.5", d.TailDelta)
+	}
+	// Tail within guard stays ok.
+	d = diffOne(t, tailCell(1e6, 1.2e6), tailCell(1e6, 1.25e6), Options{})
+	if d.Verdict != VerdictOK {
+		t.Fatalf("in-guard tail flagged: %+v", d)
+	}
+	// A mean improvement with a regressed tail must not be celebrated.
+	d = diffOne(t, tailCell(1e6, 1.2e6), tailCell(0.8e6, 1.8e6), Options{})
+	if d.Verdict != VerdictRegression {
+		t.Fatalf("mean-improved, tail-regressed cell: %+v", d)
+	}
+}
+
+func TestDiffTailBackwardCompatible(t *testing.T) {
+	// Old records carry no percentiles (decoded as zero): the tail gate
+	// must stay out of the way, in both directions.
+	old := cellNs("a", 1e6, 0, 1) // no percentile fields
+	d := diffOne(t, old, tailCell(1e6, 5e6), Options{})
+	if d.HasTail || d.Verdict != VerdictOK {
+		t.Fatalf("tail gate fired without a baseline: %+v", d)
+	}
+	d = diffOne(t, old, cellNs("a", 0.5e6, 0, 1), Options{})
+	if d.Verdict != VerdictImprovement {
+		t.Fatalf("improvement without tail info suppressed: %+v", d)
+	}
+}
+
+func TestRenderTailColumn(t *testing.T) {
+	rep := Diff(recordWith(tailCell(1e6, 1.2e6)), recordWith(tailCell(1e6, 1.8e6)), Options{})
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "p99") {
+		t.Errorf("render missing p99 header:\n%s", out)
+	}
+	if !strings.Contains(out, "+50.0%") {
+		t.Errorf("render missing tail delta:\n%s", out)
+	}
+}

@@ -283,12 +283,33 @@ func (p *Pool) Stats() []WorkerStats {
 // worker has parked Run re-raises the first recovered panic as a
 // *TaskPanic on the calling goroutine. The pool stays fully usable for
 // the next batch — essential when one Pool is shared across jobs.
-func (p *Pool) Run(tasks []Task) {
+func (p *Pool) Run(tasks []Task) { p.run(nil, "", tasks) }
+
+// RunSpanned is Run with scheduler attribution: when parent is non-nil
+// the batch executes under a child span named name, carrying the batch's
+// task count, worker count, and the steal/idle deltas measured across
+// exactly this batch (the per-worker lifetime totals are snapshotted
+// before and after, under the batch mutex, so concurrent batches cannot
+// bleed into each other's attribution). A nil parent is exactly Run —
+// the tracing-off cost is one pointer check.
+func (p *Pool) RunSpanned(parent *obs.Span, name string, tasks []Task) {
+	p.run(parent, name, tasks)
+}
+
+func (p *Pool) run(parent *obs.Span, name string, tasks []Task) {
 	if len(tasks) == 0 {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	var sp *obs.Span
+	var steals0, idle0 int64
+	if parent != nil {
+		sp = parent.Child(name)
+		sp.SetAttr("tasks", len(tasks))
+		sp.SetAttr("workers", len(p.workers))
+		steals0, idle0 = p.stealIdleTotals()
+	}
 	w0 := p.workers[0]
 	if p.closed || len(p.workers) == 1 || len(tasks) == 1 {
 		// Inline: nothing to distribute (or the pool was closed —
@@ -299,8 +320,7 @@ func (p *Pool) Run(tasks []Task) {
 		for _, t := range tasks {
 			p.exec(w0, t)
 		}
-		p.publish()
-		p.rethrow()
+		p.finishBatch(sp, steals0, idle0)
 		return
 	}
 	nt := len(p.workers)
@@ -316,8 +336,32 @@ func (p *Pool) Run(tasks []Task) {
 	}
 	p.runWorker(w0)
 	p.join.Wait()
+	p.finishBatch(sp, steals0, idle0)
+}
+
+// finishBatch publishes metrics, closes the batch span (attributing the
+// steal/idle deltas of this batch), and re-raises any recorded panic.
+// The span must end before rethrow so a faulted batch still produces a
+// complete span for the flight recorder.
+func (p *Pool) finishBatch(sp *obs.Span, steals0, idle0 int64) {
 	p.publish()
+	if sp != nil {
+		steals1, idle1 := p.stealIdleTotals()
+		sp.SetAttr("steals", steals1-steals0)
+		sp.SetAttr("idle_ns", idle1-idle0)
+		sp.End()
+	}
 	p.rethrow()
+}
+
+// stealIdleTotals sums the per-worker lifetime steal and idle counters.
+// Called under p.mu with all workers parked, so the totals are stable.
+func (p *Pool) stealIdleTotals() (steals, idleNs int64) {
+	for _, w := range p.workers {
+		steals += w.steals.Load()
+		idleNs += w.idleNs.Load()
+	}
+	return
 }
 
 // workerLoop parks a spawned worker between batches.

@@ -39,6 +39,7 @@ type SubmitRequest struct {
 // JobView is the wire form of a job's status.
 type JobView struct {
 	ID            string     `json:"id"`
+	Trace         string     `json:"trace,omitempty"` // trace ID; key into /debug/jobs?id=
 	State         string     `json:"state"`
 	Circuit       string     `json:"circuit"`
 	Qubits        int        `json:"qubits"`
@@ -131,6 +132,7 @@ func buildResult(j *job, sim *core.Simulator, st core.Stats) *JobResult {
 func (s *Server) viewLocked(j *job) JobView {
 	v := JobView{
 		ID:          j.id,
+		Trace:       j.span.Trace().String(),
 		State:       j.state,
 		Circuit:     j.circ.Name,
 		Qubits:      j.circ.Qubits,
@@ -170,8 +172,14 @@ func (s *Server) viewLocked(j *job) JobView {
 //	GET    /v1/jobs/{id}        — status
 //	GET    /v1/jobs/{id}/result — result of a done job
 //	DELETE /v1/jobs/{id}        — cancel (POST /v1/jobs/{id}/cancel works too)
-//	GET    /healthz             — liveness + drain state
-//	/debug/*                    — metrics, expvar, pprof (internal/obs)
+//	GET    /healthz             — liveness, capacity, uptime, latency SLOs
+//	GET    /debug/jobs          — flight recorder: last N job span trees (?id= for one)
+//	/debug/*                    — metrics, expvar, pprof (internal/obs);
+//	                              /debug/metrics?format=prometheus for text exposition
+//
+// POST /v1/jobs accepts a W3C `traceparent` header and returns one: the
+// job's span tree continues the caller's trace (a fresh trace is minted
+// otherwise), and the response JobView carries the trace ID.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -181,16 +189,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /debug/jobs", s.flight.Handler())
 	mux.Handle("/debug/", obs.Mux(s.reg))
 	return mux
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Encode before WriteHeader: once the status line is on the wire it
+	// cannot be taken back, so a value that fails to marshal must turn
+	// into a 500 *before* the success status is committed.
+	b, err := json.MarshalIndent(v, "", "  ")
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\n  \"error\": %q\n}\n", "encode response: "+err.Error())
+		return
+	}
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // best-effort HTTP write
+	w.Write(append(b, '\n')) //nolint:errcheck // best-effort HTTP write
 }
 
 type errorBody struct {
@@ -215,7 +231,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	j, aerr := s.submit(&req)
+	j, aerr := s.submit(&req, r.Header.Get("traceparent"))
 	if aerr != nil {
 		if aerr.retryAfter > 0 {
 			w.Header().Set("Retry-After", strconv.Itoa(aerr.retryAfter))
@@ -226,6 +242,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	v := s.viewLocked(j)
 	s.mu.Unlock()
+	// Hand the caller its trace context back: the trace it sent (now
+	// continued by the job's span tree) or the one minted here.
+	w.Header().Set("traceparent", obs.TraceParent(j.span.Trace(), j.span.ID()))
 	writeJSON(w, http.StatusAccepted, v)
 }
 
@@ -295,6 +314,17 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
+// latencyView renders one histogram's tail-latency summary for /healthz.
+func latencyView(h *obs.Histogram) map[string]any {
+	snap := h.Snapshot()
+	return map[string]any{
+		"count": snap.Count,
+		"p50":   snap.Quantile(0.50),
+		"p95":   snap.Quantile(0.95),
+		"p99":   snap.Quantile(0.99),
+	}
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	status := "ok"
@@ -303,11 +333,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	body := map[string]any{
 		"status":   status,
+		"uptime_s": time.Since(s.started).Seconds(),
 		"queued":   s.countLocked(StateQueued),
 		"running":  s.countLocked(StateRunning),
 		"degraded": s.met.degraded.Value(),
 		"retried":  s.met.retried.Value(),
 		"faults":   s.met.faults.Value(),
+		"capacity": map[string]any{
+			"queue_depth":         s.cfg.QueueDepth,
+			"max_inflight":        s.cfg.MaxInFlight,
+			"memory_budget_bytes": s.cfg.MemoryBudget,
+			"max_qubits":          s.cfg.MaxQubits,
+		},
+		"latency": map[string]any{
+			"queue_wait_ns": latencyView(s.met.queueWaitNs),
+			"run_ns":        latencyView(s.met.runNs),
+			"e2e_ns":        latencyView(s.met.latencyNs),
+		},
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, body)

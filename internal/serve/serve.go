@@ -18,6 +18,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -105,6 +107,20 @@ type Config struct {
 	// Faults, when non-nil, arms fault injection on the shared pool and
 	// every job's engine (tests only; production servers leave it nil).
 	Faults *faults.Registry
+	// TraceJSONL, when non-nil, receives the span stream (and each job's
+	// per-gate engine events) as JSON Lines on one shared writer. Spans
+	// are always collected in memory for the flight recorder; this sink
+	// additionally persists them. The writer is flushed as jobs finish;
+	// closing the underlying file stays the caller's job.
+	TraceJSONL io.Writer
+	// FlightRecorderSize is the per-ring capacity of the job flight
+	// recorder at /debug/jobs (default 64): the last N job span trees,
+	// with failed/canceled/degraded/retried jobs pinned in a separate
+	// ring so healthy traffic cannot evict the interesting traces.
+	FlightRecorderSize int
+	// Logger receives structured job-lifecycle logs keyed by job and
+	// trace ID (default: discard).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +169,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryMaxDelay <= 0 {
 		c.RetryMaxDelay = 2 * time.Second
 	}
+	if c.FlightRecorderSize < 1 {
+		c.FlightRecorderSize = 64
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 	return c
 }
 
@@ -180,6 +202,12 @@ type job struct {
 	finished  time.Time
 	cancel    context.CancelFunc // non-nil while running
 	result    *JobResult
+
+	// span is the job's root span (always non-nil: the server's tracer
+	// collects in memory even without a JSONL sink); queuedSpan is the
+	// open "queued" child while the job sits in the FIFO.
+	span       *obs.Span
+	queuedSpan *obs.Span
 }
 
 // runOptions is the normalized execution request of one job.
@@ -210,6 +238,7 @@ type serveMetrics struct {
 	running       *obs.Gauge
 	latencyNs     *obs.Histogram
 	queueWaitNs   *obs.Histogram
+	runNs         *obs.Histogram
 }
 
 // Server is the simulation job service. Create with New, expose
@@ -220,6 +249,15 @@ type Server struct {
 	ownPool bool
 	reg     *obs.Registry
 	met     serveMetrics
+	log     *slog.Logger
+	started time.Time
+
+	// Tracing: tw is the shared JSONL sink (nil without Config.TraceJSONL;
+	// spans are still collected in memory), tracer mints the per-job span
+	// trees, flight retains the last N of them for /debug/jobs.
+	tw     *obs.TraceWriter
+	tracer *obs.Tracer
+	flight *obs.FlightRecorder
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -236,10 +274,17 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:  cfg,
-		reg:  cfg.Metrics,
-		jobs: make(map[string]*job),
+		cfg:     cfg,
+		reg:     cfg.Metrics,
+		log:     cfg.Logger,
+		started: time.Now(),
+		jobs:    make(map[string]*job),
+		flight:  obs.NewFlightRecorder(cfg.FlightRecorderSize),
 	}
+	if cfg.TraceJSONL != nil {
+		s.tw = obs.NewTraceWriter(cfg.TraceJSONL)
+	}
+	s.tracer = obs.NewTracer(s.tw)
 	s.queue = make(chan *job, cfg.QueueDepth)
 	if cfg.Pool != nil {
 		s.pool = cfg.Pool
@@ -269,6 +314,7 @@ func New(cfg Config) *Server {
 		running:       r.Gauge("serve.jobs.running"),
 		latencyNs:     r.Histogram("serve.job.latency_ns", obs.DurationBuckets()),
 		queueWaitNs:   r.Histogram("serve.job.queue_wait_ns", obs.DurationBuckets()),
+		runNs:         r.Histogram("serve.job.run_ns", obs.DurationBuckets()),
 	}
 	r.Gauge("serve.max_inflight").Set(int64(cfg.MaxInFlight))
 	for i := 0; i < cfg.MaxInFlight; i++ {
@@ -280,6 +326,9 @@ func New(cfg Config) *Server {
 
 // Registry returns the metrics registry the server instruments.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Flight returns the job flight recorder backing /debug/jobs.
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
 
 // admissionError is a submit-time rejection with an HTTP status, a
 // machine-readable reason for the JSON error body, and an optional
@@ -363,8 +412,10 @@ func (s *Server) normalize(req *SubmitRequest) (runOptions, error) {
 }
 
 // submit runs admission control and either enqueues a new job or returns
-// an *admissionError. It is the only producer on s.queue.
-func (s *Server) submit(req *SubmitRequest) (*job, *admissionError) {
+// an *admissionError. It is the only producer on s.queue. traceparent is
+// the caller's W3C trace context header ("" or malformed mints a fresh
+// trace); the admitted job's root span continues that trace.
+func (s *Server) submit(req *SubmitRequest, traceparent string) (*job, *admissionError) {
 	c, err := buildCircuit(req)
 	if err != nil {
 		s.met.rejectInvalid.Inc()
@@ -407,6 +458,13 @@ func (s *Server) submit(req *SubmitRequest) (*job, *admissionError) {
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
+	trace, parent, _ := obs.ParseTraceParent(traceparent)
+	j.span = s.tracer.Root("job", trace, parent)
+	j.span.SetAttr("job", j.id)
+	j.span.SetAttr("circuit", c.Name)
+	j.span.SetAttr("qubits", c.Qubits)
+	j.span.SetAttr("gates", c.GateCount())
+	j.queuedSpan = j.span.Child("queued")
 	select {
 	case s.queue <- j:
 	default:
@@ -421,6 +479,9 @@ func (s *Server) submit(req *SubmitRequest) (*job, *admissionError) {
 	s.met.submitted.Inc()
 	s.met.queueDepth.Set(int64(len(s.queue)))
 	s.mu.Unlock()
+	s.log.Info("job submitted",
+		"job", j.id, "trace", j.span.Trace().String(),
+		"circuit", c.Name, "qubits", c.Qubits, "gates", c.GateCount())
 	return j, nil
 }
 
@@ -448,12 +509,22 @@ func (s *Server) runJob(j *job) {
 	j.started = time.Now()
 	j.attempts++
 	j.cancel = cancel
+	j.queuedSpan.End()
+	j.queuedSpan = nil
+	runSpan := j.span.Child("run")
+	runSpan.SetAttr("attempt", j.attempts)
+	ctx = obs.ContextWithSpan(ctx, runSpan)
 	s.met.running.Set(s.countLocked(StateRunning))
 	s.met.queueWaitNs.Observe(j.started.Sub(j.submitted).Nanoseconds())
 	s.mu.Unlock()
 	defer cancel()
 
 	res, runErr := s.execute(ctx, j)
+	s.met.runNs.Observe(time.Since(j.started).Nanoseconds())
+	if runErr != nil {
+		runSpan.SetAttr("error", runErr.Error())
+	}
+	runSpan.End()
 
 	s.mu.Lock()
 	j.cancel = nil
@@ -478,6 +549,8 @@ func (s *Server) runJob(j *job) {
 			// fail. The job is observable as queued again in the meantime.
 			j.state = StateQueued
 			j.errMsg = runErr.Error()
+			j.queuedSpan = j.span.Child("queued")
+			j.queuedSpan.SetAttr("retry", true)
 			s.met.retried.Inc()
 			delay := s.retryDelay(j.attempts)
 			time.AfterFunc(delay, func() { s.enqueueRetry(j) })
@@ -489,11 +562,54 @@ func (s *Server) runJob(j *job) {
 		s.met.failed.Inc()
 	}
 	if j.state != StateQueued {
-		j.finished = time.Now()
+		s.finishJobLocked(j)
 		s.met.latencyNs.Observe(j.finished.Sub(j.submitted).Nanoseconds())
 	}
 	s.met.running.Set(s.countLocked(StateRunning))
 	s.mu.Unlock()
+}
+
+// finishJobLocked stamps a job's terminal transition: it closes the span
+// tree, hands it to the flight recorder (pinning anything worth a
+// post-mortem — failures, cancels, retries, degraded runs), and emits
+// the lifecycle log line. Caller holds s.mu and has already set the
+// terminal state.
+func (s *Server) finishJobLocked(j *job) {
+	j.finished = time.Now()
+	j.queuedSpan.End()
+	j.queuedSpan = nil
+	j.span.SetAttr("state", j.state)
+	if j.attempts > 1 {
+		j.span.SetAttr("attempts", j.attempts)
+	}
+	j.span.End()
+	degraded := j.result != nil && j.result.Stats.Degraded
+	spans, dropped := j.span.Collected()
+	s.flight.Record(&obs.JobTrace{
+		JobID:        j.id,
+		Trace:        j.span.Trace().String(),
+		State:        j.state,
+		Reason:       j.reason,
+		Pinned:       j.state == StateFailed || j.state == StateCanceled || j.attempts > 1 || degraded,
+		FinishedAt:   j.finished,
+		Spans:        spans,
+		DroppedSpans: dropped,
+	})
+	s.tw.Flush() //nolint:errcheck // trace output is best-effort
+	attrs := []any{
+		"job", j.id, "trace", j.span.Trace().String(), "state", j.state,
+		"attempts", j.attempts, "e2e_ms", j.finished.Sub(j.submitted).Milliseconds(),
+	}
+	if j.errMsg != "" {
+		attrs = append(attrs, "error", j.errMsg)
+	}
+	if j.reason != "" {
+		attrs = append(attrs, "reason", j.reason)
+	}
+	if degraded {
+		attrs = append(attrs, "degraded", true)
+	}
+	s.log.Info("job finished", attrs...)
 }
 
 // isCancel distinguishes a canceled run (client cancel or drain) from a
@@ -541,7 +657,7 @@ func (s *Server) enqueueRetry(j *job) {
 		// so this branch is a narrow race guard; never touch the channel.
 		j.state = StateCanceled
 		j.errMsg = core.ErrCanceled.Error() + " (server draining)"
-		j.finished = time.Now()
+		s.finishJobLocked(j)
 		s.met.canceled.Inc()
 		return
 	}
@@ -552,7 +668,7 @@ func (s *Server) enqueueRetry(j *job) {
 		j.state = StateFailed
 		j.errMsg = "retry abandoned: queue full"
 		j.reason = "queue_full"
-		j.finished = time.Now()
+		s.finishJobLocked(j)
 		s.met.failed.Inc()
 	}
 }
@@ -574,6 +690,7 @@ func (s *Server) execute(ctx context.Context, j *job) (res *JobResult, err error
 		MemoryBudget:   s.cfg.EngineMemoryBudget,
 		IntegrityEvery: s.cfg.IntegrityEvery,
 		Faults:         s.cfg.Faults,
+		TraceWriter:    s.tw, // nil without Config.TraceJSONL; shared so gate events and spans interleave safely
 	})
 	st, err := sim.RunContext(ctx, j.circ)
 	if err != nil {
@@ -609,7 +726,7 @@ func (s *Server) Cancel(id string) (found, canceled bool) {
 	case StateQueued:
 		j.state = StateCanceled
 		j.errMsg = core.ErrCanceled.Error()
-		j.finished = time.Now()
+		s.finishJobLocked(j)
 		s.met.canceled.Inc()
 		return true, true
 	case StateRunning:
@@ -638,7 +755,7 @@ func (s *Server) Shutdown() {
 		if j.state == StateQueued {
 			j.state = StateCanceled
 			j.errMsg = core.ErrCanceled.Error() + " (server draining)"
-			j.finished = time.Now()
+			s.finishJobLocked(j)
 			s.met.canceled.Inc()
 		}
 	}
@@ -667,6 +784,7 @@ func (s *Server) Shutdown() {
 	if s.ownPool {
 		s.pool.Close()
 	}
+	s.tw.Flush() //nolint:errcheck // trace output is best-effort
 }
 
 // Draining reports whether Shutdown has begun.
