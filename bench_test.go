@@ -307,7 +307,7 @@ func BenchmarkAblationApproxOn(b *testing.B) {
 // is a single nil check — and the enabled case bounds the worst-case cost
 // of running with -listen / -trace-out. Recorded in EXPERIMENTS.md.
 
-func benchObsOverhead(b *testing.B, r *obs.Registry) {
+func benchObsOverhead(b *testing.B, r *obs.Registry, led *obs.ResourceLedger) {
 	c := benchDNN()
 	n := c.Qubits
 	m := dd.New(n)
@@ -318,11 +318,23 @@ func benchObsOverhead(b *testing.B, r *obs.Registry) {
 	W := make([]complex128, len(V))
 	e := dmav.New(m, n, 4, dmav.Auto)
 	e.SetMetrics(r)
+	if led != nil {
+		led.Begin("dmav")
+		defer led.End()
+		e.SetLedger(led)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Apply(M, V, W)
 	}
 }
 
-func BenchmarkObsOverheadDMAVDisabled(b *testing.B) { benchObsOverhead(b, nil) }
-func BenchmarkObsOverheadDMAVEnabled(b *testing.B)  { benchObsOverhead(b, obs.New()) }
+func BenchmarkObsOverheadDMAVDisabled(b *testing.B) { benchObsOverhead(b, nil, nil) }
+func BenchmarkObsOverheadDMAVEnabled(b *testing.B)  { benchObsOverhead(b, obs.New(), nil) }
+
+// The ledger pair bounds the tentpole's attribution cost: CPU time is
+// credited per batch (pooled path) or per Apply (inline path), never per
+// amplitude, so Ledger must stay within ~2% of Enabled.
+func BenchmarkObsOverheadDMAVLedger(b *testing.B) {
+	benchObsOverhead(b, obs.New(), obs.NewResourceLedger())
+}

@@ -26,6 +26,7 @@ func run() int {
 	var (
 		threshold     = flag.Float64("threshold", perf.DefaultThreshold, "relative wall-time change below which a delta is noise")
 		minTime       = flag.Duration("min-time", 0, "cells faster than this on both sides are reported but never flagged")
+		memThreshold  = flag.Float64("mem-threshold", perf.DefaultMemThreshold, "relative peak-memory growth beyond which a cell regresses (cells without alloc_peak_bytes on both sides are exempt)")
 		failOnRegress = flag.Bool("fail-on-regress", false, "exit non-zero when any cell regresses (for CI)")
 		dir           = flag.String("dir", ".", "directory scanned for BENCH_*.json when records aren't given explicitly")
 	)
@@ -63,7 +64,11 @@ func run() int {
 			oldRec.Scale, newRec.Scale)
 	}
 
-	rep := perf.Diff(oldRec, newRec, perf.Options{Threshold: *threshold, MinWallNs: float64(minTime.Nanoseconds())})
+	rep := perf.Diff(oldRec, newRec, perf.Options{
+		Threshold:    *threshold,
+		MinWallNs:    float64(minTime.Nanoseconds()),
+		MemThreshold: *memThreshold,
+	})
 	rep.Render(os.Stdout)
 	if *failOnRegress && rep.Regressions() > 0 {
 		fmt.Fprintf(os.Stderr, "flatdd-benchdiff: %d regression(s) beyond the %.0f%% threshold\n",

@@ -48,8 +48,19 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "append span + per-gate trace events as JSONL to this file (empty = off)")
 		flight    = flag.Int("flight", 64, "flight recorder capacity: last N job span trees kept at /debug/jobs")
 		logFormat = flag.String("log-format", "text", "request log format on stderr: text, json, or off")
+		admission = flag.String("admission", serve.AdmissionWorstCase,
+			"dispatch-gate accounting: worstcase holds each job's static worst case; ledger releases down to the observed/projected footprint (higher concurrency under the same budget)")
+		totalMB = flag.Int("total-mem-budget-mb", 0, "process-wide concurrent-memory budget in MiB for the dispatch gate (0 = inflight x mem-budget-mb)")
+		slo     = flag.Duration("slo", 0, "per-job run-time SLO for anomaly profiling (0 = derive from windowed p99)")
+		profDir = flag.String("profile-dir", "", "capture pprof CPU+heap profiles on job anomalies into this directory, served at /debug/profiles (empty = off)")
+		profWin = flag.Duration("profile-window", 5*time.Minute, "minimum spacing between anomaly captures")
 	)
 	flag.Parse()
+	if *admission != serve.AdmissionWorstCase && *admission != serve.AdmissionLedger {
+		fmt.Fprintf(os.Stderr, "flatdd-serve: unknown -admission %q (want %s or %s)\n",
+			*admission, serve.AdmissionWorstCase, serve.AdmissionLedger)
+		os.Exit(2)
+	}
 
 	var traceW io.Writer
 	if *traceOut != "" {
@@ -89,6 +100,11 @@ func main() {
 		TraceJSONL:         traceW,
 		FlightRecorderSize: *flight,
 		Logger:             logger,
+		AdmissionMode:      *admission,
+		TotalMemoryBudget:  uint64(*totalMB) << 20,
+		SLOTarget:          *slo,
+		ProfileDir:         *profDir,
+		ProfileWindow:      *profWin,
 	})
 
 	ln, err := net.Listen("tcp", *listen)

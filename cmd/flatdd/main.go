@@ -222,6 +222,7 @@ func main() {
 			fmt.Printf("approximation: %d pruning passes, fidelity >= %.6f\n",
 				st.Approximations, st.Fidelity)
 		}
+		printResources(st.Resources)
 		printMetrics(reg.Snapshot())
 		printTop(sim.TopAmplitudes(*top), c.Qubits)
 		if *shots > 0 {
@@ -252,6 +253,40 @@ func loadCircuit(qasmPath, name string, n int, seed int64) (*circuit.Circuit, er
 		return workloads.Build(name, n, seed)
 	default:
 		return nil, fmt.Errorf("nothing to simulate: pass -qasm <file> or -circuit <name>")
+	}
+}
+
+// printResources renders the run's resource-ledger breakdown: what each
+// engine phase cost in CPU time, allocation, and live memory.
+func printResources(res *obs.LedgerSnapshot) {
+	if res == nil || len(res.Phases) == 0 {
+		return
+	}
+	fmt.Println("resources:")
+	fmt.Printf("  %-8s %12s %12s %12s %12s\n", "phase", "wall", "cpu", "alloc", "peak mem")
+	for _, pc := range res.Phases {
+		fmt.Printf("  %-8s %12v %12v %12s %12s\n",
+			pc.Phase, time.Duration(pc.WallNs).Round(time.Microsecond),
+			time.Duration(pc.CPUNs).Round(time.Microsecond),
+			fmtBytes(pc.AllocBytes), fmtBytes(pc.PeakDDBytes+pc.PeakFlatBytes))
+	}
+	fmt.Printf("  %-8s %12v %12v %12s %12s   (gc cycles: %d)\n",
+		"total", time.Duration(res.WallNs).Round(time.Microsecond),
+		time.Duration(res.CPUNs).Round(time.Microsecond),
+		fmtBytes(res.AllocBytes), fmtBytes(res.PeakBytes), res.GCCycles)
+}
+
+// fmtBytes renders a byte quantity with adaptive binary units.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
 	}
 }
 

@@ -130,6 +130,15 @@ func ParallelIntoPoolCancel(e dd.VEdge, n int, p *sched.Pool, out []complex128, 
 // itself receives the plan shape (task and scale-op counts). A nil span
 // is exactly ParallelIntoPoolCancel.
 func ParallelIntoPoolSpan(e dd.VEdge, n int, p *sched.Pool, out []complex128, m *Metrics, cancel func() bool, span *obs.Span) (bool, error) {
+	return ParallelIntoPoolTracked(e, n, p, out, m, cancel, span, nil)
+}
+
+// ParallelIntoPoolTracked is ParallelIntoPoolSpan plus resource
+// attribution: when led is non-nil the scheduler credits each batch's
+// worker busy-ns to the ledger's open phase, so the conversion's CPU
+// cost lands on the convert phase of the job that ran it. A nil led is
+// exactly ParallelIntoPoolSpan.
+func ParallelIntoPoolTracked(e dd.VEdge, n int, p *sched.Pool, out []complex128, m *Metrics, cancel func() bool, span *obs.Span, led *obs.ResourceLedger) (bool, error) {
 	if uint64(len(out)) != uint64(1)<<uint(n) {
 		return false, fmt.Errorf("convert: output length %d, want %d", len(out), uint64(1)<<uint(n))
 	}
@@ -164,14 +173,14 @@ func ParallelIntoPoolSpan(e dd.VEdge, n int, p *sched.Pool, out []complex128, m 
 		span.SetAttr("tasks", len(tasks))
 		span.SetAttr("scales", len(scales))
 	}
-	p.RunSpanned(span, "convert.batch", tasks)
+	p.RunTracked(span, "convert.batch", led, tasks)
 	completed := cancel == nil || !cancel()
 	// Innermost-first: a scale discovered later lies inside the source
 	// region of one discovered earlier (DFS order), never the other way
 	// round, so the reverse order guarantees every source is complete
 	// before it is read.
 	for i := len(scales) - 1; i >= 0 && completed; i-- {
-		runScale(p, scales[i], m)
+		runScale(p, scales[i], m, led)
 		if cancel != nil && cancel() {
 			completed = false
 		}
@@ -253,7 +262,7 @@ func timedTask(m *Metrics, f func()) sched.Task {
 
 // runScale executes one scaleOp, split across the pool when the region
 // is large enough to be worth it.
-func runScale(p *sched.Pool, s scaleOp, m *Metrics) {
+func runScale(p *sched.Pool, s scaleOp, m *Metrics, led *obs.ResourceLedger) {
 	n := len(s.dst)
 	threads := p.Threads()
 	if threads > n {
@@ -261,7 +270,13 @@ func runScale(p *sched.Pool, s scaleOp, m *Metrics) {
 	}
 	if threads <= 1 || n < 1024 {
 		t := timedTask(m, func() { scalarMul(s.dst, s.src, s.f) })
-		t()
+		if led != nil {
+			t0 := time.Now()
+			t()
+			led.AddCPU(time.Since(t0).Nanoseconds())
+		} else {
+			t()
+		}
 		return
 	}
 	tasks := make([]sched.Task, 0, threads)
@@ -274,7 +289,7 @@ func runScale(p *sched.Pool, s scaleOp, m *Metrics) {
 		}
 		tasks = append(tasks, timedTask(m, func() { scalarMul(s.dst[lo:hi], s.src[lo:hi], s.f) }))
 	}
-	p.Run(tasks)
+	p.RunTracked(nil, "", led, tasks)
 }
 
 // convSeq is the single-threaded conversion of a sub-tree: no goroutines,

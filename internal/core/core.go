@@ -270,6 +270,14 @@ type Options struct {
 	// (tests only; production runs leave it nil and pay one pointer
 	// check per hook site).
 	Faults *faults.Registry
+	// Ledger, when non-nil, is the resource ledger the run reports into:
+	// per-phase CPU time (scheduler busy-ns for pooled phases, wall time
+	// for the sequential ones), allocation deltas sampled at phase
+	// boundaries, peak DD node count, and live flat-array bytes. When
+	// nil, the run creates a private ledger so Stats.Resources is always
+	// populated; pass one to observe phase costs live (the serve layer's
+	// ledger-based admission does).
+	Ledger *obs.ResourceLedger
 }
 
 func (o *Options) withDefaults() Options {
@@ -359,6 +367,10 @@ type Stats struct {
 	DegradedReason string
 	// IntegrityChecks counts the DMAV-phase integrity sweeps performed.
 	IntegrityChecks int
+	// Resources is the run's resource-ledger snapshot: per-phase CPU
+	// time, allocation deltas, and peak DD/flat memory. Populated by
+	// RunContext on every terminal path (success, abort, fault).
+	Resources *obs.LedgerSnapshot
 }
 
 // Simulator is a FlatDD hybrid simulator for one register size.
@@ -388,9 +400,11 @@ type Simulator struct {
 	stats Stats
 
 	// Observability (nil when Options.Metrics / Options.TraceJSONL are
-	// unset).
+	// unset). led is never nil: New falls back to a private ledger so
+	// resource attribution is always available in Stats.Resources.
 	met *coreMetrics
 	tw  *obs.TraceWriter
+	led *obs.ResourceLedger
 }
 
 // coreMetrics holds the phase-loop registry handles (metric names in
@@ -469,6 +483,10 @@ func New(n int, opts Options) *Simulator {
 		s.met.convertedAt.Set(-1)
 	}
 	s.convertAlloc = o.Faults.Point(faults.CoreConvertAlloc)
+	s.led = o.Ledger
+	if s.led == nil {
+		s.led = obs.NewResourceLedger()
+	}
 	if o.TraceWriter != nil {
 		s.tw = o.TraceWriter
 	} else if o.TraceJSONL != nil {
@@ -600,13 +618,20 @@ func (s *Simulator) runContext(ctx context.Context, c *circuit.Circuit, start ti
 
 	// Phase 1: DD-based simulation with conversion monitoring.
 	ddSpan := span.Child("phase.dd")
+	s.led.Begin("dd")
 	endDD := func(gates int) {
+		// The DD loop is sequential on this goroutine, so its CPU time is
+		// its wall time (already computed into Stats.DDTime by callers).
+		s.led.AddCPU(s.stats.DDTime.Nanoseconds())
+		pc, _ := s.led.End()
 		if ddSpan == nil {
 			return
 		}
 		ddSpan.SetAttr("gates", gates)
 		ddSpan.SetAttr("dd_size", s.stats.FinalDDSize)
 		ddSpan.SetAttr("ewma", s.stats.ControllerEnd)
+		ddSpan.SetAttr("cpu_ns", pc.CPUNs)
+		ddSpan.SetAttr("alloc_bytes", pc.AllocBytes)
 		if s.stats.Degraded {
 			ddSpan.SetAttr("degraded", s.stats.DegradedReason)
 		}
@@ -632,6 +657,7 @@ func (s *Simulator) runContext(ctx context.Context, c *circuit.Circuit, start ti
 				size = s.m.VSize(approx)
 			}
 		}
+		s.led.ObserveDD(int64(size), uint64(size)*dd.NodeBytes)
 		convertNow := ctl.Observe(size)
 		if s.opts.DisableConversion || s.suppressConvert {
 			convertNow = false
@@ -688,33 +714,42 @@ func (s *Simulator) runContext(ctx context.Context, c *circuit.Circuit, start ti
 		convSpan.SetAttr("amps", uint64(1)<<uint(s.n))
 		convSpan.SetAttr("sequential", s.opts.SequentialConversion)
 	}
+	s.led.Begin("convert")
 	convStart := time.Now()
 	s.state = make([]complex128, uint64(1)<<uint(s.n))
+	s.led.AddFlat(int64(len(s.state)) * 16)
 	converted := true
 	if s.opts.SequentialConversion {
 		s.m.FillArray(s.sim.State(), s.n, s.state)
 		converted = !check()
+		s.led.AddCPU(time.Since(convStart).Nanoseconds())
 	} else {
-		ok, cerr := convert.ParallelIntoPoolSpan(s.sim.State(), s.n, pool, s.state,
-			convert.NewMetrics(s.opts.Metrics), taskCheck, convSpan)
+		ok, cerr := convert.ParallelIntoPoolTracked(s.sim.State(), s.n, pool, s.state,
+			convert.NewMetrics(s.opts.Metrics), taskCheck, convSpan, s.led)
 		if cerr != nil {
 			// Internal invariant (we sized the array ourselves), but
 			// contain rather than crash: surface it as an engine fault.
+			s.led.AddFlat(-int64(len(s.state)) * 16)
 			s.state = nil
 			convSpan.End()
+			s.finishStats(start)
 			return s.stats, newEngineFault(cerr)
 		}
 		converted = ok && !check()
 	}
 	s.stats.ConversionTime = time.Since(convStart)
+	convCost, _ := s.led.End()
 	if convSpan != nil {
 		convSpan.SetAttr("completed", converted)
+		convSpan.SetAttr("cpu_ns", convCost.CPUNs)
+		convSpan.SetAttr("alloc_bytes", convCost.AllocBytes)
 		convSpan.End()
 	}
 	if !converted {
 		// Aborted mid-conversion: drop the partial array and stay in the
 		// DD phase (the state DD is untouched), so the simulator remains
 		// queryable.
+		s.led.AddFlat(-int64(len(s.state)) * 16)
 		s.state = nil
 		return s.abort(ctx, start)
 	}
@@ -725,27 +760,37 @@ func (s *Simulator) runContext(ctx context.Context, c *circuit.Circuit, start ti
 	}
 	s.phase = PhaseDMAV
 	s.buf = make([]complex128, len(s.state))
+	s.led.AddFlat(int64(len(s.buf)) * 16)
 	s.eng = dmav.New(s.m, s.n, s.opts.Threads, s.opts.CacheMode)
 	s.eng.SetMetrics(s.opts.Metrics)
 	s.eng.SetPool(pool)
 	s.eng.SetCancel(taskCheck)
 	s.eng.SetFaults(s.opts.Faults)
+	s.eng.SetLedger(s.led)
 
 	// Release the DD state: only gate matrices stay live from here on.
 	s.sim.SetState(s.m.VZeroEdge())
 	s.m.Collect(dd.Roots{})
+	nc := s.m.NodeCount()
+	s.led.ObserveDD(int64(nc), uint64(nc)*dd.NodeBytes)
 
 	// Phase 3: build (and optionally fuse) the remaining gate matrices.
 	fuseSpan := span.Child("phase.fuse")
+	s.led.Begin("fuse")
 	fuseStart := time.Now()
 	remaining := make([]dd.MEdge, 0, len(c.Gates)-i)
 	endFuse := func() {
+		// The fuse pass is sequential on this goroutine: wall == CPU.
+		s.led.AddCPU(s.stats.FusionTime.Nanoseconds())
+		pc, _ := s.led.End()
 		if fuseSpan == nil {
 			return
 		}
 		fuseSpan.SetAttr("mode", s.opts.Fusion.String())
 		fuseSpan.SetAttr("gates_in", len(c.Gates)-i)
 		fuseSpan.SetAttr("gates_out", len(remaining))
+		fuseSpan.SetAttr("cpu_ns", pc.CPUNs)
+		fuseSpan.SetAttr("alloc_bytes", pc.AllocBytes)
 		fuseSpan.End()
 	}
 	roots := dd.Roots{}
@@ -759,6 +804,8 @@ func (s *Simulator) runContext(ctx context.Context, c *circuit.Circuit, start ti
 		remaining = append(remaining, g)
 		roots.M = append(roots.M, g)
 		s.m.CollectIfNeeded(roots)
+		nc := s.m.NodeCount()
+		s.led.ObserveDD(int64(nc), uint64(nc)*dd.NodeBytes)
 	}
 	costFn := func(g dd.MEdge) float64 { return s.eng.EvaluateCost(g).Cost() }
 	switch s.opts.Fusion {
@@ -773,11 +820,23 @@ func (s *Simulator) runContext(ctx context.Context, c *circuit.Circuit, start ti
 	}
 	s.stats.FusionTime = time.Since(fuseStart)
 	s.stats.FusedGates = len(remaining)
+	// Projection for admission release: from here to the end of the run
+	// the job needs the state+scratch arrays, the DMAV cached path's
+	// partial buffers (one register's worth when caching is possible),
+	// and the surviving gate-matrix DDs — far below the 48·2^n worst
+	// case for most circuits.
+	proj := uint64(32) << uint(s.n)
+	if s.opts.CacheMode != dmav.NeverCache {
+		proj += uint64(16) << uint(s.n)
+	}
+	proj += uint64(s.m.NodeCount()) * dd.NodeBytes
+	s.led.SetProjection(proj)
 	endFuse()
 
 	// Phase 4: DMAV over the flat state.
 	dmavSpan := span.Child("phase.dmav")
 	s.eng.SetSpan(dmavSpan)
+	s.led.Begin("dmav")
 	dmavStart := time.Now()
 	gateIdx := i
 	aborted := false
@@ -827,11 +886,14 @@ func (s *Simulator) runContext(ctx context.Context, c *circuit.Circuit, start ti
 	}
 	s.stats.DMAVTime = time.Since(dmavStart)
 	s.stats.DMAVStats = s.eng.Stats()
+	dmavCost, _ := s.led.End()
 	if dmavSpan != nil {
 		dmavSpan.SetAttr("gates", s.stats.DMAVStats.Gates)
 		dmavSpan.SetAttr("cached_gates", s.stats.DMAVStats.CachedGates)
 		dmavSpan.SetAttr("cache_hits", s.stats.DMAVStats.CacheHits)
 		dmavSpan.SetAttr("aborted", aborted)
+		dmavSpan.SetAttr("cpu_ns", dmavCost.CPUNs)
+		dmavSpan.SetAttr("alloc_bytes", dmavCost.AllocBytes)
 		dmavSpan.End()
 	}
 	if runErr != nil {
@@ -931,14 +993,16 @@ func (s *Simulator) finishStats(start time.Time) {
 		s.stats.Fidelity = c * c
 	}
 	s.stats.PeakDDNodes = s.m.PeakNodeCount()
-	// Working-set estimate: DD nodes (vector nodes: 2 edges of 24 bytes +
-	// header ≈ 64 B; matrix nodes ≈ 112 B; use 96 B as a blended figure)
-	// plus the flat arrays of the DMAV phase.
-	mem := uint64(s.stats.PeakDDNodes) * 96
+	// Working-set estimate: DD nodes at the blended per-node footprint
+	// (dd.NodeBytes) plus the flat arrays of the DMAV phase.
+	mem := uint64(s.stats.PeakDDNodes) * dd.NodeBytes
 	if s.phase == PhaseDMAV {
 		mem += uint64(len(s.state)) * 16 * 2 // state + scratch
 	}
 	s.stats.MemoryBytes = mem
+	s.led.End()
+	snap := s.led.Snapshot()
+	s.stats.Resources = &snap
 	if s.tw != nil {
 		s.tw.Emit(runRecord{
 			Event:       "run",

@@ -119,6 +119,13 @@ func (m *Manager) MZeroEdge() MEdge { return MEdge{0, m.mTerminal} }
 // MOneEdge returns the weight-1 terminal matrix edge (scalar 1).
 func (m *Manager) MOneEdge() MEdge { return MEdge{1, m.mTerminal} }
 
+// NodeBytes is the modeled per-node footprint used for DD-engine memory
+// estimates (vector nodes ~64 B, matrix nodes ~112 B; blended). Every
+// layer that converts node counts to bytes — core's peak-memory stats,
+// the harness's reported footprint, the resource ledger — multiplies by
+// this one constant so the estimates agree.
+const NodeBytes = 96
+
 // NodeCount returns the number of live unique nodes (vector + matrix),
 // excluding terminals.
 func (m *Manager) NodeCount() int { return len(m.vUnique) + len(m.mUnique) }

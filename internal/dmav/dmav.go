@@ -180,6 +180,11 @@ type Engine struct {
 	// stream. Nil (the default) keeps the batches span-free.
 	span *obs.Span
 
+	// led, when non-nil, receives the engine's resource attribution:
+	// pool-batch busy-ns via the scheduler and partial-buffer bytes as
+	// they are allocated. Nil (the default) keeps batches ledger-free.
+	led *obs.ResourceLedger
+
 	stats Stats
 
 	// met is nil when metrics are off: Apply gates all instrumentation
@@ -345,6 +350,13 @@ func (e *Engine) cancelled() bool { return e.cancel != nil && e.cancel() }
 // not per gate.
 func (e *Engine) SetSpan(s *obs.Span) { e.span = s }
 
+// SetLedger installs the resource ledger the engine reports into (nil
+// removes it — the production default). Pool batches credit their
+// worker busy-ns to the ledger's open phase, and the cached path's
+// shared partial-output buffers are counted as live flat-array bytes
+// when (re)allocated. Like SetSpan, it is set per run, not per gate.
+func (e *Engine) SetLedger(l *obs.ResourceLedger) { e.led = l }
+
 // SetBufferSharing enables or disables the shared partial-output buffers
 // of Algorithm 2 (enabled by default; disabling is for ablation studies).
 func (e *Engine) SetBufferSharing(on bool) { e.noBufferShare = !on }
@@ -439,11 +451,21 @@ func (e *Engine) Apply(M dd.MEdge, V, W []complex128) (GateCost, error) {
 	case AlwaysCache:
 		useCache = true
 	}
+	// Inline execution never touches the pool, so its CPU time would be
+	// invisible to the ledger's batch-level busy accounting; credit the
+	// apply wall time instead (single-threaded, so wall == CPU).
+	var ledStart time.Time
+	if e.led != nil && e.inline() {
+		ledStart = time.Now()
+	}
 	var hits int64
 	if useCache {
 		hits = e.applyCached(M, V, W)
 	} else {
 		e.applyUncached(M, V, W, cost.K1)
+	}
+	if !ledStart.IsZero() {
+		e.led.AddCPU(time.Since(ledStart).Nanoseconds())
 	}
 	if e.cancelled() {
 		// Aborted mid-gate: W is partial and the caller discards it, so
@@ -596,7 +618,7 @@ func (e *Engine) applyUncached(M dd.MEdge, V, W []complex128, k1 int64) {
 		})
 	}
 	e.execTasks = ts
-	e.pool.RunSpanned(e.span, "dmav.rows", ts)
+	e.pool.RunTracked(e.span, "dmav.rows", e.led, ts)
 }
 
 // assignRows builds the uncached path's row-space chunk plan: starting
@@ -693,6 +715,7 @@ func (e *Engine) applyCached(M dd.MEdge, V, W []complex128) int64 {
 	// (Re)allocate and zero the shared partial-output buffers.
 	for len(e.buffers) < nBuf {
 		e.buffers = append(e.buffers, make([]complex128, e.dim))
+		e.led.AddFlat(int64(e.dim) * 16)
 	}
 	for b := 0; b < nBuf; b++ {
 		zero(e.buffers[b])
@@ -746,7 +769,7 @@ func (e *Engine) applyCached(M dd.MEdge, V, W []complex128) int64 {
 			ts = append(ts, func() { runChunk(u) })
 		}
 		e.execTasks = ts
-		e.pool.RunSpanned(e.span, "dmav.chunks", ts)
+		e.pool.RunTracked(e.span, "dmav.chunks", e.led, ts)
 	}
 
 	e.sumBuffers(W, nBuf)
@@ -804,7 +827,7 @@ func (e *Engine) sumBuffers(W []complex128, nBuf int) {
 		})
 	}
 	e.sumTasks = ts
-	e.pool.RunSpanned(e.span, "dmav.sum", ts)
+	e.pool.RunTracked(e.span, "dmav.sum", e.led, ts)
 }
 
 // assignCache populates e.tasks with column-space border tasks

@@ -15,6 +15,7 @@ import (
 
 	"flatdd/internal/circuit"
 	"flatdd/internal/core"
+	"flatdd/internal/dd"
 	"flatdd/internal/ddsim"
 	"flatdd/internal/obs"
 	"flatdd/internal/statevec"
@@ -44,9 +45,10 @@ type Result struct {
 	Metrics *obs.Snapshot
 }
 
-// ddNodeBytes is the modeled per-node footprint used for DD-engine memory
-// estimates (vector nodes ~64 B, matrix nodes ~112 B; blended).
-const ddNodeBytes = 96
+// ddNodeBytes aliases the shared per-node footprint model (see
+// dd.NodeBytes) so harness memory estimates agree with core and the
+// resource ledger.
+const ddNodeBytes = dd.NodeBytes
 
 // RunFlatDD runs the hybrid engine with the given options and timeout.
 // The timeout rides on the run context (core.RunContext); a run that

@@ -2,16 +2,18 @@ package harness
 
 import (
 	"fmt"
-	"runtime"
 	"time"
 
 	"flatdd/internal/core"
+	"flatdd/internal/obs"
 	"flatdd/internal/perf"
 )
 
 // memDelta is the per-repetition allocation cost of one benchmark cell,
-// from runtime.MemStats (process-wide, so only meaningful because cells
-// run one at a time).
+// from the runtime/metrics allocation sampler (process-wide, so only
+// meaningful because cells run one at a time). Unlike the former
+// runtime.ReadMemStats path this does not stop the world, so sampling
+// at cell boundaries is free even inside timed regions.
 type memDelta struct {
 	allocBytes uint64
 	mallocs    uint64
@@ -30,9 +32,9 @@ func (c Config) runReps(run func() Result) (Result, perf.Stat, memDelta) {
 		reps = 1
 	}
 	prev := c.Metrics.Snapshot()
-	var ms0 runtime.MemStats
+	var as0 obs.AllocSample
 	if c.Record != nil {
-		runtime.ReadMemStats(&ms0)
+		as0 = obs.ReadAllocSample()
 	}
 	var last Result
 	timedOut := false
@@ -45,10 +47,9 @@ func (c Config) runReps(run func() Result) (Result, perf.Stat, memDelta) {
 	last.TimedOut = timedOut
 	var md memDelta
 	if c.Record != nil {
-		var ms1 runtime.MemStats
-		runtime.ReadMemStats(&ms1)
-		md.allocBytes = (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(reps)
-		md.mallocs = (ms1.Mallocs - ms0.Mallocs) / uint64(reps)
+		d := obs.ReadAllocSample().Sub(as0)
+		md.allocBytes = d.Bytes / uint64(reps)
+		md.mallocs = d.Objects / uint64(reps)
 	}
 	if c.Metrics != nil {
 		d := c.Metrics.Snapshot().Delta(prev)
@@ -78,6 +79,10 @@ func (c Config) recordCell(exp string, r Result, wall perf.Stat, md memDelta, th
 	}
 	if r.Stats != nil {
 		cell.PeakDDNodes = r.Stats.PeakDDNodes
+		if res := r.Stats.Resources; res != nil {
+			cell.AllocPeakBytes = res.PeakBytes
+			cell.CPUNs = res.CPUNs
+		}
 	}
 	if r.Metrics != nil {
 		hits := r.Metrics.Counters["dmav.cache.hits"]

@@ -30,6 +30,9 @@ type JobTrace struct {
 	Spans      []SpanRecord `json:"spans"`
 	// DroppedSpans counts spans lost to the per-trace collection cap.
 	DroppedSpans int `json:"dropped_spans,omitempty"`
+	// Ledger is the job's resource-ledger snapshot at finish time, when
+	// the recording layer attributes resources per job.
+	Ledger *LedgerSnapshot `json:"ledger,omitempty"`
 }
 
 // FlightRecorder holds the last N job traces per class. Use

@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProfileRing captures pprof heap + CPU profiles into a bounded on-disk
+// ring when something anomalous happens (an SLO breach, a degradation,
+// a fault), rate-limited so a storm of anomalies produces at most one
+// capture per window. The ring keeps the last `capacity` captures:
+// older profile files are deleted as newer ones arrive, so a long-lived
+// server's anomaly evidence is bounded on disk the same way the flight
+// recorder is bounded in memory.
+//
+// The nil *ProfileRing is a valid no-op (Capture returns false).
+
+// ProfileCapture describes one capture in the ring.
+type ProfileCapture struct {
+	Seq    int       `json:"seq"`
+	Reason string    `json:"reason"`
+	At     time.Time `json:"at"`
+	// HeapFile/CPUFile are file names inside the ring directory, served
+	// by Handler via ?file=.
+	HeapFile string `json:"heap_file,omitempty"`
+	CPUFile  string `json:"cpu_file,omitempty"`
+	// Err records a partial capture (e.g. CPU profiling already active —
+	// only one CPU profile can run per process).
+	Err string `json:"error,omitempty"`
+}
+
+// ProfileRing is created with NewProfileRing; the zero value captures
+// nothing.
+type ProfileRing struct {
+	dir      string
+	capacity int
+	window   time.Duration
+	cpuDur   time.Duration
+
+	mu   sync.Mutex
+	last time.Time
+	seq  int
+	caps []ProfileCapture
+
+	now func() time.Time // injectable for tests
+	wg  sync.WaitGroup   // outstanding async CPU captures
+}
+
+// NewProfileRing returns a ring writing into dir (created if missing).
+// capacity < 1 defaults to 8 retained captures; window <= 0 defaults to
+// 5 minutes between captures; cpuDur <= 0 defaults to a 250ms CPU
+// profile window (the heap profile is instantaneous).
+func NewProfileRing(dir string, capacity int, window, cpuDur time.Duration) (*ProfileRing, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("obs: profile ring needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if capacity < 1 {
+		capacity = 8
+	}
+	if window <= 0 {
+		window = 5 * time.Minute
+	}
+	if cpuDur <= 0 {
+		cpuDur = 250 * time.Millisecond
+	}
+	return &ProfileRing{
+		dir:      dir,
+		capacity: capacity,
+		window:   window,
+		cpuDur:   cpuDur,
+		now:      time.Now,
+	}, nil
+}
+
+// Capture takes one heap profile now and starts a short CPU profile in
+// the background, unless a capture already happened within the rate
+// window. It reports whether a capture was actually taken, so callers
+// can count suppressed triggers. Safe for concurrent use; the disk I/O
+// of the heap profile happens under the ring's lock (captures are rare
+// by construction).
+func (p *ProfileRing) Capture(reason string) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	if !p.last.IsZero() && now.Sub(p.last) < p.window {
+		return false
+	}
+	p.last = now
+	p.seq++
+	c := ProfileCapture{Seq: p.seq, Reason: reason, At: now}
+	base := fmt.Sprintf("%06d-%s", c.Seq, sanitizeReason(reason))
+
+	heapPath := base + ".heap.pb.gz"
+	if err := p.writeHeap(filepath.Join(p.dir, heapPath)); err != nil {
+		c.Err = "heap: " + err.Error()
+	} else {
+		c.HeapFile = heapPath
+	}
+
+	p.caps = append(p.caps, c)
+	p.rotateLocked()
+
+	if p.cpuDur > 0 {
+		seq := c.Seq
+		cpuPath := base + ".cpu.pb.gz"
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			err := p.writeCPU(filepath.Join(p.dir, cpuPath))
+			p.mu.Lock()
+			attached := false
+			for i := range p.caps {
+				if p.caps[i].Seq != seq {
+					continue
+				}
+				attached = true
+				if err != nil {
+					if p.caps[i].Err != "" {
+						p.caps[i].Err += "; "
+					}
+					p.caps[i].Err += "cpu: " + err.Error()
+				} else {
+					p.caps[i].CPUFile = cpuPath
+				}
+			}
+			p.mu.Unlock()
+			if !attached && err == nil {
+				// The capture was evicted while the CPU profile ran; its
+				// file would otherwise be orphaned on disk.
+				os.Remove(filepath.Join(p.dir, cpuPath)) //nolint:errcheck // best-effort rotation
+			}
+		}()
+	}
+	return true
+}
+
+// Sync waits for any in-flight background CPU capture (tests, drain).
+func (p *ProfileRing) Sync() {
+	if p != nil {
+		p.wg.Wait()
+	}
+}
+
+func (p *ProfileRing) writeHeap(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := pprof.WriteHeapProfile(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// writeCPU runs a short CPU profile. Only one CPU profile can be active
+// per process (StartCPUProfile errors otherwise — e.g. under `go test
+// -cpuprofile` or a concurrent /debug/pprof/profile scrape); the error
+// is reported on the capture and the file removed, never fatal.
+func (p *ProfileRing) writeCPU(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()       //nolint:errcheck // removing anyway
+		os.Remove(path) //nolint:errcheck // best-effort cleanup
+		return err
+	}
+	time.Sleep(p.cpuDur)
+	pprof.StopCPUProfile()
+	return f.Close()
+}
+
+// rotateLocked evicts captures beyond capacity, oldest first, deleting
+// their files. Caller holds p.mu.
+func (p *ProfileRing) rotateLocked() {
+	for len(p.caps) > p.capacity {
+		old := p.caps[0]
+		p.caps = p.caps[1:]
+		for _, name := range []string{old.HeapFile, old.CPUFile} {
+			if name != "" {
+				os.Remove(filepath.Join(p.dir, name)) //nolint:errcheck // best-effort rotation
+			}
+		}
+	}
+}
+
+// Captures returns the retained captures, newest first.
+func (p *ProfileRing) Captures() []ProfileCapture {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ProfileCapture, len(p.caps))
+	for i, c := range p.caps {
+		out[len(out)-1-i] = c
+	}
+	return out
+}
+
+// Dir returns the ring's directory ("" for a nil ring).
+func (p *ProfileRing) Dir() string {
+	if p == nil {
+		return ""
+	}
+	return p.dir
+}
+
+// knownFile reports whether name belongs to a retained capture — the
+// Handler's guard against serving arbitrary paths.
+func (p *ProfileRing) knownFile(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.caps {
+		if name != "" && (c.HeapFile == name || c.CPUFile == name) {
+			return true
+		}
+	}
+	return false
+}
+
+// Handler serves the ring:
+//
+//	GET /debug/profiles              — retained captures as JSON (newest first)
+//	GET /debug/profiles?file=<name>  — one profile file (pprof binary format)
+//
+// It works on a nil ring (empty list).
+func (p *ProfileRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if name := r.URL.Query().Get("file"); name != "" {
+			if p == nil || !p.knownFile(name) {
+				http.Error(w, "no such profile", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			http.ServeFile(w, r, filepath.Join(p.dir, name))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		caps := p.Captures()
+		if caps == nil {
+			caps = []ProfileCapture{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(caps) //nolint:errcheck // best-effort HTTP write
+	})
+}
+
+// sanitizeReason maps a capture reason onto a safe file-name fragment.
+func sanitizeReason(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+		if b.Len() >= 32 {
+			break
+		}
+	}
+	if b.Len() == 0 {
+		return "anomaly"
+	}
+	return b.String()
+}

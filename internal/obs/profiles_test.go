@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestRing builds a ring with a fake clock so the rate window is
+// deterministic under test.
+func newTestRing(t *testing.T, capacity int, window time.Duration) (*ProfileRing, *fakeClock) {
+	t.Helper()
+	p, err := NewProfileRing(t.TempDir(), capacity, window, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	p.now = clk.now
+	return p, clk
+}
+
+func TestProfileRingRateLimit(t *testing.T) {
+	p, clk := newTestRing(t, 8, time.Minute)
+	defer p.Sync()
+
+	if !p.Capture("slo_breach") {
+		t.Fatal("first capture suppressed")
+	}
+	// A storm inside the window: all suppressed.
+	for i := 0; i < 5; i++ {
+		if p.Capture("slo_breach") {
+			t.Fatal("capture inside the rate window not suppressed")
+		}
+	}
+	clk.advance(61 * time.Second)
+	if !p.Capture("degraded") {
+		t.Fatal("capture after the window suppressed")
+	}
+	if got := len(p.Captures()); got != 2 {
+		t.Errorf("retained %d captures, want 2", got)
+	}
+}
+
+func TestProfileRingRotates(t *testing.T) {
+	p, clk := newTestRing(t, 2, time.Second)
+	defer p.Sync()
+
+	for i := 0; i < 4; i++ {
+		if !p.Capture("failed") {
+			t.Fatalf("capture %d suppressed", i)
+		}
+		clk.advance(2 * time.Second)
+	}
+	p.Sync() // CPU captures done before counting files
+
+	caps := p.Captures()
+	if len(caps) != 2 {
+		t.Fatalf("retained %d captures, want capacity 2", len(caps))
+	}
+	// Newest first: seq 4 then 3.
+	if caps[0].Seq != 4 || caps[1].Seq != 3 {
+		t.Errorf("capture order = %d, %d; want 4, 3", caps[0].Seq, caps[1].Seq)
+	}
+	// Evicted captures' files are deleted from disk; survivors remain.
+	entries, err := os.ReadDir(p.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "000001-") || strings.HasPrefix(e.Name(), "000002-") {
+			t.Errorf("evicted profile %s still on disk", e.Name())
+		}
+	}
+	if len(entries) == 0 {
+		t.Error("no profile files on disk for retained captures")
+	}
+	for _, c := range caps {
+		if c.HeapFile == "" {
+			t.Errorf("capture %d has no heap profile: %+v", c.Seq, c)
+		}
+	}
+}
+
+func TestProfileRingHandler(t *testing.T) {
+	p, _ := newTestRing(t, 4, time.Minute)
+	defer p.Sync()
+	p.Capture("slo_breach")
+	p.Sync()
+
+	rr := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/profiles", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), "slo_breach") {
+		t.Errorf("list response %d: %s", rr.Code, rr.Body.String())
+	}
+
+	heap := p.Captures()[0].HeapFile
+	rr = httptest.NewRecorder()
+	p.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/profiles?file="+heap, nil))
+	if rr.Code != 200 || rr.Body.Len() == 0 {
+		t.Errorf("file response %d, %d bytes", rr.Code, rr.Body.Len())
+	}
+
+	// Unknown (and path-traversal) names are rejected.
+	for _, bad := range []string{"nope.pb.gz", "../../etc/passwd"} {
+		rr = httptest.NewRecorder()
+		p.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/profiles?file="+bad, nil))
+		if rr.Code != 404 {
+			t.Errorf("file=%q served with %d, want 404", bad, rr.Code)
+		}
+	}
+}
+
+func TestProfileRingSanitizesReason(t *testing.T) {
+	p, _ := newTestRing(t, 2, time.Minute)
+	defer p.Sync()
+	p.Capture("failed: ../weird reason!")
+	c := p.Captures()[0]
+	if strings.ContainsAny(c.HeapFile, "/\\ !:") {
+		t.Errorf("unsafe heap file name %q", c.HeapFile)
+	}
+}
+
+func TestProfileRingNilSafe(t *testing.T) {
+	var p *ProfileRing
+	if p.Capture("x") {
+		t.Error("nil ring captured")
+	}
+	p.Sync()
+	if p.Captures() != nil || p.Dir() != "" {
+		t.Error("nil ring not empty")
+	}
+	rr := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/profiles", nil))
+	if rr.Code != 200 {
+		t.Errorf("nil handler status %d", rr.Code)
+	}
+}
+
+func TestNewProfileRingValidation(t *testing.T) {
+	if _, err := NewProfileRing("", 1, 0, 0); err == nil {
+		t.Error("empty dir accepted")
+	}
+	p, err := NewProfileRing(t.TempDir(), 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.capacity != 8 || p.window != 5*time.Minute {
+		t.Errorf("defaults not applied: %+v", p)
+	}
+}

@@ -3,6 +3,8 @@ package obs
 import (
 	"bytes"
 	"net/http/httptest"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -35,6 +37,182 @@ func TestWritePrometheus(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q in:\n%s", want, out)
 		}
+	}
+}
+
+// TestPrometheusTextFormatStrict scans the full exposition line by line
+// and enforces the 0.0.4 text-format invariants a real Prometheus
+// scraper depends on, instead of spot-checking substrings: every sample
+// name is valid and preceded by its TYPE line, no name is emitted
+// twice, and every histogram has non-decreasing cumulative le buckets,
+// a terminal +Inf bucket, and _sum/_count with count equal to +Inf.
+func TestPrometheusTextFormatStrict(t *testing.T) {
+	validName := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]*)"\})? (-?[0-9.e+]+|NaN)$`)
+
+	for _, tc := range []struct {
+		name  string
+		fill  func(r *Registry)
+		hists []string // histogram base names expected in the output
+	}{
+		{
+			name: "counters and gauges only",
+			fill: func(r *Registry) {
+				r.Counter("dd.unique.v.hits").Add(12)
+				r.Gauge("sched.workers").Set(4)
+				r.FloatGauge("convert.efficiency").Set(0.875)
+			},
+		},
+		{
+			name: "histogram with all buckets hit",
+			fill: func(r *Registry) {
+				h := r.Histogram("lat", []int64{10, 100, 1000})
+				for _, v := range []int64{5, 50, 500, 5000} {
+					h.Observe(v)
+				}
+			},
+			hists: []string{"lat"},
+		},
+		{
+			name: "empty and sparse histograms",
+			fill: func(r *Registry) {
+				r.Histogram("empty", []int64{1, 2})
+				r.Histogram("sparse", []int64{10, 20, 30}).Observe(25)
+			},
+			hists: []string{"empty", "sparse"},
+		},
+		{
+			name: "mixed registry",
+			fill: func(r *Registry) {
+				r.Counter("serve.jobs.submitted").Add(3)
+				h := r.Histogram("serve.job.run_ns", DurationBuckets())
+				h.Observe(1_000_000)
+				h.Observe(2_500_000_000)
+			},
+			hists: []string{"serve_job_run_ns"},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := New()
+			tc.fill(r)
+			var buf bytes.Buffer
+			if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+				t.Fatal(err)
+			}
+
+			typed := map[string]string{} // metric name → declared type
+			seen := map[string]bool{}    // full sample identity → emitted
+			type histState struct {
+				buckets []float64 // bucket values in emission order
+				infSeen bool
+				inf     float64
+				sum     bool
+				count   float64
+				hasCnt  bool
+			}
+			hists := map[string]*histState{}
+
+			for ln, line := range strings.Split(buf.String(), "\n") {
+				if line == "" {
+					continue
+				}
+				if strings.HasPrefix(line, "# TYPE ") {
+					parts := strings.Fields(line)
+					if len(parts) != 4 {
+						t.Fatalf("line %d: malformed TYPE line %q", ln+1, line)
+					}
+					name, typ := parts[2], parts[3]
+					if !validName.MatchString(name) {
+						t.Fatalf("line %d: invalid metric name %q", ln+1, name)
+					}
+					if _, dup := typed[name]; dup {
+						t.Fatalf("line %d: duplicate TYPE for %q", ln+1, name)
+					}
+					typed[name] = typ
+					if typ == "histogram" {
+						hists[name] = &histState{}
+					}
+					continue
+				}
+				if strings.HasPrefix(line, "#") {
+					continue // comments are legal anywhere
+				}
+				m := sampleRe.FindStringSubmatch(line)
+				if m == nil {
+					t.Fatalf("line %d: unparsable sample line %q", ln+1, line)
+				}
+				name, le := m[1], m[3]
+				if seen[line] {
+					t.Fatalf("line %d: duplicate sample %q", ln+1, line)
+				}
+				seen[line] = true
+				v, err := strconv.ParseFloat(m[4], 64)
+				if err != nil {
+					t.Fatalf("line %d: bad value in %q: %v", ln+1, line, err)
+				}
+				base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+					"_bucket"), "_sum"), "_count")
+				if hs, ok := hists[base]; ok {
+					switch {
+					case strings.HasSuffix(name, "_bucket"):
+						if hs.infSeen {
+							t.Fatalf("line %d: bucket after +Inf for %q", ln+1, base)
+						}
+						if le == "+Inf" {
+							hs.infSeen, hs.inf = true, v
+						} else {
+							if _, err := strconv.ParseFloat(le, 64); err != nil {
+								t.Fatalf("line %d: non-numeric le %q", ln+1, le)
+							}
+							hs.buckets = append(hs.buckets, v)
+						}
+					case strings.HasSuffix(name, "_sum"):
+						hs.sum = true
+					case strings.HasSuffix(name, "_count"):
+						hs.hasCnt, hs.count = true, v
+					}
+					continue
+				}
+				// Non-histogram sample: its TYPE line must precede it.
+				if _, ok := typed[name]; !ok {
+					t.Fatalf("line %d: sample %q before its TYPE line", ln+1, name)
+				}
+				if le != "" {
+					t.Fatalf("line %d: le label on non-histogram %q", ln+1, name)
+				}
+				_ = v
+			}
+
+			for _, want := range tc.hists {
+				hs, ok := hists[promName(want)]
+				if !ok {
+					hs, ok = hists[want]
+				}
+				if !ok {
+					t.Fatalf("histogram %q missing from exposition:\n%s", want, buf.String())
+				}
+				if !hs.infSeen {
+					t.Errorf("histogram %q has no +Inf bucket", want)
+				}
+				if !hs.sum || !hs.hasCnt {
+					t.Errorf("histogram %q missing _sum/_count", want)
+				}
+				if hs.hasCnt && hs.inf != hs.count {
+					t.Errorf("histogram %q: +Inf bucket %v != count %v", want, hs.inf, hs.count)
+				}
+				last := -1.0
+				for i, b := range hs.buckets {
+					if b < last {
+						t.Errorf("histogram %q: bucket %d value %v < previous %v (not cumulative)",
+							want, i, b, last)
+					}
+					last = b
+				}
+				if hs.infSeen && hs.inf < last {
+					t.Errorf("histogram %q: +Inf %v below last finite bucket %v", want, hs.inf, last)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a WindowedHistogram deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func withClock(w *WindowedHistogram, c *fakeClock) *WindowedHistogram {
+	w.now = c.now
+	w.epoch = c.now()
+	return w
+}
+
+func TestWindowedHistogramMergesTwoEpochs(t *testing.T) {
+	clk := newFakeClock()
+	w := withClock(NewWindowedHistogram([]int64{10, 100}, time.Minute), clk)
+
+	w.Observe(5)
+	clk.advance(61 * time.Second) // into epoch 2: 5 rotates to prev
+	w.Observe(50)
+
+	snap := w.Snapshot()
+	if snap.Count != 2 {
+		t.Fatalf("merged count = %d, want 2 (current + previous epoch)", snap.Count)
+	}
+	if snap.Counts[0] != 1 || snap.Counts[1] != 1 {
+		t.Errorf("merged buckets = %v", snap.Counts)
+	}
+	if snap.Sum != 55 {
+		t.Errorf("merged sum = %d, want 55", snap.Sum)
+	}
+}
+
+func TestWindowedHistogramForgetsOldTraffic(t *testing.T) {
+	clk := newFakeClock()
+	w := withClock(NewWindowedHistogram([]int64{10, 100}, time.Minute), clk)
+
+	for i := 0; i < 100; i++ {
+		w.Observe(5) // a long healthy history
+	}
+	clk.advance(2 * time.Minute) // ≥ 2 windows: both epochs clear
+	w.Observe(99)
+
+	snap := w.Snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("count = %d, want 1 — old epoch leaked into the window", snap.Count)
+	}
+	// The regression is visible immediately: p99 sits in the second
+	// bucket, not at the historical value.
+	if q := snap.Quantile(0.99); q <= 10 {
+		t.Errorf("p99 = %v still reflects evicted history", q)
+	}
+}
+
+func TestWindowedHistogramQuietGapThenTraffic(t *testing.T) {
+	clk := newFakeClock()
+	w := withClock(NewWindowedHistogram([]int64{10}, time.Minute), clk)
+	w.Observe(1)
+	clk.advance(90 * time.Second) // 1.5 windows: shift, old epoch still visible
+	if got := w.Snapshot().Count; got != 1 {
+		t.Errorf("count after 1.5 windows = %d, want 1", got)
+	}
+	clk.advance(90 * time.Second) // another 1.5: the shifted epoch ages out
+	if got := w.Snapshot().Count; got != 0 {
+		t.Errorf("count after 3 windows = %d, want 0", got)
+	}
+}
+
+func TestWindowedHistogramDefaultsAndNil(t *testing.T) {
+	if w := NewWindowedHistogram([]int64{1}, 0); w.Window() != 5*time.Minute {
+		t.Errorf("default window = %v", w.Window())
+	}
+	var w *WindowedHistogram
+	w.Observe(1)
+	if snap := w.Snapshot(); snap.Count != 0 {
+		t.Error("nil snapshot non-empty")
+	}
+	if w.Window() != 0 {
+		t.Error("nil Window() non-zero")
+	}
+}

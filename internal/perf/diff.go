@@ -27,11 +27,21 @@ type Options struct {
 	// floor, a tiny-scale gate run flags a third of its cells between
 	// two runs of identical code. Zero means no floor.
 	MinWallNs float64
+	// MemThreshold is the relative growth of the ledger memory high-water
+	// (Cell.AllocPeakBytes) that flags a cell as a regression on its own,
+	// independent of wall time (default 0.25 = 25%). The high-water is a
+	// deterministic function of the engine's data structures — no
+	// stddev-style noise guard applies — but allocator rounding and DD
+	// pool growth granularity justify a wider threshold than wall time.
+	MemThreshold float64
 }
 
 // DefaultThreshold is the regression threshold when Options leaves it
-// unset.
-const DefaultThreshold = 0.10
+// unset; DefaultMemThreshold the memory high-water one.
+const (
+	DefaultThreshold    = 0.10
+	DefaultMemThreshold = 0.25
+)
 
 // CellDiff is one aligned cell pair. Delta is (new-old)/old on the mean
 // wall time (positive = slower). Noise is the run-to-run noise floor
@@ -53,12 +63,20 @@ type CellDiff struct {
 	// gate, not just a throughput gate.
 	TailDelta float64
 	HasTail   bool
+	// MemDelta is (new-old)/old on the ledger memory high-water
+	// (AllocPeakBytes); HasMem reports whether both records carry it. A
+	// memory regression flags the cell even at identical wall time — the
+	// high-water gate catches "faster but only because it doubled the
+	// working set".
+	MemDelta float64
+	HasMem   bool
 }
 
 // Report is the outcome of comparing two records.
 type Report struct {
-	Threshold float64
-	Diffs     []CellDiff
+	Threshold    float64
+	MemThreshold float64
+	Diffs        []CellDiff
 }
 
 // Diff aligns the cells of two records by key and classifies every pair.
@@ -68,7 +86,10 @@ func Diff(old, cur *Record, opts Options) Report {
 	if th <= 0 {
 		th = DefaultThreshold
 	}
-	rep := Report{Threshold: th}
+	if opts.MemThreshold <= 0 {
+		opts.MemThreshold = DefaultMemThreshold
+	}
+	rep := Report{Threshold: th, MemThreshold: opts.MemThreshold}
 
 	oldIdx := make(map[string]*Cell, len(old.Cells))
 	for i := range old.Cells {
@@ -84,7 +105,7 @@ func Diff(old, cur *Record, opts Options) Report {
 			continue
 		}
 		matched[k] = true
-		rep.Diffs = append(rep.Diffs, compareCells(k, oc, nc, th, opts.MinWallNs))
+		rep.Diffs = append(rep.Diffs, compareCells(k, oc, nc, th, opts.MinWallNs, opts.MemThreshold))
 	}
 	for i := range old.Cells {
 		oc := &old.Cells[i]
@@ -95,8 +116,12 @@ func Diff(old, cur *Record, opts Options) Report {
 	return rep
 }
 
-func compareCells(key string, oc, nc *Cell, threshold, minWallNs float64) CellDiff {
+func compareCells(key string, oc, nc *Cell, threshold, minWallNs, memThreshold float64) CellDiff {
 	d := CellDiff{Key: key, Old: oc, New: nc, Verdict: VerdictOK}
+	if ob, nb := oc.AllocPeakBytes, nc.AllocPeakBytes; ob > 0 && nb > 0 {
+		d.HasMem = true
+		d.MemDelta = (float64(nb) - float64(ob)) / float64(ob)
+	}
 	om, nm := oc.Wall.MeanNs, nc.Wall.MeanNs
 	if om <= 0 {
 		// Zero (or missing) baseline: a relative delta does not exist.
@@ -111,6 +136,13 @@ func compareCells(key string, oc, nc *Cell, threshold, minWallNs float64) CellDi
 	if op, np := oc.Wall.P99Ns, nc.Wall.P99Ns; op > 0 && np > 0 {
 		d.HasTail = true
 		d.TailDelta = (np - op) / op
+	}
+	if d.HasMem && d.MemDelta > memThreshold {
+		// Memory high-water regression: flags regardless of wall time
+		// (and of the measurement floor — a tiny-wall cell can still
+		// blow up its working set).
+		d.Verdict = VerdictRegression
+		return d
 	}
 	if om < minWallNs && nm < minWallNs {
 		return d // below the measurement floor: report, never flag
@@ -154,9 +186,9 @@ func (r Report) count(v string) int {
 // line. It always writes every row: records are small and an "ok" row
 // carries the measured delta, which is the point of the exercise.
 func (r Report) Render(w io.Writer) {
-	rows := make([][7]string, 0, len(r.Diffs))
+	rows := make([][8]string, 0, len(r.Diffs))
 	for _, d := range r.Diffs {
-		row := [7]string{d.Key, "-", "-", "-", "-", "-", d.Verdict}
+		row := [8]string{d.Key, "-", "-", "-", "-", "-", "-", d.Verdict}
 		if d.Old != nil {
 			row[1] = fmtNs(d.Old.Wall.MeanNs)
 		}
@@ -168,12 +200,15 @@ func (r Report) Render(w io.Writer) {
 			if d.HasTail {
 				row[4] = fmt.Sprintf("%+.1f%%", 100*d.TailDelta)
 			}
-			row[5] = fmt.Sprintf("±%.1f%%", 100*math.Max(r.Threshold, d.Noise))
+			row[6] = fmt.Sprintf("±%.1f%%", 100*math.Max(r.Threshold, d.Noise))
+		}
+		if d.HasMem {
+			row[5] = fmt.Sprintf("%+.1f%%", 100*d.MemDelta)
 		}
 		rows = append(rows, row)
 	}
-	headers := [7]string{"cell", "old", "new", "delta", "p99", "guard", "verdict"}
-	widths := [7]int{}
+	headers := [8]string{"cell", "old", "new", "delta", "p99", "mem", "guard", "verdict"}
+	widths := [8]int{}
 	for i, h := range headers {
 		widths[i] = len(h)
 	}
@@ -184,10 +219,11 @@ func (r Report) Render(w io.Writer) {
 			}
 		}
 	}
-	printRow := func(cells [7]string) {
-		fmt.Fprintf(w, "%-*s  %*s  %*s  %*s  %*s  %*s  %s\n",
+	printRow := func(cells [8]string) {
+		fmt.Fprintf(w, "%-*s  %*s  %*s  %*s  %*s  %*s  %*s  %s\n",
 			widths[0], cells[0], widths[1], cells[1], widths[2], cells[2],
-			widths[3], cells[3], widths[4], cells[4], widths[5], cells[5], cells[6])
+			widths[3], cells[3], widths[4], cells[4], widths[5], cells[5],
+			widths[6], cells[6], cells[7])
 	}
 	printRow(headers)
 	for _, row := range rows {

@@ -191,3 +191,50 @@ func TestFmtNs(t *testing.T) {
 		}
 	}
 }
+
+func TestDiffMemGate(t *testing.T) {
+	withMem := func(c Cell, peak uint64) Cell {
+		c.AllocPeakBytes = peak
+		return c
+	}
+	// 40% memory growth at the default 25% gate: regression, even though
+	// wall time is identical.
+	d := diffOne(t,
+		withMem(cellNs("a", 1e6, 0, 1), 1_000_000),
+		withMem(cellNs("a", 1e6, 0, 1), 1_400_000), Options{})
+	if d.Verdict != VerdictRegression || !d.HasMem {
+		t.Fatalf("40%% mem growth not gated: %+v", d)
+	}
+	if math.Abs(d.MemDelta-0.4) > 1e-9 {
+		t.Errorf("mem delta = %v, want 0.4", d.MemDelta)
+	}
+	// Growth inside the gate: OK.
+	d = diffOne(t,
+		withMem(cellNs("a", 1e6, 0, 1), 1_000_000),
+		withMem(cellNs("a", 1e6, 0, 1), 1_100_000), Options{})
+	if d.Verdict != VerdictOK {
+		t.Fatalf("10%% mem growth flagged: %+v", d)
+	}
+	// The memory gate ignores the minWallNs floor: tiny cells can still
+	// regress on footprint.
+	d = diffOne(t,
+		withMem(cellNs("a", 100, 0, 1), 1_000_000),
+		withMem(cellNs("a", 100, 0, 1), 2_000_000), Options{MinWallNs: 1e6})
+	if d.Verdict != VerdictRegression {
+		t.Fatalf("mem regression suppressed by wall floor: %+v", d)
+	}
+	// Old records without the field (zero) cannot be compared: no gate.
+	d = diffOne(t,
+		cellNs("a", 1e6, 0, 1),
+		withMem(cellNs("a", 1e6, 0, 1), 5_000_000), Options{})
+	if d.HasMem || d.Verdict != VerdictOK {
+		t.Fatalf("mem gate fired without baseline data: %+v", d)
+	}
+	// Custom gate.
+	d = diffOne(t,
+		withMem(cellNs("a", 1e6, 0, 1), 1_000_000),
+		withMem(cellNs("a", 1e6, 0, 1), 1_200_000), Options{MemThreshold: 0.1})
+	if d.Verdict != VerdictRegression {
+		t.Fatalf("20%% growth at 10%% gate: %+v", d)
+	}
+}

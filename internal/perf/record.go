@@ -152,9 +152,18 @@ type Cell struct {
 	SchedIdleNs int64 `json:"sched_idle_ns,omitempty"`
 
 	MemoryBytes uint64 `json:"memory_bytes,omitempty"`
-	// Allocation deltas from runtime.MemStats, averaged per repetition.
+	// Allocation deltas from the runtime/metrics sampler, averaged per
+	// repetition.
 	AllocBytesPerRep uint64 `json:"alloc_bytes_per_rep,omitempty"`
 	MallocsPerRep    uint64 `json:"mallocs_per_rep,omitempty"`
+
+	// Resource-ledger attribution (additive; schema stays 1 — older
+	// records decode them as zero, which Diff treats as "no data").
+	// AllocPeakBytes is the run's live-memory high-water from the engine's
+	// resource ledger (DD nodes + flat arrays); CPUNs its attributed CPU
+	// time (worker busy-ns plus sequential phase wall time).
+	AllocPeakBytes uint64 `json:"alloc_peak_bytes,omitempty"`
+	CPUNs          int64  `json:"cpu_ns,omitempty"`
 }
 
 // Key is the identity cells are aligned by across records.

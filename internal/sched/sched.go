@@ -120,6 +120,7 @@ type worker struct {
 	tasks  atomic.Int64 // tasks executed (lifetime)
 	steals atomic.Int64 // successful steals (lifetime)
 	idleNs atomic.Int64 // time spent looking for work (lifetime)
+	busyNs atomic.Int64 // time spent executing tasks (lifetime)
 }
 
 // WorkerStats is one worker's lifetime totals, as returned by Stats.
@@ -127,6 +128,7 @@ type WorkerStats struct {
 	Tasks  int64
 	Steals int64
 	Idle   time.Duration
+	Busy   time.Duration
 }
 
 // Pool is a persistent work-stealing worker pool. New spawns
@@ -167,17 +169,20 @@ type poolMetrics struct {
 	tasks      *obs.Counter
 	steals     *obs.Counter
 	idleNs     *obs.Counter
+	busyNs     *obs.Counter
 	panics     *obs.Counter
 	perWorker  []workerCounters
 	lastTasks  []int64
 	lastSteals []int64
 	lastIdle   []int64
+	lastBusy   []int64
 }
 
 type workerCounters struct {
 	tasks  *obs.Counter
 	steals *obs.Counter
 	idleNs *obs.Counter
+	busyNs *obs.Counter
 }
 
 // New returns a pool with max(1, threads) workers. threads-1
@@ -202,8 +207,8 @@ func New(threads int) *Pool {
 func (p *Pool) Threads() int { return len(p.workers) }
 
 // SetMetrics attaches the pool to a registry (nil detaches). Totals
-// appear as sched.{batches,tasks,steals,idle_ns} plus per-worker
-// sched.worker.<i>.{tasks,steals,idle_ns}; counters are published at
+// appear as sched.{batches,tasks,steals,idle_ns,busy_ns} plus per-worker
+// sched.worker.<i>.{tasks,steals,idle_ns,busy_ns}; counters are published at
 // the end of each batch so the hot loops stay instrumentation-free.
 func (p *Pool) SetMetrics(r *obs.Registry) {
 	p.mu.Lock()
@@ -218,17 +223,20 @@ func (p *Pool) SetMetrics(r *obs.Registry) {
 		tasks:      r.Counter("sched.tasks"),
 		steals:     r.Counter("sched.steals"),
 		idleNs:     r.Counter("sched.idle_ns"),
+		busyNs:     r.Counter("sched.busy_ns"),
 		panics:     r.Counter("sched.panics"),
 		perWorker:  make([]workerCounters, t),
 		lastTasks:  make([]int64, t),
 		lastSteals: make([]int64, t),
 		lastIdle:   make([]int64, t),
+		lastBusy:   make([]int64, t),
 	}
 	for i := 0; i < t; i++ {
 		m.perWorker[i] = workerCounters{
 			tasks:  r.Counter(fmt.Sprintf("sched.worker.%d.tasks", i)),
 			steals: r.Counter(fmt.Sprintf("sched.worker.%d.steals", i)),
 			idleNs: r.Counter(fmt.Sprintf("sched.worker.%d.idle_ns", i)),
+			busyNs: r.Counter(fmt.Sprintf("sched.worker.%d.busy_ns", i)),
 		}
 	}
 	r.Gauge("sched.workers").Set(int64(t))
@@ -238,6 +246,7 @@ func (p *Pool) SetMetrics(r *obs.Registry) {
 		m.lastTasks[i] = w.tasks.Load()
 		m.lastSteals[i] = w.steals.Load()
 		m.lastIdle[i] = w.idleNs.Load()
+		m.lastBusy[i] = w.busyNs.Load()
 	}
 	p.met = m
 }
@@ -267,6 +276,7 @@ func (p *Pool) Stats() []WorkerStats {
 			Tasks:  w.tasks.Load(),
 			Steals: w.steals.Load(),
 			Idle:   time.Duration(w.idleNs.Load()),
+			Busy:   time.Duration(w.busyNs.Load()),
 		}
 	}
 	return out
@@ -283,44 +293,58 @@ func (p *Pool) Stats() []WorkerStats {
 // worker has parked Run re-raises the first recovered panic as a
 // *TaskPanic on the calling goroutine. The pool stays fully usable for
 // the next batch — essential when one Pool is shared across jobs.
-func (p *Pool) Run(tasks []Task) { p.run(nil, "", tasks) }
+func (p *Pool) Run(tasks []Task) { p.run(nil, "", nil, tasks) }
 
 // RunSpanned is Run with scheduler attribution: when parent is non-nil
 // the batch executes under a child span named name, carrying the batch's
-// task count, worker count, and the steal/idle deltas measured across
-// exactly this batch (the per-worker lifetime totals are snapshotted
-// before and after, under the batch mutex, so concurrent batches cannot
-// bleed into each other's attribution). A nil parent is exactly Run —
-// the tracing-off cost is one pointer check.
+// task count, worker count, and the steal/idle/busy deltas measured
+// across exactly this batch (the per-worker lifetime totals are
+// snapshotted before and after, under the batch mutex, so concurrent
+// batches cannot bleed into each other's attribution). A nil parent is
+// exactly Run — the tracing-off cost is one pointer check.
 func (p *Pool) RunSpanned(parent *obs.Span, name string, tasks []Task) {
-	p.run(parent, name, tasks)
+	p.run(parent, name, nil, tasks)
 }
 
-func (p *Pool) run(parent *obs.Span, name string, tasks []Task) {
+// RunTracked is RunSpanned plus resource attribution: when led is
+// non-nil, the batch's worker busy-ns delta (wall time the workers spent
+// inside task bodies, summed across workers — CPU participation, not
+// elapsed time) is credited to the ledger's open phase via AddCPU. Both
+// parent and led may be nil independently.
+func (p *Pool) RunTracked(parent *obs.Span, name string, led *obs.ResourceLedger, tasks []Task) {
+	p.run(parent, name, led, tasks)
+}
+
+func (p *Pool) run(parent *obs.Span, name string, led *obs.ResourceLedger, tasks []Task) {
 	if len(tasks) == 0 {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var sp *obs.Span
-	var steals0, idle0 int64
-	if parent != nil {
-		sp = parent.Child(name)
-		sp.SetAttr("tasks", len(tasks))
-		sp.SetAttr("workers", len(p.workers))
-		steals0, idle0 = p.stealIdleTotals()
+	var steals0, idle0, busy0 int64
+	if parent != nil || led != nil {
+		if parent != nil {
+			sp = parent.Child(name)
+			sp.SetAttr("tasks", len(tasks))
+			sp.SetAttr("workers", len(p.workers))
+		}
+		steals0, idle0, busy0 = p.totals()
 	}
 	w0 := p.workers[0]
 	if p.closed || len(p.workers) == 1 || len(tasks) == 1 {
 		// Inline: nothing to distribute (or the pool was closed —
 		// degrade to serial rather than touching dead channels). The
 		// same exec wrapper applies, so panic containment and fault
-		// hooks behave identically to the distributed path.
+		// hooks behave identically to the distributed path. Busy time
+		// here is the whole loop: worker 0 never goes idle inline.
 		p.pending.Store(int64(len(tasks)))
+		start := time.Now()
 		for _, t := range tasks {
 			p.exec(w0, t)
 		}
-		p.finishBatch(sp, steals0, idle0)
+		w0.busyNs.Add(int64(time.Since(start)))
+		p.finishBatch(sp, led, steals0, idle0, busy0)
 		return
 	}
 	nt := len(p.workers)
@@ -336,30 +360,36 @@ func (p *Pool) run(parent *obs.Span, name string, tasks []Task) {
 	}
 	p.runWorker(w0)
 	p.join.Wait()
-	p.finishBatch(sp, steals0, idle0)
+	p.finishBatch(sp, led, steals0, idle0, busy0)
 }
 
 // finishBatch publishes metrics, closes the batch span (attributing the
-// steal/idle deltas of this batch), and re-raises any recorded panic.
-// The span must end before rethrow so a faulted batch still produces a
-// complete span for the flight recorder.
-func (p *Pool) finishBatch(sp *obs.Span, steals0, idle0 int64) {
+// steal/idle/busy deltas of this batch), credits the batch's busy time
+// to the ledger, and re-raises any recorded panic. The span must end
+// before rethrow so a faulted batch still produces a complete span for
+// the flight recorder.
+func (p *Pool) finishBatch(sp *obs.Span, led *obs.ResourceLedger, steals0, idle0, busy0 int64) {
 	p.publish()
-	if sp != nil {
-		steals1, idle1 := p.stealIdleTotals()
-		sp.SetAttr("steals", steals1-steals0)
-		sp.SetAttr("idle_ns", idle1-idle0)
-		sp.End()
+	if sp != nil || led != nil {
+		steals1, idle1, busy1 := p.totals()
+		if sp != nil {
+			sp.SetAttr("steals", steals1-steals0)
+			sp.SetAttr("idle_ns", idle1-idle0)
+			sp.SetAttr("busy_ns", busy1-busy0)
+			sp.End()
+		}
+		led.AddCPU(busy1 - busy0)
 	}
 	p.rethrow()
 }
 
-// stealIdleTotals sums the per-worker lifetime steal and idle counters.
+// totals sums the per-worker lifetime steal, idle, and busy counters.
 // Called under p.mu with all workers parked, so the totals are stable.
-func (p *Pool) stealIdleTotals() (steals, idleNs int64) {
+func (p *Pool) totals() (steals, idleNs, busyNs int64) {
 	for _, w := range p.workers {
 		steals += w.steals.Load()
 		idleNs += w.idleNs.Load()
+		busyNs += w.busyNs.Load()
 	}
 	return
 }
@@ -373,8 +403,11 @@ func (p *Pool) workerLoop(w *worker) {
 }
 
 // runWorker drains the worker's own deque, then steals from the others
-// until the batch's pending count hits zero.
+// until the batch's pending count hits zero. Busy time is participation
+// elapsed minus idle — two extra clock reads per worker per batch, which
+// is what keeps CPU attribution off the per-task fast path.
 func (p *Pool) runWorker(w *worker) {
+	start := time.Now()
 	for {
 		task, ok := w.dq.pop()
 		if !ok {
@@ -405,6 +438,9 @@ func (p *Pool) runWorker(w *worker) {
 	idle += time.Since(idleStart)
 	if idle > 0 {
 		w.idleNs.Add(int64(idle))
+	}
+	if busy := time.Since(start) - idle; busy > 0 {
+		w.busyNs.Add(int64(busy))
 	}
 }
 
@@ -479,6 +515,11 @@ func (p *Pool) publish() {
 			m.lastIdle[i] += d
 			m.idleNs.Add(d)
 			m.perWorker[i].idleNs.Add(d)
+		}
+		if d := w.busyNs.Load() - m.lastBusy[i]; d > 0 {
+			m.lastBusy[i] += d
+			m.busyNs.Add(d)
+			m.perWorker[i].busyNs.Add(d)
 		}
 	}
 }

@@ -344,3 +344,39 @@ func TestFaultHookSlowTask(t *testing.T) {
 		t.Fatalf("slow-task fault did not delay: batch took %v", d)
 	}
 }
+
+// TestRunTrackedCreditsBusyNs: a tracked batch credits the workers'
+// busy-ns delta to the ledger's open phase and publishes a non-zero
+// sched.busy_ns counter. The credited CPU time must be at least the
+// single-task spin time (work happened) and bounded by workers × wall
+// time (it is participation, not elapsed time).
+func TestRunTrackedCreditsBusyNs(t *testing.T) {
+	r := obs.New()
+	p := New(2)
+	defer p.Close()
+	p.SetMetrics(r)
+
+	led := obs.NewResourceLedger()
+	led.Begin("dmav")
+	tasks := make([]Task, 16)
+	for i := range tasks {
+		tasks[i] = func() { time.Sleep(time.Millisecond) }
+	}
+	t0 := time.Now()
+	p.RunTracked(nil, "batch", led, tasks)
+	wall := time.Since(t0)
+	led.End()
+
+	snap := led.Snapshot()
+	if snap.CPUNs < int64(time.Millisecond) {
+		t.Errorf("ledger credited %d ns of CPU, want >= 1ms", snap.CPUNs)
+	}
+	if max := 2 * wall.Nanoseconds() * 2; snap.CPUNs > max { // 2 workers, 2x slack
+		t.Errorf("ledger credited %d ns, more than workers*wall (%d)", snap.CPUNs, max)
+	}
+	if got := r.Snapshot().Counters["sched.busy_ns"]; got <= 0 {
+		t.Errorf("sched.busy_ns = %d, want > 0", got)
+	}
+	// Nil ledger and nil parent stay valid no-ops.
+	p.RunTracked(nil, "batch", nil, tasks[:1])
+}

@@ -78,6 +78,9 @@ type ResultStats struct {
 	// have exceeded the engine memory budget.
 	Degraded       bool   `json:"degraded,omitempty"`
 	DegradedReason string `json:"degraded_reason,omitempty"`
+	// Resources is the job's per-phase resource-ledger snapshot: CPU time,
+	// allocation deltas and memory high-water per engine phase.
+	Resources *obs.LedgerSnapshot `json:"resources,omitempty"`
 }
 
 // JobResult is the wire form of GET /v1/jobs/{id}/result.
@@ -122,6 +125,7 @@ func buildResult(j *job, sim *core.Simulator, st core.Stats) *JobResult {
 			Fidelity:        st.Fidelity,
 			Degraded:        st.Degraded,
 			DegradedReason:  st.DegradedReason,
+			Resources:       st.Resources,
 		},
 		Top:   top,
 		Shots: sampleShots(sim, n, j.opts.shots, j.opts.seed),
@@ -174,6 +178,10 @@ func (s *Server) viewLocked(j *job) JobView {
 //	DELETE /v1/jobs/{id}        — cancel (POST /v1/jobs/{id}/cancel works too)
 //	GET    /healthz             — liveness, capacity, uptime, latency SLOs
 //	GET    /debug/jobs          — flight recorder: last N job span trees (?id= for one)
+//	GET    /debug/ledger        — memory-admission ledger: budget, reservations,
+//	                              observed footprints, per-job resource costs
+//	GET    /debug/profiles      — anomaly pprof capture ring (when enabled;
+//	                              ?file= downloads one profile)
 //	/debug/*                    — metrics, expvar, pprof (internal/obs);
 //	                              /debug/metrics?format=prometheus for text exposition
 //
@@ -190,8 +198,80 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /debug/jobs", s.flight.Handler())
+	mux.HandleFunc("GET /debug/ledger", s.handleLedger)
+	if s.profiles != nil {
+		mux.Handle("GET /debug/profiles", s.profiles.Handler())
+	}
 	mux.Handle("/debug/", obs.Mux(s.reg))
 	return mux
+}
+
+// LedgerEntry is one job's row in the /debug/ledger view.
+type LedgerEntry struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Circuit string `json:"circuit"`
+	Qubits  int    `json:"qubits"`
+	// ReservedBytes is the job's live reservation against the process
+	// budget (running jobs only); ObservedBytes its last ledger-reported
+	// footprint.
+	ReservedBytes uint64 `json:"reserved_bytes,omitempty"`
+	ObservedBytes uint64 `json:"observed_bytes,omitempty"`
+	// Resources is the per-phase cost breakdown: live for running jobs,
+	// frozen at finish for terminal ones.
+	Resources *obs.LedgerSnapshot `json:"resources,omitempty"`
+}
+
+// handleLedger serves the process-wide memory-admission view: the
+// budget, the reserved-vs-observed split, high-water marks, and a
+// per-job cost breakdown.
+func (s *Server) handleLedger(w http.ResponseWriter, _ *http.Request) {
+	type row struct {
+		entry LedgerEntry
+		led   *obs.ResourceLedger // snapshot off-lock for running jobs
+	}
+	s.mu.Lock()
+	var observed uint64
+	rows := make([]row, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		e := LedgerEntry{
+			ID:            j.id,
+			State:         j.state,
+			Circuit:       j.circ.Name,
+			Qubits:        j.circ.Qubits,
+			ReservedBytes: j.reserve,
+			ObservedBytes: j.observed,
+			Resources:     j.resources,
+		}
+		r := row{entry: e}
+		if j.state == StateRunning {
+			observed += j.observed
+			r.led = j.ledger
+		}
+		rows = append(rows, r)
+	}
+	body := map[string]any{
+		"admission_mode":      s.cfg.AdmissionMode,
+		"budget_bytes":        s.cfg.TotalMemoryBudget,
+		"reserved_bytes":      s.memReserved,
+		"observed_bytes":      observed,
+		"headroom_bytes":      s.met.memHeadroom.Value(),
+		"observed_peak_bytes": s.met.memPeak.Value(),
+		"running_peak":        s.met.runningPeak.Value(),
+	}
+	s.mu.Unlock()
+	// Live snapshots sample runtime/metrics — taken off the server lock.
+	entries := make([]LedgerEntry, len(rows))
+	for i, r := range rows {
+		entries[i] = r.entry
+		if r.led != nil {
+			snap := r.led.Snapshot()
+			entries[i].Resources = &snap
+		}
+	}
+	body["jobs"] = entries
+	writeJSON(w, http.StatusOK, body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -314,9 +394,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
-// latencyView renders one histogram's tail-latency summary for /healthz.
-func latencyView(h *obs.Histogram) map[string]any {
-	snap := h.Snapshot()
+// latencyView renders one histogram snapshot's tail-latency summary for
+// /healthz.
+func latencyView(snap obs.HistogramSnapshot) map[string]any {
 	return map[string]any{
 		"count": snap.Count,
 		"p50":   snap.Quantile(0.50),
@@ -345,10 +425,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			"memory_budget_bytes": s.cfg.MemoryBudget,
 			"max_qubits":          s.cfg.MaxQubits,
 		},
+		// Quantiles come from the windowed (recent-traffic) histograms, so
+		// a deploy's regression shows within one window instead of being
+		// averaged into the process's whole history; the cumulative
+		// Prometheus series keep the full history.
 		"latency": map[string]any{
-			"queue_wait_ns": latencyView(s.met.queueWaitNs),
-			"run_ns":        latencyView(s.met.runNs),
-			"e2e_ns":        latencyView(s.met.latencyNs),
+			"queue_wait_ns": latencyView(s.wQueueWait.Snapshot()),
+			"run_ns":        latencyView(s.wRun.Snapshot()),
+			"e2e_ns":        latencyView(s.wLatency.Snapshot()),
 		},
 	}
 	s.mu.Unlock()

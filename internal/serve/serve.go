@@ -121,7 +121,50 @@ type Config struct {
 	// Logger receives structured job-lifecycle logs keyed by job and
 	// trace ID (default: discard).
 	Logger *slog.Logger
+	// AdmissionMode selects how dispatched jobs count against
+	// TotalMemoryBudget: AdmissionWorstCase (the default) holds each
+	// job's static WorstCaseBytes for its whole run; AdmissionLedger
+	// reserves the same worst case at dispatch but releases the
+	// reservation down to the job's observed/projected footprint as soon
+	// as its resource ledger publishes a projection (end of the fuse
+	// phase), so a burst of jobs whose real footprint undershoots the
+	// worst case achieves higher admitted concurrency under the same
+	// budget.
+	AdmissionMode string
+	// TotalMemoryBudget is the process-wide concurrent-memory budget the
+	// dispatch gate reserves against (default MaxInFlight·MemoryBudget —
+	// exactly the capacity the pre-ledger server implicitly had, so the
+	// default changes nothing).
+	TotalMemoryBudget uint64
+	// SLOTarget, when positive, is the per-job run-time SLO used by the
+	// anomaly trigger: a job whose run exceeds it captures a pprof
+	// profile into the ring (rate-limited). When zero, the threshold is
+	// derived from the windowed run-latency p99 (3× p99, once the window
+	// holds at least 20 samples).
+	SLOTarget time.Duration
+	// LatencyWindow is the rotation window of the /healthz latency
+	// quantile histograms (default 5m). The cumulative Prometheus series
+	// are unaffected.
+	LatencyWindow time.Duration
+	// ProfileDir, when non-empty, enables anomaly-triggered pprof
+	// capture: SLO breaches, degradations, retries and failures write
+	// CPU+heap profiles into a bounded on-disk ring in this directory,
+	// served at /debug/profiles.
+	ProfileDir string
+	// ProfileCapacity is how many captures the ring retains (default 8);
+	// ProfileWindow is the minimum spacing between captures (default 5m,
+	// the storm rate limit); ProfileCPUDuration is the CPU profile
+	// length (default 250ms).
+	ProfileCapacity    int
+	ProfileWindow      time.Duration
+	ProfileCPUDuration time.Duration
 }
+
+// Admission modes (Config.AdmissionMode, the -admission flag).
+const (
+	AdmissionWorstCase = "worstcase"
+	AdmissionLedger    = "ledger"
+)
 
 func (c Config) withDefaults() Config {
 	if c.Threads < 1 {
@@ -175,6 +218,15 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.DiscardHandler)
 	}
+	if c.AdmissionMode == "" {
+		c.AdmissionMode = AdmissionWorstCase
+	}
+	if c.TotalMemoryBudget == 0 {
+		c.TotalMemoryBudget = uint64(c.MaxInFlight) * c.MemoryBudget
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 5 * time.Minute
+	}
 	return c
 }
 
@@ -208,6 +260,15 @@ type job struct {
 	// open "queued" child while the job sits in the FIFO.
 	span       *obs.Span
 	queuedSpan *obs.Span
+
+	// reserve is the job's live memory reservation against
+	// TotalMemoryBudget (0 when not dispatched); observed is the last
+	// footprint the job's ledger reported. ledger is the per-attempt
+	// resource ledger; resources its frozen snapshot at finish.
+	reserve   uint64
+	observed  uint64
+	ledger    *obs.ResourceLedger
+	resources *obs.LedgerSnapshot
 }
 
 // runOptions is the normalized execution request of one job.
@@ -236,6 +297,12 @@ type serveMetrics struct {
 	faults        *obs.Counter
 	queueDepth    *obs.Gauge
 	running       *obs.Gauge
+	runningPeak   *obs.Gauge
+	memReserved   *obs.Gauge
+	memObserved   *obs.Gauge
+	memHeadroom   *obs.Gauge
+	memPeak       *obs.Gauge // high-water of observed footprint
+	profiles      *obs.Counter
 	latencyNs     *obs.Histogram
 	queueWaitNs   *obs.Histogram
 	runNs         *obs.Histogram
@@ -259,12 +326,29 @@ type Server struct {
 	tracer *obs.Tracer
 	flight *obs.FlightRecorder
 
+	// Windowed latency histograms back the /healthz quantiles (recent
+	// traffic); the cumulative serveMetrics histograms stay for
+	// Prometheus, whose rate() does its own windowing.
+	wLatency   *obs.WindowedHistogram
+	wQueueWait *obs.WindowedHistogram
+	wRun       *obs.WindowedHistogram
+
+	// profiles is the anomaly capture ring (nil without Config.ProfileDir).
+	profiles *obs.ProfileRing
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string // submission order, for the list endpoint
 	queue    chan *job
 	nextID   int
 	draining bool
+
+	// memReserved is the sum of in-flight reservations against
+	// TotalMemoryBudget; memCond is signaled whenever a reservation
+	// shrinks (or a waiter must re-check the world, e.g. on drain).
+	// Guarded by mu.
+	memReserved uint64
+	memCond     *sync.Cond
 
 	runWG sync.WaitGroup // the MaxInFlight runner goroutines
 }
@@ -312,17 +396,41 @@ func New(cfg Config) *Server {
 		faults:        r.Counter("serve.jobs.faults"),
 		queueDepth:    r.Gauge("serve.queue.depth"),
 		running:       r.Gauge("serve.jobs.running"),
+		runningPeak:   r.Gauge("serve.jobs.running.peak"),
+		memReserved:   r.Gauge("serve.mem.reserved"),
+		memObserved:   r.Gauge("serve.mem.observed"),
+		memHeadroom:   r.Gauge("serve.mem.headroom"),
+		memPeak:       r.Gauge("serve.mem.observed.peak"),
+		profiles:      r.Counter("serve.profiles.captured"),
 		latencyNs:     r.Histogram("serve.job.latency_ns", obs.DurationBuckets()),
 		queueWaitNs:   r.Histogram("serve.job.queue_wait_ns", obs.DurationBuckets()),
 		runNs:         r.Histogram("serve.job.run_ns", obs.DurationBuckets()),
 	}
 	r.Gauge("serve.max_inflight").Set(int64(cfg.MaxInFlight))
+	r.Gauge("serve.mem.budget").Set(int64(cfg.TotalMemoryBudget))
+	s.met.memHeadroom.Set(int64(cfg.TotalMemoryBudget))
+	s.memCond = sync.NewCond(&s.mu)
+	s.wLatency = obs.NewWindowedHistogram(obs.DurationBuckets(), cfg.LatencyWindow)
+	s.wQueueWait = obs.NewWindowedHistogram(obs.DurationBuckets(), cfg.LatencyWindow)
+	s.wRun = obs.NewWindowedHistogram(obs.DurationBuckets(), cfg.LatencyWindow)
+	if cfg.ProfileDir != "" {
+		ring, err := obs.NewProfileRing(cfg.ProfileDir, cfg.ProfileCapacity,
+			cfg.ProfileWindow, cfg.ProfileCPUDuration)
+		if err != nil {
+			s.log.Error("profile ring disabled", "dir", cfg.ProfileDir, "error", err)
+		} else {
+			s.profiles = ring
+		}
+	}
 	for i := 0; i < cfg.MaxInFlight; i++ {
 		s.runWG.Add(1)
 		go s.runner()
 	}
 	return s
 }
+
+// Profiles returns the anomaly capture ring (nil when disabled).
+func (s *Server) Profiles() *obs.ProfileRing { return s.profiles }
 
 // Registry returns the metrics registry the server instruments.
 func (s *Server) Registry() *obs.Registry { return s.reg }
@@ -504,23 +612,50 @@ func (s *Server) runJob(j *job) {
 		s.mu.Unlock()
 		return
 	}
+	// Dispatch gate: reserve the job's worst-case footprint against the
+	// process-wide budget, waiting on the condition for reservations to
+	// shrink (ledger-mode releases, job completions, cancels). The
+	// memReserved > 0 guard admits an over-budget job when it would run
+	// alone, so a misconfigured budget degrades to serial execution
+	// instead of deadlock.
+	need := WorstCaseBytes(j.circ.Qubits)
+	for s.memReserved > 0 && s.memReserved+need > s.cfg.TotalMemoryBudget {
+		s.memCond.Wait()
+		if j.state != StateQueued {
+			// Canceled (or drain-canceled) while waiting for memory.
+			s.mu.Unlock()
+			return
+		}
+	}
+	j.reserve = need
+	s.memReserved += need
 	ctx, cancel := context.WithTimeout(context.Background(), j.opts.timeout)
 	j.state = StateRunning
 	j.started = time.Now()
 	j.attempts++
 	j.cancel = cancel
+	j.observed = 0
+	led := obs.NewResourceLedger()
+	j.ledger = led
+	led.OnUpdate(func(snap obs.LedgerSnapshot) { s.onLedgerUpdate(j, snap) })
 	j.queuedSpan.End()
 	j.queuedSpan = nil
 	runSpan := j.span.Child("run")
 	runSpan.SetAttr("attempt", j.attempts)
 	ctx = obs.ContextWithSpan(ctx, runSpan)
 	s.met.running.Set(s.countLocked(StateRunning))
-	s.met.queueWaitNs.Observe(j.started.Sub(j.submitted).Nanoseconds())
+	s.met.runningPeak.SetMax(s.countLocked(StateRunning))
+	s.updateMemGaugesLocked()
+	wait := j.started.Sub(j.submitted).Nanoseconds()
+	s.met.queueWaitNs.Observe(wait)
+	s.wQueueWait.Observe(wait)
 	s.mu.Unlock()
 	defer cancel()
 
 	res, runErr := s.execute(ctx, j)
-	s.met.runNs.Observe(time.Since(j.started).Nanoseconds())
+	runNs := time.Since(j.started).Nanoseconds()
+	s.met.runNs.Observe(runNs)
+	s.wRun.Observe(runNs)
 	if runErr != nil {
 		runSpan.SetAttr("error", runErr.Error())
 	}
@@ -528,6 +663,7 @@ func (s *Server) runJob(j *job) {
 
 	s.mu.Lock()
 	j.cancel = nil
+	s.releaseLocked(j)
 	switch {
 	case runErr == nil:
 		j.state = StateDone
@@ -563,7 +699,9 @@ func (s *Server) runJob(j *job) {
 	}
 	if j.state != StateQueued {
 		s.finishJobLocked(j)
-		s.met.latencyNs.Observe(j.finished.Sub(j.submitted).Nanoseconds())
+		e2e := j.finished.Sub(j.submitted).Nanoseconds()
+		s.met.latencyNs.Observe(e2e)
+		s.wLatency.Observe(e2e)
 	}
 	s.met.running.Set(s.countLocked(StateRunning))
 	s.mu.Unlock()
@@ -583,6 +721,10 @@ func (s *Server) finishJobLocked(j *job) {
 		j.span.SetAttr("attempts", j.attempts)
 	}
 	j.span.End()
+	if j.ledger != nil {
+		snap := j.ledger.Snapshot()
+		j.resources = &snap
+	}
 	degraded := j.result != nil && j.result.Stats.Degraded
 	spans, dropped := j.span.Collected()
 	s.flight.Record(&obs.JobTrace{
@@ -594,7 +736,19 @@ func (s *Server) finishJobLocked(j *job) {
 		FinishedAt:   j.finished,
 		Spans:        spans,
 		DroppedSpans: dropped,
+		Ledger:       j.resources,
 	})
+	if s.profiles != nil && j.state != StateCanceled {
+		if reason := s.anomalyReasonLocked(j, degraded); reason != "" {
+			// The ring does its own rate limiting and the heap write hits
+			// the filesystem — capture off the lock.
+			go func() {
+				if s.profiles.Capture(reason) {
+					s.met.profiles.Inc()
+				}
+			}()
+		}
+	}
 	s.tw.Flush() //nolint:errcheck // trace output is best-effort
 	attrs := []any{
 		"job", j.id, "trace", j.span.Trace().String(), "state", j.state,
@@ -610,6 +764,103 @@ func (s *Server) finishJobLocked(j *job) {
 		attrs = append(attrs, "degraded", true)
 	}
 	s.log.Info("job finished", attrs...)
+}
+
+// anomalyReasonLocked classifies a finished job as profile-worthy (a
+// non-empty reason triggers a capture): failure, degraded completion,
+// retried run, or a run time over the SLO. The SLO is Config.SLOTarget
+// when set, otherwise 3× the windowed run-latency p99 once the window
+// holds enough samples to make the baseline meaningful. Caller holds
+// s.mu.
+func (s *Server) anomalyReasonLocked(j *job, degraded bool) string {
+	switch {
+	case j.state == StateFailed:
+		if j.reason != "" {
+			return "failed_" + j.reason
+		}
+		return "failed"
+	case degraded:
+		return "degraded"
+	case j.attempts > 1:
+		return "retried"
+	}
+	if j.started.IsZero() {
+		return ""
+	}
+	run := j.finished.Sub(j.started)
+	slo := s.cfg.SLOTarget
+	if slo <= 0 {
+		snap := s.wRun.Snapshot()
+		if snap.Count >= 20 {
+			slo = time.Duration(3 * snap.Quantile(0.99))
+		}
+	}
+	if slo > 0 && run > slo {
+		return "slo_breach"
+	}
+	return ""
+}
+
+// onLedgerUpdate is the per-job ledger hook: it caches the job's live
+// footprint for the observed gauges and, in ledger admission mode,
+// shrinks the job's reservation once the engine publishes a projection
+// (end of the fuse phase) — down to max(projected, current), never up,
+// so the gate stays sound while freeing headroom the worst case
+// over-claimed. Runs outside the ledger's lock.
+func (s *Server) onLedgerUpdate(j *job, snap obs.LedgerSnapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != StateRunning || j.ledger == nil {
+		return // late phase-end after the terminal transition
+	}
+	j.observed = snap.CurrentBytes
+	if snap.PeakBytes > j.observed {
+		j.observed = snap.PeakBytes
+	}
+	if s.cfg.AdmissionMode == AdmissionLedger && j.reserve > 0 && snap.ProjectedBytes > 0 {
+		target := snap.ProjectedBytes
+		if snap.CurrentBytes > target {
+			target = snap.CurrentBytes
+		}
+		if target < j.reserve {
+			s.memReserved -= j.reserve - target
+			j.reserve = target
+			s.memCond.Broadcast()
+		}
+	}
+	s.updateMemGaugesLocked()
+}
+
+// releaseLocked returns a job's memory reservation to the budget and
+// wakes dispatch-gate waiters. Idempotent; caller holds s.mu.
+func (s *Server) releaseLocked(j *job) {
+	if j.reserve == 0 {
+		return
+	}
+	s.memReserved -= j.reserve
+	j.reserve = 0
+	s.memCond.Broadcast()
+	s.updateMemGaugesLocked()
+}
+
+// updateMemGaugesLocked refreshes the serve.mem.* gauges from the
+// reservation ledger and the running jobs' cached observed footprints.
+// Caller holds s.mu.
+func (s *Server) updateMemGaugesLocked() {
+	s.met.memReserved.Set(int64(s.memReserved))
+	head := int64(s.cfg.TotalMemoryBudget) - int64(s.memReserved)
+	if head < 0 {
+		head = 0
+	}
+	s.met.memHeadroom.Set(head)
+	var observed uint64
+	for _, jb := range s.jobs {
+		if jb.state == StateRunning {
+			observed += jb.observed
+		}
+	}
+	s.met.memObserved.Set(int64(observed))
+	s.met.memPeak.SetMax(int64(observed))
 }
 
 // isCancel distinguishes a canceled run (client cancel or drain) from a
@@ -691,6 +942,7 @@ func (s *Server) execute(ctx context.Context, j *job) (res *JobResult, err error
 		IntegrityEvery: s.cfg.IntegrityEvery,
 		Faults:         s.cfg.Faults,
 		TraceWriter:    s.tw, // nil without Config.TraceJSONL; shared so gate events and spans interleave safely
+		Ledger:         j.ledger,
 	})
 	st, err := sim.RunContext(ctx, j.circ)
 	if err != nil {
@@ -728,6 +980,9 @@ func (s *Server) Cancel(id string) (found, canceled bool) {
 		j.errMsg = core.ErrCanceled.Error()
 		s.finishJobLocked(j)
 		s.met.canceled.Inc()
+		// The job may be parked in the dispatch gate's memory wait; wake it
+		// so its runner observes the cancel and moves on.
+		s.memCond.Broadcast()
 		return true, true
 	case StateRunning:
 		if j.cancel != nil {
@@ -760,6 +1015,9 @@ func (s *Server) Shutdown() {
 		}
 	}
 	close(s.queue)
+	// Wake any runner parked in the dispatch gate: its job was just
+	// canceled above and it must observe that and exit.
+	s.memCond.Broadcast()
 	s.mu.Unlock()
 
 	done := make(chan struct{})
