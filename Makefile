@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK ?= staticcheck
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: build test check staticcheck profile-smoke faults fuzz serve-smoke trace-schema bench-obs bench-record bench-gate csv
+.PHONY: build test check staticcheck profile-smoke faults dd-race fuzz serve-smoke trace-schema bench-obs bench-record bench-gate csv
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,7 @@ check:
 	$(GO) vet ./...
 	$(MAKE) staticcheck
 	$(GO) test -race -short ./...
+	$(MAKE) dd-race
 	$(MAKE) faults
 	$(MAKE) serve-smoke
 	$(MAKE) profile-smoke
@@ -67,6 +68,15 @@ faults:
 	$(GO) test -race -count=1 -run 'Fault|Degraded|Drift|TaskPanic' \
 		./internal/sched/... ./internal/core/... ./internal/serve/...
 
+# dd-race runs the DD-phase concurrency battery under the race detector:
+# sharded unique tables, striped compute tables, the GC barrier, and the
+# frontier-split parallel multiply, asserting bit-identical results
+# against the sequential path. count=2 defeats the test cache and varies
+# goroutine scheduling across the two runs.
+dd-race:
+	$(GO) test -race -run 'Par|Concurrent' -count=2 \
+		./internal/dd/... ./internal/ddsim/... ./internal/cnum/...
+
 # serve-smoke builds the flatdd-serve binary race-enabled and drives it
 # end to end over HTTP: admission control (413 over budget), bell + randct
 # jobs to completion, client cancellation of a running QV job, the
@@ -89,11 +99,12 @@ fuzz:
 	$(GO) test -run NoSuchTest -fuzz FuzzParse -fuzztime 10s ./internal/qasm
 
 # bench-record emits a machine-readable perf record (BENCH_<n>.json at the
-# repo root) from a tiny-scale Table 1 run: 2 repetitions per cell plus
-# sampled time series. Run it once per meaningful commit to grow the
-# performance history benchdiff compares against.
+# repo root) from a tiny-scale Table 1 run plus the parallel-DD-phase
+# thread sweep: 2 repetitions per cell plus sampled time series. Run it
+# once per meaningful commit to grow the performance history benchdiff
+# compares against.
 bench-record:
-	$(GO) run ./cmd/flatdd-bench -exp table1 -scale tiny -reps 2 -timeout 60s -out auto
+	$(GO) run ./cmd/flatdd-bench -exp table1,ddpar -scale tiny -reps 2 -timeout 60s -out auto
 
 # bench-gate diffs the newest record against the one before it and fails
 # on any wall-time regression beyond the noise guard (CI gate). With only

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"flatdd/internal/harness"
@@ -33,7 +34,7 @@ func main() { os.Exit(run()) }
 // on the returned code only after every defer has run.
 func run() (code int) {
 	var (
-		exp     = flag.String("exp", "all", fmt.Sprintf("experiment id %v", harness.ExperimentIDs()))
+		exp     = flag.String("exp", "all", fmt.Sprintf("experiment id, or a comma-separated list %v", harness.ExperimentIDs()))
 		scale   = flag.String("scale", "small", "benchmark scale: tiny | small | paper")
 		threads = flag.Int("threads", 16, "worker threads for FlatDD and Quantum++")
 		timeout = flag.Duration("timeout", 5*time.Minute, "per-engine-run cutoff (paper: 24h)")
@@ -87,9 +88,11 @@ func run() (code int) {
 	fmt.Printf("flatdd-bench: exp=%s scale=%s threads=%d reps=%d timeout=%v GOMAXPROCS=%d\n\n",
 		*exp, *scale, *threads, *reps, *timeout, runtime.GOMAXPROCS(0))
 	start := time.Now()
-	if err := harness.RunExperiment(*exp, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "flatdd-bench:", err)
-		return 1
+	for _, id := range strings.Split(*exp, ",") {
+		if err := harness.RunExperiment(strings.TrimSpace(id), cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "flatdd-bench:", err)
+			return 1
+		}
 	}
 	fmt.Printf("done in %v\n", time.Since(start))
 

@@ -10,6 +10,34 @@
 // unique table would explode. The Table snaps every float component to a
 // canonical representative within a configurable tolerance, so that edge
 // weights can be compared bit-exactly and hashed directly.
+//
+// # Determinism under concurrency
+//
+// Snapping is a pure function of the value: LookupFloat(x) maps x to the
+// canonical representative of its grid bucket (round(x/2^-g) * 2^-g, with
+// well-known constants such as 1/sqrt(2) pre-seeded onto their buckets at
+// construction), never to "whichever nearby value was interned first".
+// Earlier designs kept first-comer representatives, which made the snapped
+// value depend on lookup order — under the concurrent DD phase that order
+// is a scheduling accident, and final amplitudes would differ between
+// runs. With grid snapping, any interleaving of any number of goroutines
+// produces bit-identical weights, which is what makes the parallel DD
+// phase's results reproducible (see the determinism tests in
+// internal/ddsim and DESIGN.md §12).
+//
+// The grid step is a power of two (the largest 2^-g <= the configured
+// tolerance) rather than a decimal multiple, and that choice is
+// load-bearing: representatives k*2^-g are dyadic, so the linear
+// combinations DD normalization produces from them with dyadic
+// coefficients (x/2, 0.5a+0.25b, ...) are computed exactly by IEEE
+// arithmetic. Two evaluation orders of such a combination yield
+// bit-identical floats and therefore the same bucket, even when the value
+// sits exactly on a bucket boundary. A decimal grid (k*1e-10) breaks
+// here: scaling its representatives by 1/2 lands exactly between two
+// buckets with one ulp of path-dependent noise deciding the round, which
+// destroys hash-consing canonicity in practice. The bucket-membership map
+// exists only for statistics and is sharded so concurrent lookups do not
+// serialize on one lock.
 package cnum
 
 import (
@@ -25,13 +53,38 @@ import (
 // tolerance commonly used by DD packages for quantum simulation.
 const DefaultTolerance = 1e-10
 
+// statShards is the number of stripe locks over the bucket-membership map
+// (statistics only; the snapped value never depends on the map).
+const statShards = 64
+
+// maxBucket bounds |x|/step for which grid snapping is attempted; far
+// larger magnitudes (never produced by unitary simulation) are returned
+// unsnapped, which is still deterministic.
+const maxBucket = 1 << 62
+
+type statShard struct {
+	mu      sync.Mutex
+	buckets map[int64]struct{}
+}
+
 // Table interns float64 components of complex numbers. The zero value is not
-// usable; create one with NewTable. A Table is safe for concurrent use.
+// usable; create one with NewTable. A Table is safe for concurrent use, and
+// its results are independent of the interleaving of concurrent callers.
 type Table struct {
-	mu      sync.RWMutex
-	tol     float64
-	invTol  float64
-	buckets map[int64]float64
+	tol float64
+
+	// step is the grid spacing, the largest power of two <= tol; invStep
+	// is its exact reciprocal. Multiplying by either only shifts the
+	// exponent, so x*invStep and k*step round nothing away.
+	step    float64
+	invStep float64
+
+	// seeded maps grid buckets to exact well-known representatives. Built
+	// once in NewTable, read-only afterwards — lock-free on the hot path.
+	seeded map[int64]float64
+
+	shards [statShards]statShard
+	size   atomic.Int64
 
 	lookups  atomic.Uint64
 	hits     atomic.Uint64
@@ -48,13 +101,11 @@ type Table struct {
 // cnum.lookups, cnum.hits, cnum.inserts and the cnum.size gauge. It must be
 // called before the table is used concurrently (i.e. at setup time).
 func (t *Table) SetMetrics(r *obs.Registry) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.obsLookups = r.Counter("cnum.lookups")
 	t.obsHits = r.Counter("cnum.hits")
 	t.obsInserts = r.Counter("cnum.inserts")
 	t.obsSize = r.Gauge("cnum.size")
-	t.obsSize.Set(int64(len(t.buckets)))
+	t.obsSize.Set(t.size.Load())
 }
 
 // NewTable returns a Table with the given tolerance. A non-positive
@@ -63,15 +114,29 @@ func NewTable(tol float64) *Table {
 	if tol <= 0 {
 		tol = DefaultTolerance
 	}
+	g := int(math.Ceil(-math.Log2(tol)))
 	t := &Table{
 		tol:     tol,
-		invTol:  1 / tol,
-		buckets: make(map[int64]float64, 1024),
+		step:    math.Ldexp(1, -g),
+		invStep: math.Ldexp(1, g),
+		seeded:  make(map[int64]float64, 32),
+	}
+	for i := range t.shards {
+		t.shards[i].buckets = make(map[int64]struct{}, 64)
 	}
 	// Seed exact representations of the values that appear in virtually
-	// every circuit so they are canonical from the start.
+	// every circuit so they are canonical from the start. Each constant
+	// claims its own grid bucket plus both neighbors (first seed wins), so
+	// a computed value landing one bucket over still snaps to the exact
+	// constant.
 	for _, v := range [...]float64{0, 1, -1, 0.5, -0.5, math.Sqrt2 / 2, -math.Sqrt2 / 2} {
-		t.lookupFloatLocked(v)
+		k := int64(math.Round(v * t.invStep))
+		for _, kk := range [3]int64{k, k - 1, k + 1} {
+			if _, ok := t.seeded[kk]; !ok {
+				t.seeded[kk] = v
+			}
+		}
+		t.noteBucket(k)
 	}
 	return t
 }
@@ -79,10 +144,10 @@ func NewTable(tol float64) *Table {
 // Tolerance reports the snapping tolerance of the table.
 func (t *Table) Tolerance() float64 { return t.tol }
 
-// Lookup returns the canonical representative of c. Components within the
-// tolerance of an existing representative are snapped to it; otherwise the
-// component is registered as a new representative. Lookup(Lookup(c)) ==
-// Lookup(c) for every c.
+// Lookup returns the canonical representative of c. Components are snapped
+// to their tolerance-grid bucket (seeded constants keep their exact
+// values). Lookup(Lookup(c)) == Lookup(c) for every c, and the result is a
+// pure function of c — independent of what else has been interned.
 func (t *Table) Lookup(c complex128) complex128 {
 	re := t.LookupFloat(real(c))
 	im := t.LookupFloat(imag(c))
@@ -96,43 +161,43 @@ func (t *Table) LookupFloat(x float64) float64 {
 	}
 	t.lookups.Add(1)
 	t.obsLookups.Inc()
-	t.mu.RLock()
-	v, ok := t.findLocked(x)
-	t.mu.RUnlock()
-	if ok {
-		t.hits.Add(1)
-		t.obsHits.Inc()
-		return v
+	s := x * t.invStep
+	if s != s || s >= maxBucket || s <= -maxBucket {
+		// NaN, Inf, or out of grid range: pass through deterministically.
+		return x
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.lookupFloatLocked(x)
+	k := int64(math.Round(s))
+	v, ok := t.seeded[k]
+	if !ok {
+		v = float64(k) * t.step
+	}
+	if v == 0 {
+		// Snapped into the zero bucket: the canonical zero.
+		t.noteBucket(0)
+		return 0
+	}
+	t.noteBucket(k)
+	return v
 }
 
-// findLocked searches the bucket of x and both neighbors for a
-// representative within tolerance. Callers must hold at least a read lock.
-func (t *Table) findLocked(x float64) (float64, bool) {
-	k := int64(math.Round(x * t.invTol))
-	for _, kk := range [3]int64{k, k - 1, k + 1} {
-		if v, ok := t.buckets[kk]; ok && math.Abs(v-x) <= t.tol {
-			return v, true
-		}
+// noteBucket records bucket membership for statistics: the first sighting
+// of a bucket counts as an insert, later ones as hits.
+func (t *Table) noteBucket(k int64) {
+	sh := &t.shards[uint64(k)%statShards]
+	sh.mu.Lock()
+	_, seen := sh.buckets[k]
+	if !seen {
+		sh.buckets[k] = struct{}{}
 	}
-	return 0, false
-}
-
-func (t *Table) lookupFloatLocked(x float64) float64 {
-	if v, ok := t.findLocked(x); ok {
+	sh.mu.Unlock()
+	if seen {
 		t.hits.Add(1)
 		t.obsHits.Inc()
-		return v
+	} else {
+		t.inserted.Add(1)
+		t.obsInserts.Inc()
+		t.obsSize.Set(t.size.Add(1))
 	}
-	k := int64(math.Round(x * t.invTol))
-	t.buckets[k] = x
-	t.inserted.Add(1)
-	t.obsInserts.Inc()
-	t.obsSize.Set(int64(len(t.buckets)))
-	return x
 }
 
 // Stats reports counters useful for tests and diagnostics: the number of
@@ -144,9 +209,7 @@ func (t *Table) Stats() (lookups, hits, inserted uint64) {
 
 // Size returns the number of distinct float representatives stored.
 func (t *Table) Size() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.buckets)
+	return int(t.size.Load())
 }
 
 // ApproxEqual reports whether a and b are within tol of each other in both

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"flatdd/internal/sched"
+)
+
+// TestDDThreadsParallelMatchesSequential pins the Options.DDThreads
+// wiring: the hybrid engine with a task-parallel DD phase must produce
+// bit-identical amplitudes to the sequential engine, whether it creates
+// its own DD-phase pool or shares the caller's.
+func TestDDThreadsParallelMatchesSequential(t *testing.T) {
+	// 9 qubits and a long DD phase so the state DD crosses the 256-node
+	// parallel cutoff and the frontier split actually fires (a narrow
+	// register would silently stay on the sequential path).
+	rng := rand.New(rand.NewSource(41))
+	c := randomCircuit(rng, 9, 120)
+
+	seq := New(9, Options{Threads: 2, ForceConvertAfter: 100})
+	seq.Run(c)
+	want := seq.Amplitudes()
+
+	par := New(9, Options{Threads: 2, DDThreads: 4, ForceConvertAfter: 100})
+	par.Run(c)
+	got := par.Amplitudes()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DDThreads=4 amplitude %d: %v != sequential %v", i, got[i], want[i])
+		}
+	}
+
+	// The shared pool drives the DMAV phase too, whose parallel reductions
+	// are deterministic only per thread count — size it to match Threads so
+	// the only change under test is the DD phase going parallel.
+	pool := sched.New(2)
+	defer pool.Close()
+	shared := New(9, Options{Threads: 2, DDThreads: 2, Pool: pool, ForceConvertAfter: 100})
+	shared.Run(c)
+	got = shared.Amplitudes()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shared-pool amplitude %d: %v != sequential %v", i, got[i], want[i])
+		}
+	}
+}

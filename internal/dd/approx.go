@@ -31,9 +31,12 @@ func (m *Manager) Approximate(e VEdge, n int, budget float64) (VEdge, float64) {
 		return e, 1
 	}
 
-	// Downward pass: the probability mass flowing into each node. Thanks
-	// to the sum-of-squares normalization every sub-tree is a unit vector,
-	// so an edge's total contribution is mass(parent) * |w|^2.
+	// Downward pass: the squared weight-product mass flowing into each
+	// node. Sub-trees are not unit vectors under division-based node
+	// normalization, so an edge's total probability contribution is
+	// mass(parent) * |w|^2 * S(child), with S the squared sub-tree norm
+	// from a memoized upward pass.
+	norms := make(map[*VNode]float64)
 	mass := map[*VNode]float64{e.N: abs2(e.W)}
 	order := m.topoOrder(e.N)
 	type candidate struct {
@@ -52,7 +55,7 @@ func (m *Manager) Approximate(e VEdge, n int, budget float64) (VEdge, float64) {
 			if c.N.Level != TerminalLevel {
 				mass[c.N] += em
 			}
-			cands = append(cands, candidate{edgeRef{nd, i}, em})
+			cands = append(cands, candidate{edgeRef{nd, i}, em * m.subtreeNorm2(c.N, norms)})
 		}
 	}
 
@@ -105,9 +108,10 @@ func (m *Manager) Approximate(e VEdge, n int, budget float64) (VEdge, float64) {
 		return e, 1
 	}
 	// Renormalize to unit norm, keeping the root phase.
+	origNorm := m.Norm(e)
 	norm := m.Norm(res)
 	res = m.scaleV(res, complex(1/norm, 0))
-	return res, norm * norm / abs2(e.W)
+	return res, norm * norm / (origNorm * origNorm)
 }
 
 // topoOrder returns the unique nodes reachable from root in descending

@@ -2,6 +2,8 @@ package dd
 
 import (
 	"hash/maphash"
+	"sync"
+	"sync/atomic"
 
 	"flatdd/internal/obs"
 )
@@ -12,19 +14,30 @@ import (
 // sub-computations of structured circuits stays high.
 const ctBits = 17
 
+// ctStripes is the number of stripe locks over the entry array. Entries are
+// multi-word, so reads and writes copy the whole entry under the stripe
+// lock; beyond that the table is deliberately lossy under concurrency — two
+// writers to the same slot overwrite each other, and a reader may miss an
+// entry a concurrent writer is installing. A missed hit is a recompute,
+// never a wrong answer: every cached value is a pure function of its key,
+// so whichever entry survives is correct for its key.
+const ctStripes = 64
+
 type ctEntry[K comparable, V any] struct {
 	key   K
 	value V
 	valid bool
 }
 
-// ctable is a direct-mapped memoization cache for DD operations.
+// ctable is a direct-mapped memoization cache for DD operations, safe for
+// concurrent use with lossy racy-read/racy-write semantics (see ctStripes).
 type ctable[K comparable, V any] struct {
 	seed    maphash.Seed
 	entries []ctEntry[K, V]
+	stripes [ctStripes]sync.Mutex
 
-	lookups uint64
-	hits    uint64
+	lookups atomic.Uint64
+	hits    atomic.Uint64
 
 	// Optional registry handles (nil when metrics are off; the handle
 	// methods no-op after one pointer check).
@@ -43,17 +56,20 @@ func (c *ctable[K, V]) init() {
 	c.entries = make([]ctEntry[K, V], 1<<ctBits)
 }
 
-func (c *ctable[K, V]) slot(k K) *ctEntry[K, V] {
-	h := maphash.Comparable(c.seed, k)
-	return &c.entries[h&(1<<ctBits-1)]
+func (c *ctable[K, V]) slotIndex(k K) uint64 {
+	return maphash.Comparable(c.seed, k) & (1<<ctBits - 1)
 }
 
 func (c *ctable[K, V]) get(k K) (V, bool) {
-	c.lookups++
+	c.lookups.Add(1)
 	c.obsLookups.Inc()
-	e := c.slot(k)
+	s := c.slotIndex(k)
+	st := &c.stripes[s&(ctStripes-1)]
+	st.Lock()
+	e := c.entries[s]
+	st.Unlock()
 	if e.valid && e.key == k {
-		c.hits++
+		c.hits.Add(1)
 		c.obsHits.Inc()
 		return e.value, true
 	}
@@ -62,17 +78,31 @@ func (c *ctable[K, V]) get(k K) (V, bool) {
 }
 
 func (c *ctable[K, V]) put(k K, v V) {
-	e := c.slot(k)
-	*e = ctEntry[K, V]{key: k, value: v, valid: true}
+	s := c.slotIndex(k)
+	st := &c.stripes[s&(ctStripes-1)]
+	st.Lock()
+	c.entries[s] = ctEntry[K, V]{key: k, value: v, valid: true}
+	st.Unlock()
 }
 
+// clear empties the table. It takes every stripe lock so it is safe even if
+// a straggling reader is still in flight, though the GC barrier normally
+// guarantees quiescence before clear runs.
 func (c *ctable[K, V]) clear() {
+	for i := range c.stripes {
+		c.stripes[i].Lock()
+	}
 	clear(c.entries)
-	c.lookups = 0
-	c.hits = 0
+	c.lookups.Store(0)
+	c.hits.Store(0)
+	for i := range c.stripes {
+		c.stripes[i].Unlock()
+	}
 }
 
-func (c *ctable[K, V]) stats() (lookups, hits uint64) { return c.lookups, c.hits }
+func (c *ctable[K, V]) stats() (lookups, hits uint64) {
+	return c.lookups.Load(), c.hits.Load()
+}
 
 // ComputeTableStats reports aggregate lookup/hit counters across the
 // manager's four compute tables, for diagnostics and tests.

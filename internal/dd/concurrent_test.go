@@ -1,0 +1,265 @@
+package dd
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// The concurrency battery. These tests are what `make dd-race` runs under
+// the race detector: they hammer the sharded unique tables, the striped
+// compute tables, the GC barrier, and MulMVParallel from many goroutines
+// and assert the two properties the parallel DD phase rests on —
+// canonicity (racing constructions of equal nodes agree on one pointer)
+// and determinism (results are bit-identical to the sequential path).
+
+// TestUniqueTableConcurrentSharedKeys has many goroutines build the same
+// state on one manager. Hash consing must hand every one of them the same
+// canonical node pointer, no matter how the insertions interleave.
+func TestUniqueTableConcurrentSharedKeys(t *testing.T) {
+	const workers = 16
+	rng := rand.New(rand.NewSource(101))
+	amps := randAmps(rng, 6)
+
+	m := New(6)
+	roots := make([]VEdge, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			roots[w] = m.VectorFromAmplitudes(amps)
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if roots[w].N != roots[0].N || roots[w].W != roots[0].W {
+			t.Fatalf("worker %d got a different canonical root: %p/%v vs %p/%v",
+				w, roots[w].N, roots[w].W, roots[0].N, roots[0].W)
+		}
+	}
+}
+
+// TestUniqueTableConcurrentDisjointKeys has goroutines build disjoint
+// basis states concurrently; every state must come out intact (no lost or
+// cross-wired insertions between shards).
+func TestUniqueTableConcurrentDisjointKeys(t *testing.T) {
+	const n = 6
+	m := New(n)
+	roots := make([]VEdge, 1<<n)
+	var wg sync.WaitGroup
+	for idx := range roots {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			roots[idx] = m.BasisState(n, uint64(idx))
+		}(idx)
+	}
+	wg.Wait()
+	for idx, e := range roots {
+		for j := uint64(0); j < 1<<n; j++ {
+			want := complex128(0)
+			if j == uint64(idx) {
+				want = 1
+			}
+			if got := m.Amplitude(e, n, j); got != want {
+				t.Fatalf("basis %d amplitude %d = %v, want %v", idx, j, got, want)
+			}
+		}
+	}
+}
+
+// TestComputeTableConcurrentMulMV runs the same matrix-vector multiply
+// from many goroutines on one manager. The compute tables may race
+// (lossy reads and writes), but cached values are pure functions of their
+// keys, so every goroutine must get the canonical result — pointer-equal
+// roots, bit-equal weights — and it must match a fresh sequential manager.
+func TestComputeTableConcurrentMulMV(t *testing.T) {
+	const workers = 16
+	rng := rand.New(rand.NewSource(103))
+	amps := randAmps(rng, 6)
+
+	// Sequential reference on an independent manager.
+	ref := New(6)
+	refGate := ref.SingleGate(6, matH, 3)
+	refOut := ref.ToArray(ref.MulMV(refGate, ref.VectorFromAmplitudes(amps)), 6)
+
+	m := New(6)
+	gate := m.SingleGate(6, matH, 3)
+	v := m.VectorFromAmplitudes(amps)
+	outs := make([]VEdge, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			outs[w] = m.MulMV(gate, v)
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if outs[w].N != outs[0].N || outs[w].W != outs[0].W {
+			t.Fatalf("worker %d result differs: %p/%v vs %p/%v",
+				w, outs[w].N, outs[w].W, outs[0].N, outs[0].W)
+		}
+	}
+	got := m.ToArray(outs[0], 6)
+	for i := range refOut {
+		if got[i] != refOut[i] {
+			t.Fatalf("amplitude %d: concurrent %v != sequential %v", i, got[i], refOut[i])
+		}
+	}
+}
+
+// TestManagerConcurrentMixedOps drives a mix of construction, arithmetic,
+// and multiplication from many goroutines on one manager — pure race-
+// detector fodder for the full concurrent surface (unique tables, all
+// four compute tables, the cnum table, metrics counters).
+func TestManagerConcurrentMixedOps(t *testing.T) {
+	const workers = 8
+	m := New(5)
+	gates := []MEdge{
+		m.SingleGate(5, matH, 0),
+		m.SingleGate(5, matT, 2),
+		m.ControlledGate(5, matX, 4, []Control{{Qubit: 1}}),
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + w)))
+			v := m.VectorFromAmplitudes(randAmps(rng, 5))
+			for i := 0; i < 20; i++ {
+				v = m.MulMV(gates[i%len(gates)], v)
+				u := m.VectorFromAmplitudes(randAmps(rng, 5))
+				v = m.Add(v, u)
+				_ = m.MulMM(gates[i%len(gates)], gates[(i+1)%len(gates)])
+			}
+			if m.Norm(v) == 0 {
+				t.Error("state collapsed to zero")
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// goRunner executes a task batch on its own goroutines — a stand-in for
+// sched.Pool.Run that keeps this package free of a sched dependency.
+func goRunner(tasks []func()) {
+	var wg sync.WaitGroup
+	for _, task := range tasks {
+		wg.Add(1)
+		go func(task func()) {
+			defer wg.Done()
+			task()
+		}(task)
+	}
+	wg.Wait()
+}
+
+// TestMulMVParallelMatchesSerial asserts the tentpole guarantee: the
+// frontier-split parallel multiply is bit-identical to the serial one,
+// both within a manager (pointer-equal) and across managers (bit-equal
+// amplitudes), for several split depths.
+func TestMulMVParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	for n := 3; n <= 7; n++ {
+		amps := randAmps(rng, n)
+
+		ref := New(n)
+		refGate := ref.ControlledGate(n, matH, n-1, []Control{{Qubit: 0}})
+		refOut := ref.ToArray(ref.MulMV(refGate, ref.VectorFromAmplitudes(amps)), n)
+
+		for split := 1; split <= 3; split++ {
+			m := New(n)
+			gate := m.ControlledGate(n, matH, n-1, []Control{{Qubit: 0}})
+			v := m.VectorFromAmplitudes(amps)
+			par := m.MulMVParallel(gate, v, goRunner, split)
+			ser := m.MulMV(gate, v)
+			if par.N != ser.N || par.W != ser.W {
+				t.Fatalf("n=%d split=%d: parallel root %p/%v != serial %p/%v",
+					n, split, par.N, par.W, ser.N, ser.W)
+			}
+			got := m.ToArray(par, n)
+			for i := range refOut {
+				if got[i] != refOut[i] {
+					t.Fatalf("n=%d split=%d amplitude %d: parallel %v != fresh serial %v",
+						n, split, i, got[i], refOut[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGCDeferredDuringConcurrentBatch checks the GC barrier's deferral
+// path: a collection requested while a parallel batch is in flight must
+// not sweep (it would pull nodes out from under the workers); it returns
+// 0, flags the deferral, and CollectIfNeeded picks it up once the batch
+// has joined.
+func TestGCDeferredDuringConcurrentBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	m := New(6)
+	gate := m.SingleGate(6, matH, 2)
+	v := m.VectorFromAmplitudes(randAmps(rng, 6))
+
+	collected := -1
+	runner := func(tasks []func()) {
+		// Workers are in flight (BeginConcurrent has run): Collect must
+		// defer, not sweep.
+		collected = m.Collect(Roots{V: []VEdge{v}, M: []MEdge{gate}})
+		goRunner(tasks)
+	}
+	out := m.MulMVParallel(gate, v, runner, 2)
+	if collected != 0 {
+		t.Fatalf("Collect during an in-flight batch swept %d nodes, want deferred (0)", collected)
+	}
+
+	// The deferral is pending; the next quiescent CollectIfNeeded must run
+	// a real collection regardless of the node-count threshold, and the
+	// result must survive it intact.
+	before := m.ToArray(out, 6)
+	if n := m.CollectIfNeeded(Roots{V: []VEdge{out}}); n <= 0 {
+		t.Fatalf("pending deferred collection did not run (removed %d)", n)
+	}
+	after := m.ToArray(out, 6)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("amplitude %d changed across deferred GC: %v -> %v", i, before[i], after[i])
+		}
+	}
+}
+
+// TestGCConcurrentBatchesWithCollections interleaves parallel multiply
+// batches with collections on the caller thread — the mid-circuit shape
+// ddsim produces — and verifies no batch ever observes a half-swept table
+// and no edge dangles: every post-GC state must still evaluate correctly
+// against an independent GC-free manager.
+func TestGCConcurrentBatchesWithCollections(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	amps := randAmps(rng, 6)
+
+	ref := New(6)
+	refState := ref.VectorFromAmplitudes(amps)
+
+	m := New(6)
+	state := m.VectorFromAmplitudes(amps)
+	for i := 0; i < 12; i++ {
+		gate := m.SingleGate(6, matH, i%6)
+		state = m.MulMVParallel(gate, state, goRunner, 2)
+		// Collect every iteration: the compute tables are wiped and every
+		// node outside the live state is swept, so any stale pointer in a
+		// table or edge would surface on the next batch.
+		m.Collect(Roots{V: []VEdge{state}})
+
+		refGate := ref.SingleGate(6, matH, i%6)
+		refState = ref.MulMV(refGate, refState)
+	}
+	got := m.ToArray(state, 6)
+	want := ref.ToArray(refState, 6)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("amplitude %d: GC-interleaved %v != reference %v", i, got[i], want[i])
+		}
+	}
+}

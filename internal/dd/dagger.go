@@ -15,7 +15,7 @@ func (m *Manager) daggerRec(e MEdge, memo map[*MNode]MEdge) MEdge {
 	if e.IsZero() {
 		return m.MZeroEdge()
 	}
-	w := m.C.Lookup(cmplx.Conj(e.W))
+	w := cmplx.Conj(e.W)
 	if e.IsTerminal() {
 		return MEdge{w, m.mTerminal}
 	}

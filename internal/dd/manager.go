@@ -3,6 +3,8 @@ package dd
 import (
 	"fmt"
 	"math/cmplx"
+	"sync"
+	"sync/atomic"
 
 	"flatdd/internal/cnum"
 )
@@ -10,18 +12,30 @@ import (
 // Manager owns the unique tables, compute tables and complex-number table of
 // one DD universe. Edges from different managers must never be mixed.
 //
-// A Manager is safe for concurrent reads of existing DDs (traversals); DD
-// construction (Make*, arithmetic, gate builders) must be externally
-// serialized. This matches the simulator's phase structure: DDs are built by
-// the sequential DD engine and then traversed read-only by the parallel
-// DMAV and conversion kernels.
+// A Manager is safe for concurrent use: DD construction (Make*, arithmetic,
+// gate builders) may run from any number of goroutines. The unique tables
+// are sharded-lock hash-consing tables — lookup-or-insert happens under one
+// shard lock, so canonicity (one pointer per structurally distinct node)
+// holds within a run regardless of interleaving. The compute tables are
+// lossy under concurrency: a racing reader may miss a concurrently installed
+// entry and recompute, but every cached value is a pure function of its key,
+// so results are never wrong. Weight snapping (cnum.Table) is a pure
+// function of the value, which makes concurrent construction bit-
+// deterministic end to end (see DESIGN.md §12).
+//
+// Garbage collection is the one operation that requires quiescence: callers
+// running parallel batches must bracket them with BeginConcurrent /
+// EndConcurrent, and Collect defers itself (returning 0) while any such
+// batch is in flight. Sequential callers (equiv, noise, observable, and the
+// serial DD engine) need no bracketing — with no batch open, Collect runs
+// immediately, exactly as before.
 type Manager struct {
 	C *cnum.Table
 
 	nQubits int
 
-	vUnique map[vKey]*VNode
-	mUnique map[mKey]*MNode
+	vUnique uniqueTable[vKey, *VNode]
+	mUnique uniqueTable[mKey, *MNode]
 
 	vTerminal *VNode
 	mTerminal *MNode
@@ -34,7 +48,16 @@ type Manager struct {
 	// gcThreshold triggers automatic collection inside CollectIfNeeded.
 	gcThreshold int
 
-	peakNodes int
+	nodeCount atomic.Int64
+	peakNodes atomic.Int64
+
+	// gcMu serializes Collect against the opening of concurrent batches:
+	// Collect holds it for the whole collection, so no new batch can start
+	// mid-sweep (stop-the-world), and BeginConcurrent briefly takes it so a
+	// batch never opens between Collect's quiescence check and its sweep.
+	gcMu      sync.Mutex
+	workers   atomic.Int64
+	gcPending atomic.Bool
 
 	met metrics
 }
@@ -85,12 +108,12 @@ func NewWithTolerance(nQubits int, tol float64) *Manager {
 	m := &Manager{
 		C:           cnum.NewTable(tol),
 		nQubits:     nQubits,
-		vUnique:     make(map[vKey]*VNode, 1<<10),
-		mUnique:     make(map[mKey]*MNode, 1<<10),
 		gcThreshold: 1 << 22,
 	}
 	m.vTerminal = &VNode{Level: TerminalLevel}
 	m.mTerminal = &MNode{Level: TerminalLevel}
+	m.vUnique.init()
+	m.mUnique.init()
 	m.addCT.init()
 	m.maddCT.init()
 	m.mvCT.init()
@@ -128,16 +151,43 @@ const NodeBytes = 96
 
 // NodeCount returns the number of live unique nodes (vector + matrix),
 // excluding terminals.
-func (m *Manager) NodeCount() int { return len(m.vUnique) + len(m.mUnique) }
+func (m *Manager) NodeCount() int { return int(m.nodeCount.Load()) }
 
 // PeakNodeCount returns the largest NodeCount observed at node creation.
-func (m *Manager) PeakNodeCount() int { return m.peakNodes }
+func (m *Manager) PeakNodeCount() int { return int(m.peakNodes.Load()) }
+
+// noteInsert accounts for a freshly interned node: it bumps the live count
+// and raises the peak high-water mark (CAS max, accurate under concurrent
+// inserters).
+func (m *Manager) noteInsert() {
+	c := m.nodeCount.Add(1)
+	for {
+		p := m.peakNodes.Load()
+		if c <= p || m.peakNodes.CompareAndSwap(p, c) {
+			break
+		}
+	}
+	m.met.peakNodes.SetMax(c)
+}
 
 // MakeVNode builds (or reuses) the canonical vector node at the given level
-// with the given children and returns its normalized incoming edge. The
-// returned edge weight carries the norm and phase factored out of the
-// children: the child weights of the stored node have 2-norm 1 and the
-// first nonzero child weight is real positive.
+// with the given children and returns its normalized incoming edge.
+// Normalization divides by the child weight of maximal snapped magnitude
+// (ties to the lower index), which therefore becomes exactly 1 — the same
+// division-based convention matrix nodes use. Division by a raw child
+// weight is the property that makes hash-consing robust on the snapping
+// grid: rebuilding a node from its own stored (grid) weights divides grid
+// values by a grid value, which reproduces the stored bits exactly. A
+// sum-of-squares (2-norm) divisor does not — the 2-norm of grid-snapped
+// weights is only 1 ± half a grid step, and dividing by it on a rebuild
+// shifts stored weights across bucket boundaries, breaking structure
+// sharing. The top weight stays raw (unsnapped) for the same reason:
+// quantizing it would inject half-bucket noise that the next level up
+// amplifies past the grid spacing. Only the stored child weights are
+// snapped — they are bucket centers, so re-deriving them through another
+// path perturbs them by far less than half a bucket and they snap back to
+// the same bits. Subtree vectors are consequently not unit-norm; norms are
+// computed by an upward pass (Norm, approx, measurement).
 func (m *Manager) MakeVNode(level int, e0, e1 VEdge) VEdge {
 	if level < 0 || level >= 64 {
 		panic(fmt.Sprintf("dd: bad vector node level %d", level))
@@ -147,38 +197,44 @@ func (m *Manager) MakeVNode(level int, e0, e1 VEdge) VEdge {
 	if e0.IsZero() && e1.IsZero() {
 		return m.VZeroEdge()
 	}
-	// Factor out the 2-norm and the phase of the first nonzero child.
-	a0 := cmplx.Abs(e0.W)
-	a1 := cmplx.Abs(e1.W)
-	norm := pythag(a0, a1)
-	var phase complex128
-	if !e0.IsZero() {
-		phase = e0.W / complex(a0, 0)
+	// Pick the divisor child by snapped magnitude so ties between
+	// equal-magnitude children resolve to the lower index regardless of
+	// ulp-level noise in the raw weights.
+	maxIdx := 0
+	if e0.IsZero() {
+		maxIdx = 1
+	} else if !e1.IsZero() {
+		if m.C.LookupFloat(cmplx.Abs(e1.W)) > m.C.LookupFloat(cmplx.Abs(e0.W)) {
+			maxIdx = 1
+		}
+	}
+	top := e0.W
+	if maxIdx == 1 {
+		top = e1.W
+	}
+	if maxIdx == 0 {
+		e0.W = 1
+		if !e1.IsZero() {
+			e1.W = m.C.Lookup(e1.W / top)
+			if e1.W == 0 {
+				e1 = m.VZeroEdge()
+			}
+		}
 	} else {
-		phase = e1.W / complex(a1, 0)
-	}
-	top := m.C.Lookup(complex(norm, 0) * phase)
-	if top == 0 {
-		// Numerically dead after snapping: the whole sub-vector is zero.
-		return m.VZeroEdge()
-	}
-	e0.W = m.C.Lookup(e0.W / top)
-	e1.W = m.C.Lookup(e1.W / top)
-	if e0.W == 0 {
-		e0 = m.VZeroEdge()
-	}
-	if e1.W == 0 {
-		e1 = m.VZeroEdge()
+		e1.W = 1
+		if !e0.IsZero() {
+			e0.W = m.C.Lookup(e0.W / top)
+			if e0.W == 0 {
+				e0 = m.VZeroEdge()
+			}
+		}
 	}
 	k := vKey{int8(level), cnum.KeyOf(e0.W), cnum.KeyOf(e1.W), e0.N, e1.N}
-	n, ok := m.vUnique[k]
-	if !ok {
-		n = &VNode{E: [2]VEdge{e0, e1}, Level: int8(level)}
-		m.vUnique[k] = n
-		if c := m.NodeCount(); c > m.peakNodes {
-			m.peakNodes = c
-			m.met.peakNodes.Set(int64(c))
-		}
+	n, inserted := m.vUnique.lookupOrInsert(k, func() *VNode {
+		return &VNode{E: [2]VEdge{e0, e1}, Level: int8(level)}
+	})
+	if inserted {
+		m.noteInsert()
 		m.met.vMisses.Inc()
 	} else {
 		m.met.vHits.Inc()
@@ -186,13 +242,13 @@ func (m *Manager) MakeVNode(level int, e0, e1 VEdge) VEdge {
 	return VEdge{top, n}
 }
 
-// normalizeVChild snaps an edge weight and canonicalizes dead edges.
+// normalizeVChild canonicalizes numerically dead edges to the zero edge.
+// Live weights are kept raw (see MakeVNode on why tops are not snapped).
 func (m *Manager) normalizeVChild(e VEdge) VEdge {
 	if e.N == nil {
 		panic("dd: nil child node")
 	}
-	e.W = m.C.Lookup(e.W)
-	if e.W == 0 {
+	if m.C.Lookup(e.W) == 0 {
 		return m.VZeroEdge()
 	}
 	return e
@@ -213,12 +269,14 @@ func (m *Manager) MakeMNode(level int, e [4]MEdge) MEdge {
 		if e[i].N == nil {
 			panic("dd: nil child node")
 		}
-		e[i].W = m.C.Lookup(e[i].W)
-		if e[i].W == 0 {
+		if m.C.Lookup(e[i].W) == 0 {
 			e[i] = m.MZeroEdge()
 			continue
 		}
-		if a := cmplx.Abs(e[i].W); a > maxMag {
+		// Compare snapped magnitudes so ties between equal-magnitude
+		// children (±1/sqrt2 in a Hadamard) resolve to the first index
+		// regardless of ulp-level noise in the raw weights.
+		if a := m.C.LookupFloat(cmplx.Abs(e[i].W)); a > maxMag {
 			maxMag = a
 			maxIdx = i
 		}
@@ -240,14 +298,11 @@ func (m *Manager) MakeMNode(level int, e [4]MEdge) MEdge {
 		cnum.KeyOf(e[0].W), cnum.KeyOf(e[1].W), cnum.KeyOf(e[2].W), cnum.KeyOf(e[3].W),
 		e[0].N, e[1].N, e[2].N, e[3].N,
 	}
-	n, ok := m.mUnique[k]
-	if !ok {
-		n = &MNode{E: e, Level: int8(level)}
-		m.mUnique[k] = n
-		if c := m.NodeCount(); c > m.peakNodes {
-			m.peakNodes = c
-			m.met.peakNodes.Set(int64(c))
-		}
+	n, inserted := m.mUnique.lookupOrInsert(k, func() *MNode {
+		return &MNode{E: e, Level: int8(level)}
+	})
+	if inserted {
+		m.noteInsert()
 		m.met.mMisses.Inc()
 	} else {
 		m.met.mHits.Inc()

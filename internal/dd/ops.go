@@ -3,11 +3,13 @@ package dd
 import "flatdd/internal/cnum"
 
 // scaleV multiplies an edge weight by w, keeping the zero edge canonical.
+// The product stays raw: top weights are exact arithmetic end to end, only
+// node-stored weights are grid-snapped (see MakeVNode).
 func (m *Manager) scaleV(e VEdge, w complex128) VEdge {
 	if e.IsZero() || w == 0 {
 		return m.VZeroEdge()
 	}
-	wc := m.C.Lookup(e.W * w)
+	wc := e.W * w
 	if wc == 0 {
 		return m.VZeroEdge()
 	}
@@ -18,7 +20,7 @@ func (m *Manager) scaleM(e MEdge, w complex128) MEdge {
 	if e.IsZero() || w == 0 {
 		return m.MZeroEdge()
 	}
-	wc := m.C.Lookup(e.W * w)
+	wc := e.W * w
 	if wc == 0 {
 		return m.MZeroEdge()
 	}
@@ -44,8 +46,8 @@ func (m *Manager) Add(a, b VEdge) VEdge {
 		if !a.IsTerminal() || !b.IsTerminal() {
 			panic("dd: Add operands of mismatched dimension")
 		}
-		w := m.C.Lookup(a.W + b.W)
-		if w == 0 {
+		w := a.W + b.W
+		if m.C.Lookup(w) == 0 {
 			return m.VZeroEdge()
 		}
 		return VEdge{w, m.vTerminal}
@@ -83,8 +85,8 @@ func (m *Manager) MAdd(a, b MEdge) MEdge {
 		if !a.IsTerminal() || !b.IsTerminal() {
 			panic("dd: MAdd operands of mismatched dimension")
 		}
-		w := m.C.Lookup(a.W + b.W)
-		if w == 0 {
+		w := a.W + b.W
+		if m.C.Lookup(w) == 0 {
 			return m.MZeroEdge()
 		}
 		return MEdge{w, m.mTerminal}
@@ -114,7 +116,7 @@ func (m *Manager) MulMV(M MEdge, v VEdge) VEdge {
 	if M.IsZero() || v.IsZero() {
 		return m.VZeroEdge()
 	}
-	w := m.C.Lookup(M.W * v.W)
+	w := M.W * v.W
 	if w == 0 {
 		return m.VZeroEdge()
 	}
@@ -156,7 +158,7 @@ func (m *Manager) MulMM(a, b MEdge) MEdge {
 	if a.IsZero() || b.IsZero() {
 		return m.MZeroEdge()
 	}
-	w := m.C.Lookup(a.W * b.W)
+	w := a.W * b.W
 	if w == 0 {
 		return m.MZeroEdge()
 	}

@@ -1,0 +1,77 @@
+package dd
+
+// Task-parallel DD matrix-vector multiplication. MulMV recursions on
+// distinct (matrix node, vector node) pairs are independent: each computes
+// a pure function of its pair and communicates only through the manager's
+// concurrent tables. MulMVParallel exploits that by splitting the top few
+// levels of the recursion into a frontier of sub-multiplications, running
+// them as one batch on a caller-provided task runner (typically
+// sched.Pool.Run), and then finishing with an ordinary serial MulMV that
+// hits the warmed compute table for every frontier pair.
+//
+// The result is bit-identical to MulMV(M, v) for any worker count and any
+// interleaving: the frontier tasks only populate the compute tables with
+// values that are pure functions of their keys, so the final serial pass
+// computes exactly what it would have computed alone — just faster,
+// because the heavy sub-DDs are already cached.
+
+// TaskRunner executes a batch of independent tasks and returns when all
+// have finished. sched.Pool.Run satisfies this signature.
+type TaskRunner func(tasks []func())
+
+// MulMVParallel computes MulMV(M, v), decomposing the top splitLevels
+// levels of the recursion into independent sub-multiplications executed
+// through run. The batch is bracketed with BeginConcurrent/EndConcurrent,
+// so a garbage collection triggered elsewhere defers until the workers
+// have drained. A nil runner, a non-positive splitLevels, or a frontier
+// of fewer than two pairs falls back to the serial MulMV.
+func (m *Manager) MulMVParallel(M MEdge, v VEdge, run TaskRunner, splitLevels int) VEdge {
+	if run == nil || splitLevels <= 0 || M.IsZero() || v.IsZero() ||
+		M.IsTerminal() || v.IsTerminal() {
+		return m.MulMV(M, v)
+	}
+	// Collect the deduplicated frontier: the (MNode, VNode) pairs the
+	// serial recursion would reach splitLevels below the root. Weights are
+	// irrelevant here — the compute table is keyed on node pairs only.
+	seen := make(map[mvKey]struct{})
+	var pairs []mvKey
+	var walk func(mn *MNode, vn *VNode, depth int)
+	walk = func(mn *MNode, vn *VNode, depth int) {
+		if mn.Level == TerminalLevel || vn.Level == TerminalLevel {
+			return
+		}
+		k := mvKey{mn, vn}
+		if _, ok := seen[k]; ok {
+			return
+		}
+		seen[k] = struct{}{}
+		if depth <= 0 {
+			pairs = append(pairs, k)
+			return
+		}
+		for i := 0; i < 2; i++ {
+			for c := 0; c < 2; c++ {
+				me := mn.Child(i, c)
+				ve := vn.E[c]
+				if me.IsZero() || ve.IsZero() {
+					continue
+				}
+				walk(me.N, ve.N, depth-1)
+			}
+		}
+	}
+	walk(M.N, v.N, splitLevels)
+	if len(pairs) > 1 {
+		tasks := make([]func(), len(pairs))
+		for i, k := range pairs {
+			k := k
+			tasks[i] = func() { m.MulMV(MEdge{W: 1, N: k.m}, VEdge{W: 1, N: k.v}) }
+		}
+		m.BeginConcurrent()
+		func() {
+			defer m.EndConcurrent()
+			run(tasks)
+		}()
+	}
+	return m.MulMV(M, v)
+}

@@ -1,0 +1,67 @@
+package dd
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// uniqueShards is the number of independently locked buckets each unique
+// table is split across. 64 keeps contention negligible for any realistic
+// worker count while the per-shard maps stay dense enough to hash well.
+const uniqueShards = 64
+
+type uShard[K comparable, N any] struct {
+	mu sync.Mutex
+	m  map[K]N
+}
+
+// uniqueTable is a sharded-lock hash-consing table. Lookup-or-insert happens
+// under a single shard lock, so two goroutines racing to create the same
+// node always agree on one canonical pointer: the loser of the race observes
+// the winner's node and discards its own candidate.
+type uniqueTable[K comparable, N any] struct {
+	seed   maphash.Seed
+	shards [uniqueShards]uShard[K, N]
+}
+
+func (t *uniqueTable[K, N]) init() {
+	t.seed = maphash.MakeSeed()
+	for i := range t.shards {
+		t.shards[i].m = make(map[K]N, 64)
+	}
+}
+
+// lookupOrInsert returns the canonical node for k, calling mk to build one
+// only when k is absent. The bool reports whether this call inserted. mk
+// runs under the shard lock; it must be cheap and must not touch the table.
+func (t *uniqueTable[K, N]) lookupOrInsert(k K, mk func() N) (N, bool) {
+	sh := &t.shards[maphash.Comparable(t.seed, k)%uniqueShards]
+	sh.mu.Lock()
+	n, ok := sh.m[k]
+	if !ok {
+		n = mk()
+		sh.m[k] = n
+	}
+	sh.mu.Unlock()
+	return n, !ok
+}
+
+// sweep removes every entry for which keep returns false and reports how
+// many were removed. keep may mutate the node (the GC uses it to clear mark
+// bits on survivors). Callers must guarantee no concurrent construction is
+// in flight (see Manager.Collect's barrier).
+func (t *uniqueTable[K, N]) sweep(keep func(N) bool) int {
+	removed := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for k, n := range sh.m {
+			if !keep(n) {
+				delete(sh.m, k)
+				removed++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}

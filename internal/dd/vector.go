@@ -2,6 +2,7 @@ package dd
 
 import (
 	"fmt"
+	"math"
 	"math/cmplx"
 )
 
@@ -44,11 +45,12 @@ func (m *Manager) VectorFromAmplitudes(amps []complex128) VEdge {
 
 func (m *Manager) vectorFromSlice(amps []complex128, level int) VEdge {
 	if level < 0 {
-		w := m.C.Lookup(amps[0])
-		if w == 0 {
+		// Keep the raw amplitude; quantizing inputs before normalization
+		// injects bucket-scale noise into the stored weights above.
+		if m.C.Lookup(amps[0]) == 0 {
 			return m.VZeroEdge()
 		}
-		return VEdge{w, m.vTerminal}
+		return VEdge{amps[0], m.vTerminal}
 	}
 	half := len(amps) / 2
 	e0 := m.vectorFromSlice(amps[:half], level-1)
@@ -161,11 +163,48 @@ func (m *Manager) MSize(e MEdge) int {
 	return len(seen)
 }
 
-// Norm returns the 2-norm of the vector DD. Thanks to the sum-of-squares
-// normalization of vector nodes, the norm is simply the magnitude of the
-// root edge weight.
+// Norm returns the 2-norm of the vector DD, computed by a memoized upward
+// pass over the unique nodes (O(nodes)). With division-based node
+// normalization sub-trees are not unit vectors, so the norm is
+// |W| * sqrt(S(root)) where S is the squared sub-tree norm.
 func (m *Manager) Norm(e VEdge) float64 {
-	return cmplx.Abs(e.W)
+	if e.IsZero() {
+		return 0
+	}
+	memo := make(map[*VNode]float64)
+	return cmplx.Abs(e.W) * math.Sqrt(m.subtreeNorm2(e.N, memo))
+}
+
+// SubtreeNorm2 returns S(n), the squared 2-norm of the sub-vector rooted at
+// node n with an implicit incoming weight of 1:
+//
+//	S(terminal) = 1,  S(n) = sum_i |w_i|^2 * S(child_i).
+//
+// memo caches S per node across calls that share the map; pass nil for a
+// one-shot query.
+func (m *Manager) SubtreeNorm2(n *VNode, memo map[*VNode]float64) float64 {
+	if memo == nil {
+		memo = make(map[*VNode]float64)
+	}
+	return m.subtreeNorm2(n, memo)
+}
+
+func (m *Manager) subtreeNorm2(n *VNode, memo map[*VNode]float64) float64 {
+	if n.Level == TerminalLevel {
+		return 1
+	}
+	if s, ok := memo[n]; ok {
+		return s
+	}
+	var s float64
+	for _, c := range n.E {
+		if !c.IsZero() {
+			w := cmplx.Abs(c.W)
+			s += w * w * m.subtreeNorm2(c.N, memo)
+		}
+	}
+	memo[n] = s
+	return s
 }
 
 // InnerProduct computes <a|b> for two vector DDs of the same dimension.

@@ -3,30 +3,25 @@ package ddsim
 import (
 	"fmt"
 	"math"
-	"math/cmplx"
 	"math/rand"
 
 	"flatdd/internal/dd"
 )
 
 // ProbabilityOfQubit returns P(qubit q = 1) of the current state, computed
-// directly on the DD: thanks to the sum-of-squares node normalization, the
-// probability mass of each sub-tree is the squared magnitude of the weight
-// product on its path, so one memoized upward pass suffices.
+// directly on the DD with two memoized passes: the squared sub-tree norms
+// S(n) (sub-trees are not unit vectors under division-based node
+// normalization) and the q=1 mass of each node above the measured level.
 func (s *Simulator) ProbabilityOfQubit(q int) float64 {
 	if q < 0 || q >= s.n {
 		panic(fmt.Sprintf("ddsim: qubit %d out of range", q))
 	}
+	norms := make(map[*dd.VNode]float64)
 	memo := make(map[*dd.VNode]float64)
 	var mass func(n *dd.VNode, level int) float64
-	// mass returns the fraction of the sub-tree's probability that has
-	// qubit q = 1 (sub-trees are normalized, so their total mass is 1).
+	// mass returns the probability mass of the sub-tree (for an incoming
+	// weight of 1) whose paths have qubit q = 1.
 	mass = func(n *dd.VNode, level int) float64 {
-		if level < q {
-			// Entirely below the measured qubit: by normalization the
-			// sub-vector is a unit vector, and q's value was fixed above.
-			return 0
-		}
 		if v, ok := memo[n]; ok {
 			return v
 		}
@@ -39,7 +34,8 @@ func (s *Simulator) ProbabilityOfQubit(q int) float64 {
 			w := real(e.W)*real(e.W) + imag(e.W)*imag(e.W)
 			if level == q {
 				if i == 1 {
-					p += w
+					// Everything below contributes its full mass.
+					p += w * s.m.SubtreeNorm2(e.N, norms)
 				}
 			} else {
 				p += w * mass(e.N, level-1)
@@ -111,7 +107,7 @@ func (s *Simulator) ForceOutcome(q, outcome int) {
 		panic("ddsim: measuring the zero state")
 	}
 	proj := s.m.ScaleV(project(e.N, s.n-1), e.W)
-	norm := cmplx.Abs(proj.W)
+	norm := s.m.Norm(proj)
 	if norm < 1e-12 {
 		panic(fmt.Sprintf("ddsim: outcome %d on qubit %d has zero probability", outcome, q))
 	}

@@ -1,0 +1,195 @@
+package ddsim
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"flatdd/internal/circuit"
+	"flatdd/internal/dd"
+	"flatdd/internal/obs"
+	"flatdd/internal/sched"
+	"flatdd/internal/workloads"
+)
+
+// Simulator-level half of the concurrency battery (`make dd-race` runs
+// these under the race detector alongside internal/dd's). The assertion
+// throughout is bit-identity: weight snapping happens on a fixed grid and
+// cached compute-table values are pure functions of their keys, so the
+// parallel DD phase must reproduce the sequential amplitudes exactly —
+// not approximately — for every thread count and interleaving.
+
+// runSerial runs c on a fresh sequential simulator and returns the final
+// amplitudes.
+func runSerial(c *circuit.Circuit) []complex128 {
+	s := New(c.Qubits)
+	s.Run(c)
+	return s.ToArray()
+}
+
+// runParallel runs c with task-parallel gate application on a pool of the
+// given worker count, forcing the frontier-split path for every gate.
+func runParallel(c *circuit.Circuit, threads int) []complex128 {
+	pool := sched.New(threads)
+	defer pool.Close()
+	s := New(c.Qubits)
+	s.SetParallelism(pool.Run, pool.Threads())
+	s.SetParallelCutoff(1)
+	s.Run(c)
+	return s.ToArray()
+}
+
+// stressCircuit is a deep-entangling supremacy-style circuit: the state
+// DD grows large enough that every gate exceeds any sensible parallel
+// cutoff and the recursion frontier is wide.
+func stressCircuit(n int) *circuit.Circuit {
+	return workloads.SupremacyGrid(n, 12, 20240812)
+}
+
+// TestParallelDeterminismAcrossThreadCounts is the headline determinism
+// test: threads=1 (sequential path) and threads∈{2,4,8} (parallel path)
+// must produce bit-identical final amplitudes on a deep-entangling
+// circuit. Weight-tolerance snapping is a pure function of the value
+// being snapped (see cnum), so no interleaving can shift a result to a
+// neighboring grid bucket.
+func TestParallelDeterminismAcrossThreadCounts(t *testing.T) {
+	c := stressCircuit(7)
+	want := runSerial(c)
+	for _, threads := range []int{2, 4, 8} {
+		got := runParallel(c, threads)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("threads=%d amplitude %d: %v != serial %v", threads, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestParallelStressGOMAXPROCS re-runs the parallel engine under
+// different GOMAXPROCS settings — including 1, where every interleaving
+// collapses onto one OS thread, and values above the pool size — and
+// checks bit-identity against the sequential reference each time.
+func TestParallelStressGOMAXPROCS(t *testing.T) {
+	c := stressCircuit(6)
+	want := runSerial(c)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, gp := range []int{1, 3, 7, 16} {
+		runtime.GOMAXPROCS(gp)
+		got := runParallel(c, 8)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("GOMAXPROCS=%d amplitude %d: %v != serial %v", gp, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestParallelRandomCircuits sweeps seeded random Clifford+T-style
+// circuits of varying width, comparing the parallel engine bit-for-bit
+// against the sequential one.
+func TestParallelRandomCircuits(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(300 + seed))
+		n := 4 + int(seed)
+		c := randomCircuit(rng, n, 60)
+		want := runSerial(c)
+		got := runParallel(c, 4)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed=%d amplitude %d: %v != serial %v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestParallelGCUnderConcurrency forces garbage collections mid-circuit
+// (tiny GC threshold) while gates run through the parallel path. The GC
+// barrier must keep collections off in-flight batches, and post-GC
+// rebuilds must leave no dangling edges: the final amplitudes stay
+// bit-identical to the GC-free sequential run, and collections must
+// actually have happened.
+func TestParallelGCUnderConcurrency(t *testing.T) {
+	c := stressCircuit(6)
+	want := runSerial(c)
+
+	reg := obs.New()
+	pool := sched.New(4)
+	defer pool.Close()
+	s := New(c.Qubits)
+	s.Manager().SetMetrics(reg)
+	s.Manager().SetGCThreshold(16)
+	s.SetParallelism(pool.Run, pool.Threads())
+	s.SetParallelCutoff(1)
+	s.Run(c)
+	got := s.ToArray()
+
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("amplitude %d: GC-stressed parallel %v != serial %v", i, got[i], want[i])
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["dd.gc.runs"] == 0 {
+		t.Fatal("GC threshold of 16 nodes triggered no collections — test exercised nothing")
+	}
+}
+
+// TestParallelCutoffFallsBackToSerial pins the cutoff plumbing: with a
+// cutoff above the circuit's peak DD size, the parallel engine must never
+// leave the sequential path (and still agree, trivially).
+func TestParallelCutoffFallsBackToSerial(t *testing.T) {
+	c := stressCircuit(5)
+	want := runSerial(c)
+
+	pool := sched.New(4)
+	defer pool.Close()
+	s := New(c.Qubits)
+	s.SetParallelism(pool.Run, pool.Threads())
+	s.SetParallelCutoff(1 << 30)
+	s.Run(c)
+	got := s.ToArray()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("amplitude %d: %v != serial %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSplitLevelsForParallel pins the frontier-sizing heuristic: enough
+// depth for ~8 tasks per worker, never reaching the terminal level.
+func TestSplitLevelsForParallel(t *testing.T) {
+	cases := []struct{ threads, n, want int }{
+		{1, 10, 2},  // 4^2 = 16 >= 8
+		{2, 10, 2},  // 16 >= 16
+		{4, 10, 3},  // 64 >= 32
+		{8, 10, 3},  // 64 >= 64
+		{16, 10, 4}, // 256 >= 128
+		{16, 3, 2},  // capped at n-1
+		{8, 2, 1},   // capped at n-1
+	}
+	for _, tc := range cases {
+		if got := splitLevelsFor(tc.threads, tc.n); got != tc.want {
+			t.Errorf("splitLevelsFor(%d, %d) = %d, want %d", tc.threads, tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestParallelDisableRestoresSerial checks SetParallelism's nil/1 paths.
+func TestParallelDisableRestoresSerial(t *testing.T) {
+	s := New(3)
+	pool := sched.New(2)
+	defer pool.Close()
+	s.SetParallelism(pool.Run, pool.Threads())
+	if s.parRun == nil {
+		t.Fatal("SetParallelism(run, 2) did not enable the parallel path")
+	}
+	s.SetParallelism(nil, 8)
+	if s.parRun != nil {
+		t.Fatal("SetParallelism(nil, ...) did not disable the parallel path")
+	}
+	s.SetParallelism(pool.Run, 1)
+	if s.parRun != nil {
+		t.Fatal("SetParallelism(run, 1) did not disable the parallel path")
+	}
+	var _ dd.TaskRunner = pool.Run
+}

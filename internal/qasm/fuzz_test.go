@@ -21,6 +21,16 @@ func FuzzParse(f *testing.F) {
 		"barrier q; qreg q[1];",
 		"qreg q[999999999];",
 		"gate g q { g q; }", // direct recursion in the body
+		// A deep-entangling supremacy-style block: H layer, then brick-work
+		// CZ/T/sqrt-X layers across the register. Parses to the kind of
+		// irregular circuit the parallel DD phase splits into wide frontiers.
+		"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[5];\n" +
+			"h q[0]; h q[1]; h q[2]; h q[3]; h q[4];\n" +
+			"cz q[0],q[1]; cz q[2],q[3]; t q[4];\n" +
+			"rx(pi/2) q[0]; t q[1]; ry(pi/2) q[2]; t q[3]; cz q[3],q[4];\n" +
+			"cz q[1],q[2]; t q[0]; rx(pi/2) q[3]; t q[2];\n" +
+			"cz q[0],q[1]; cz q[2],q[3]; ry(pi/2) q[4];\n" +
+			"h q[0]; h q[1]; h q[2]; h q[3]; h q[4];\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)
