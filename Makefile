@@ -99,12 +99,12 @@ fuzz:
 	$(GO) test -run NoSuchTest -fuzz FuzzParse -fuzztime 10s ./internal/qasm
 
 # bench-record emits a machine-readable perf record (BENCH_<n>.json at the
-# repo root) from a tiny-scale Table 1 run plus the parallel-DD-phase
-# thread sweep: 2 repetitions per cell plus sampled time series. Run it
-# once per meaningful commit to grow the performance history benchdiff
-# compares against.
+# repo root) from a tiny-scale Table 1 run, the parallel-DD-phase thread
+# sweep, and the multi-tenant serving experiment: 2 repetitions per cell
+# plus sampled time series. Run it once per meaningful commit to grow the
+# performance history benchdiff compares against.
 bench-record:
-	$(GO) run ./cmd/flatdd-bench -exp table1,ddpar -scale tiny -reps 2 -timeout 60s -out auto
+	$(GO) run ./cmd/flatdd-bench -exp table1,ddpar,tenants -scale tiny -reps 2 -timeout 60s -out auto
 
 # bench-gate diffs the newest record against the one before it and fails
 # on any wall-time regression beyond the noise guard (CI gate). With only

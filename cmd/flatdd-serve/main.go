@@ -1,14 +1,18 @@
 // Command flatdd-serve runs the FlatDD simulation job service: a
-// long-lived HTTP/JSON server that accepts OpenQASM or named-workload
-// circuits, admits them against a memory budget, queues them on a
-// bounded FIFO, and executes them on one shared work-stealing pool with
+// long-lived, multi-tenant HTTP/JSON server that accepts OpenQASM or
+// named-workload circuits, admits them against memory budgets and
+// per-tenant quotas, serves repeats from a canonical-circuit result
+// cache (coalescing identical in-flight submissions), and executes the
+// rest on one shared work-stealing pool via a weighted-fair queue with
 // per-job deadlines and cancellation.
 //
-//	flatdd-serve -listen :8080 -threads 8 -inflight 2 -mem-budget-mb 4096
+//	flatdd-serve -listen :8080 -threads 8 -inflight 2 -mem-budget-mb 4096 \
+//	    -cache-budget-mb 64 -tenant-weights gold=4,bronze=1
 //
-//	curl -s localhost:8080/v1/jobs -d '{"circuit":"ghz","n":20,"shots":100}'
+//	curl -s localhost:8080/v1/jobs -H 'X-Tenant: gold' -d '{"circuit":"ghz","n":20,"shots":100}'
 //	curl -s localhost:8080/v1/jobs/j-000001
 //	curl -s localhost:8080/v1/jobs/j-000001/result
+//	curl -s localhost:8080/v1/tenants
 //	curl -s -X DELETE localhost:8080/v1/jobs/j-000001
 //
 // SIGINT/SIGTERM triggers a graceful drain: admission stops (503),
@@ -25,6 +29,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,8 +60,17 @@ func main() {
 		slo     = flag.Duration("slo", 0, "per-job run-time SLO for anomaly profiling (0 = derive from windowed p99)")
 		profDir = flag.String("profile-dir", "", "capture pprof CPU+heap profiles on job anomalies into this directory, served at /debug/profiles (empty = off)")
 		profWin = flag.Duration("profile-window", 5*time.Minute, "minimum spacing between anomaly captures")
+		cacheMB = flag.Int("cache-budget-mb", 64, "result cache budget in MiB: repeat submissions of a circuit complete without an engine run (0 = off)")
+		tenantQ = flag.Int("tenant-queue", 0, "per-tenant queued-job quota (0 = the global queue depth)")
+		tenantI = flag.Int("tenant-inflight", 0, "per-tenant running-job cap (0 = the global inflight cap)")
+		tenantW = flag.String("tenant-weights", "", "comma-separated fair-scheduling weights, e.g. gold=4,bronze=1 (unlisted tenants weigh 1)")
 	)
 	flag.Parse()
+	weights, err := parseWeights(*tenantW)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flatdd-serve:", err)
+		os.Exit(2)
+	}
 	if *admission != serve.AdmissionWorstCase && *admission != serve.AdmissionLedger {
 		fmt.Fprintf(os.Stderr, "flatdd-serve: unknown -admission %q (want %s or %s)\n",
 			*admission, serve.AdmissionWorstCase, serve.AdmissionLedger)
@@ -105,6 +120,10 @@ func main() {
 		SLOTarget:          *slo,
 		ProfileDir:         *profDir,
 		ProfileWindow:      *profWin,
+		ResultCacheBudget:  normCacheBudget(*cacheMB),
+		TenantMaxQueued:    *tenantQ,
+		TenantMaxInFlight:  *tenantI,
+		TenantWeights:      weights,
 	})
 
 	ln, err := net.Listen("tcp", *listen)
@@ -135,4 +154,33 @@ func normRetries(n int) int {
 		return -1
 	}
 	return n
+}
+
+// normCacheBudget maps the flag's "0 = off" convention onto the Config's
+// "negative = off, 0 = default" one.
+func normCacheBudget(mb int) int64 {
+	if mb <= 0 {
+		return -1
+	}
+	return int64(mb) << 20
+}
+
+// parseWeights parses "a=4,b=1" into Config.TenantWeights.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -tenant-weights entry %q (want tenant=weight)", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad weight %q for tenant %q (want a positive integer)", val, name)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }

@@ -3,8 +3,8 @@ package main
 import (
 	"bufio"
 	"bytes"
-	"encoding/json"
-	"fmt"
+	"context"
+	"errors"
 	"net/http"
 	"os/exec"
 	"path/filepath"
@@ -12,10 +12,14 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"flatdd/internal/serve"
+	"flatdd/internal/serve/client"
 )
 
-// TestServeSmoke builds the flatdd-serve binary (race-enabled) and drives
-// it end to end over HTTP: admission control, job completion, client
+// TestServeSmoke builds the flatdd-serve binary (race-enabled) and
+// drives it end to end through the typed client: admission control, job
+// completion, result-cache hits, tenant accounting, client
 // cancellation, the in-flight cap, and SIGTERM drain. It is the
 // `make serve-smoke` target.
 func TestServeSmoke(t *testing.T) {
@@ -36,6 +40,7 @@ func TestServeSmoke(t *testing.T) {
 		"-inflight", "2",
 		"-timeout", "60s",
 		"-grace", "2s",
+		"-tenant-weights", "gold=4",
 	)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
@@ -64,125 +69,120 @@ func TestServeSmoke(t *testing.T) {
 		}
 	}()
 
-	post := func(body string) (int, map[string]any) {
+	ctx := context.Background()
+	c := client.New(base, client.WithTenant("gold"))
+	wait := func(id string, states ...string) *serve.JobView {
 		t.Helper()
-		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+		wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+		defer cancel()
+		v, err := c.Wait(wctx, id, 10*time.Millisecond)
 		if err != nil {
-			t.Fatal(err)
+			t.Fatalf("wait %s: %v", id, err)
 		}
-		defer resp.Body.Close()
-		var m map[string]any
-		json.NewDecoder(resp.Body).Decode(&m) //nolint:errcheck
-		return resp.StatusCode, m
-	}
-	get := func(path string) (int, map[string]any) {
-		t.Helper()
-		resp, err := http.Get(base + path)
-		if err != nil {
-			t.Fatal(err)
+		for _, s := range states {
+			if v.State == s {
+				return v
+			}
 		}
-		defer resp.Body.Close()
-		var m map[string]any
-		json.NewDecoder(resp.Body).Decode(&m) //nolint:errcheck
-		return resp.StatusCode, m
-	}
-	wait := func(id string, states ...string) map[string]any {
-		t.Helper()
-		deadline := time.Now().Add(60 * time.Second)
-		for {
-			code, m := get("/v1/jobs/" + id)
-			if code != http.StatusOK {
-				t.Fatalf("status %s: %d", id, code)
-			}
-			for _, s := range states {
-				if m["state"] == s {
-					return m
-				}
-			}
-			if time.Now().After(deadline) {
-				t.Fatalf("job %s stuck in %v, want %v", id, m["state"], states)
-			}
-			time.Sleep(10 * time.Millisecond)
-		}
+		t.Fatalf("job %s ended %q (%s), want %v", id, v.State, v.Error, states)
+		return nil
 	}
 
-	// Over-budget job: 26 qubits needs 3 GiB, budget is 256 MiB.
-	if code, m := post(`{"circuit":"ghz","n":26}`); code != http.StatusRequestEntityTooLarge {
-		t.Fatalf("over-budget submit: %d %v, want 413", code, m)
+	// Over-budget job: 26 qubits needs 3 GiB, budget is 256 MiB. The
+	// rejection arrives as the typed envelope error.
+	_, err = c.Submit(ctx, &serve.SubmitRequest{Circuit: "ghz", N: 26})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusRequestEntityTooLarge ||
+		apiErr.Code != serve.CodePayloadTooLarge || apiErr.Reason != "memory_budget" {
+		t.Fatalf("over-budget submit: %v, want 413 payload_too_large/memory_budget", err)
 	}
 
 	// A bell pair from QASM runs to completion with correct results.
-	code, m := post(`{"qasm":"qreg q[2]; h q[0]; cx q[0],q[1];","shots":500,"seed":7}`)
-	if code != http.StatusAccepted {
-		t.Fatalf("bell submit: %d %v", code, m)
+	bellReq := &serve.SubmitRequest{
+		QASM: "qreg q[2]; h q[0]; cx q[0],q[1];", Shots: 500, Seed: 7}
+	bell, err := c.Submit(ctx, bellReq)
+	if err != nil {
+		t.Fatalf("bell submit: %v", err)
 	}
-	bellID := m["id"].(string)
-	wait(bellID, "done")
-	code, res := get("/v1/jobs/" + bellID + "/result")
-	if code != http.StatusOK {
-		t.Fatalf("bell result: %d %v", code, res)
+	wait(bell.Job.ID, serve.StateDone)
+	res, err := c.Result(ctx, bell.Job.ID)
+	if err != nil {
+		t.Fatalf("bell result: %v", err)
 	}
-	shots := res["shots"].(map[string]any)
-	total := 0.0
-	for bits, n := range shots {
+	total := 0
+	for bits, n := range res.Shots {
 		if bits != "00" && bits != "11" {
 			t.Fatalf("impossible bell shot %q", bits)
 		}
-		total += n.(float64)
+		total += n
 	}
 	if total != 500 {
-		t.Fatalf("bell shots: %v", shots)
+		t.Fatalf("bell shots: %v", res.Shots)
+	}
+
+	// Resubmitting the same circuit hits the result cache: done in the
+	// submit response, no second engine run.
+	again, err := c.Submit(ctx, bellReq)
+	if err != nil {
+		t.Fatalf("bell resubmit: %v", err)
+	}
+	if again.Job.Cache != serve.CacheHit || again.Job.State != serve.StateDone {
+		t.Fatalf("bell resubmit = cache %q state %q, want an immediate hit",
+			again.Job.Cache, again.Job.State)
 	}
 
 	// A named random Clifford+T workload completes too (exercises the
 	// hybrid DD→DMAV path end to end).
-	code, m = post(`{"circuit":"randct","n":12,"seed":3,"top":4}`)
-	if code != http.StatusAccepted {
-		t.Fatalf("randct submit: %d %v", code, m)
+	randct, err := c.Submit(ctx, &serve.SubmitRequest{Circuit: "randct", N: 12, Seed: 3, Top: 4})
+	if err != nil {
+		t.Fatalf("randct submit: %v", err)
 	}
-	wait(m["id"].(string), "done")
+	wait(randct.Job.ID, serve.StateDone)
 
 	// Client cancellation: a long QV job transitions to canceled with the
 	// engine's sentinel message.
-	code, m = post(`{"circuit":"qv","n":16,"seed":1}`)
-	if code != http.StatusAccepted {
-		t.Fatalf("qv submit: %d %v", code, m)
+	slow, err := c.Submit(ctx, &serve.SubmitRequest{Circuit: "qv", N: 16, Seed: 1})
+	if err != nil {
+		t.Fatalf("qv submit: %v", err)
 	}
-	slowID := m["id"].(string)
-	wait(slowID, "running")
-	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+slowID, nil)
-	if resp, err := http.DefaultClient.Do(req); err != nil {
-		t.Fatal(err)
-	} else {
-		resp.Body.Close()
-	}
-	m = wait(slowID, "canceled", "done")
-	if m["state"] == "canceled" && !strings.Contains(fmt.Sprint(m["error"]), "canceled") {
-		t.Fatalf("cancel error: %v", m["error"])
-	}
-
-	// Concurrent submits respect the in-flight cap of 2.
-	ids := make([]string, 0, 4)
-	for i := 0; i < 4; i++ {
-		code, m = post(fmt.Sprintf(`{"circuit":"qv","n":16,"seed":%d}`, i+10))
-		if code != http.StatusAccepted {
-			t.Fatalf("fanout submit %d: %d %v", i, code, m)
-		}
-		ids = append(ids, m["id"].(string))
-	}
-	sawTwo := false
-	for end := time.Now().Add(30 * time.Second); time.Now().Before(end); {
-		resp, err := http.Get(base + "/v1/jobs?state=running")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		v, err := c.Job(ctx, slow.Job.ID)
 		if err != nil {
 			t.Fatal(err)
 		}
-		var running []map[string]any
-		json.NewDecoder(resp.Body).Decode(&running) //nolint:errcheck
-		resp.Body.Close()
-		if len(running) > 2 {
-			t.Fatalf("%d jobs running, cap is 2", len(running))
+		if v.State != serve.StateQueued || time.Now().After(deadline) {
+			break
 		}
-		if len(running) == 2 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Cancel(ctx, slow.Job.ID); err != nil {
+		var cancelErr *client.APIError
+		if !errors.As(err, &cancelErr) || cancelErr.Code != serve.CodeConflict {
+			t.Fatalf("cancel: %v", err)
+		}
+	}
+	if v := wait(slow.Job.ID, serve.StateCanceled, serve.StateDone); v.State == serve.StateCanceled &&
+		!strings.Contains(v.Error, "canceled") {
+		t.Fatalf("cancel error: %v", v.Error)
+	}
+
+	// Concurrent submits respect the in-flight cap of 2.
+	for i := 0; i < 4; i++ {
+		if _, err := c.Submit(ctx, &serve.SubmitRequest{Circuit: "qv", N: 16, Seed: int64(i + 10)}); err != nil {
+			t.Fatalf("fanout submit %d: %v", i, err)
+		}
+	}
+	sawTwo := false
+	for end := time.Now().Add(30 * time.Second); time.Now().Before(end); {
+		l, err := c.Jobs(ctx, client.JobsQuery{State: serve.StateRunning})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(l.Jobs) > 2 {
+			t.Fatalf("%d jobs running, cap is 2", len(l.Jobs))
+		}
+		if len(l.Jobs) == 2 {
 			sawTwo = true
 			break
 		}
@@ -190,6 +190,29 @@ func TestServeSmoke(t *testing.T) {
 	}
 	if !sawTwo {
 		t.Fatal("never saw two jobs in flight")
+	}
+
+	// The tenant view accounts the whole session under "gold" with its
+	// configured weight.
+	tenants, err := c.Tenants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundGold := false
+	for _, tv := range tenants {
+		if tv.Name != "gold" {
+			continue
+		}
+		foundGold = true
+		if tv.Weight != 4 {
+			t.Errorf("gold weight = %d, want 4 (-tenant-weights)", tv.Weight)
+		}
+		if tv.Submitted < 7 || tv.CacheHits < 1 {
+			t.Errorf("gold accounting = %+v, want >=7 submitted, >=1 cache hit", tv)
+		}
+	}
+	if !foundGold {
+		t.Fatalf("tenant gold missing from /v1/tenants: %+v", tenants)
 	}
 
 	// SIGTERM drains: queued fan-out jobs are canceled, the process exits 0.

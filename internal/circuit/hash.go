@@ -1,0 +1,55 @@
+package circuit
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Hash returns the canonical content hash of the circuit: a SHA-256 (hex)
+// over the register size and the semantic content of every gate in order —
+// targets, controls with polarity, and the unitary entries as raw float64
+// bits. The display name of the circuit and the spelling of each gate are
+// deliberately excluded: a gate is identified by what it does to the state,
+// not what a front end called it, so the same circuit built by a workloads
+// generator and parsed from OpenQASM hashes identically, and two QASM
+// sources that differ only in whitespace or comments collide by
+// construction. The hash is the key of the serve layer's result cache and
+// idempotency machinery (DESIGN.md §13).
+func (c *Circuit) Hash() string {
+	h := sha256.New()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wf := func(f float64) { wu(math.Float64bits(f)) }
+	wu(uint64(c.Qubits))
+	wu(uint64(len(c.Gates)))
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		wu(uint64(len(g.Targets)))
+		for _, t := range g.Targets {
+			wu(uint64(t))
+		}
+		wu(uint64(len(g.Controls)))
+		for _, ctl := range g.Controls {
+			wu(uint64(ctl.Qubit))
+			if ctl.Negative {
+				wu(1)
+			} else {
+				wu(0)
+			}
+		}
+		// The unitary fully determines the operation (params are already
+		// baked into it); hash the exact bits so no tolerance is involved.
+		for _, row := range g.U {
+			for _, e := range row {
+				wf(real(e))
+				wf(imag(e))
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

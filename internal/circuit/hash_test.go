@@ -1,0 +1,81 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func bellPair() *Circuit {
+	return New("bell", 2).Append(H(0), CX(0, 1))
+}
+
+func TestHashDeterministic(t *testing.T) {
+	a, b := bellPair(), bellPair()
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical circuits hash differently")
+	}
+	if len(a.Hash()) != 64 {
+		t.Fatalf("hash length %d, want 64 hex chars", len(a.Hash()))
+	}
+}
+
+func TestHashIgnoresDisplayName(t *testing.T) {
+	a, b := bellPair(), bellPair()
+	b.Name = "renamed"
+	if a.Hash() != b.Hash() {
+		t.Fatal("circuit display name leaked into the canonical hash")
+	}
+}
+
+func TestHashIgnoresGateSpelling(t *testing.T) {
+	// p(θ) and the qasm legacy spelling u1(θ) build the same unitary; the
+	// canonical hash must not see the name.
+	a := New("a", 1).Append(P(0.25, 0))
+	g := P(0.25, 0)
+	g.Name = "u1"
+	b := New("b", 1).Append(g)
+	if a.Hash() != b.Hash() {
+		t.Fatal("gate spelling leaked into the canonical hash")
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	base := bellPair().Hash()
+	cases := map[string]*Circuit{
+		"different register":  New("bell", 3).Append(H(0), CX(0, 1)),
+		"different target":    New("bell", 2).Append(H(1), CX(0, 1)),
+		"different control":   New("bell", 2).Append(H(0), CX(1, 0)),
+		"different gate":      New("bell", 2).Append(H(0), CZ(0, 1)),
+		"extra gate":          bellPair().Append(X(0)),
+		"reordered gates":     New("bell", 2).Append(CX(0, 1), H(0)),
+		"perturbed parameter": New("bell", 2).Append(RZ(1e-12, 0), CX(0, 1)),
+	}
+	for name, c := range cases {
+		if c.Hash() == base {
+			t.Errorf("%s: hash collision with the base circuit", name)
+		}
+	}
+}
+
+func TestHashControlPolarity(t *testing.T) {
+	pos := New("c", 2)
+	pos.Gates = append(pos.Gates, Gate{Name: "cx", Targets: []int{1},
+		Controls: []Control{{Qubit: 0}}, U: X(1).U})
+	neg := New("c", 2)
+	neg.Gates = append(neg.Gates, Gate{Name: "cx", Targets: []int{1},
+		Controls: []Control{{Qubit: 0, Negative: true}}, U: X(1).U})
+	if pos.Hash() == neg.Hash() {
+		t.Fatal("control polarity not part of the canonical hash")
+	}
+}
+
+func TestHashExactFloatBits(t *testing.T) {
+	// Adjacent float64s must produce distinct hashes: the hash is exact,
+	// tolerance lives in the engines.
+	theta := 0.7
+	a := New("r", 1).Append(RZ(theta, 0))
+	b := New("r", 1).Append(RZ(math.Nextafter(theta, 1), 0))
+	if a.Hash() == b.Hash() {
+		t.Fatal("adjacent rotation angles collide")
+	}
+}

@@ -441,6 +441,8 @@ func RunExperiment(id string, cfg Config) error {
 		MetricsReport(cfg)
 	case "ddpar":
 		DDPar(cfg)
+	case "tenants":
+		Tenants(cfg)
 	case "all":
 		for _, e := range ExperimentIDs() {
 			if e == "all" {
@@ -458,7 +460,7 @@ func RunExperiment(id string, cfg Config) error {
 
 // ExperimentIDs lists the recognized experiment identifiers.
 func ExperimentIDs() []string {
-	return []string{"fig1", "fig3", "table1", "fig11", "fig12", "fig13", "fig14", "table2", "ablation", "metrics", "ddpar", "all"}
+	return []string{"fig1", "fig3", "table1", "fig11", "fig12", "fig13", "fig14", "table2", "ablation", "metrics", "ddpar", "tenants", "all"}
 }
 
 // Helpers.

@@ -143,6 +143,10 @@ type Cell struct {
 	// DMAVCacheHitRate is hits/(hits+misses) of the DMAV result cache
 	// over all repetitions; -1 when the run had no cached DMAV gates.
 	DMAVCacheHitRate float64 `json:"dmav_cache_hit_rate"`
+	// CacheHitRate is the serve-layer result-cache hit rate of a
+	// multi-tenant serving cell ((hits+coalesced)/submitted); unset for
+	// engine cells. Additive; schema stays 1.
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
 
 	// Scheduler totals over all repetitions (FlatDD only; zero when the
 	// run never reached the flat-array phase): tasks executed, chunks

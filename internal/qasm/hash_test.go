@@ -1,0 +1,72 @@
+package qasm
+
+import (
+	"testing"
+
+	"flatdd/internal/circuit"
+)
+
+// TestCanonicalHashAcrossSources pins the property the serve layer's
+// result cache depends on: submissions that are textually different but
+// structurally identical OpenQASM programs share one canonical hash,
+// while a semantic change breaks it.
+func TestCanonicalHashAcrossSources(t *testing.T) {
+	base := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0],q[1];
+`
+	variants := []string{
+		// Comments and blank lines.
+		"OPENQASM 2.0;\ninclude \"qelib1.inc\";\n// a bell pair\nqreg q[2];\n\nh q[0];\ncx q[0],q[1];\n",
+		// Whitespace and CRLF endings.
+		"OPENQASM 2.0;\r\ninclude \"qelib1.inc\";\r\nqreg q[2];\r\nh  q[0] ;\r\ncx q[0] , q[1];\r\n",
+	}
+	want := mustParse(t, base).Hash()
+	for i, src := range variants {
+		if got := mustParse(t, src).Hash(); got != want {
+			t.Errorf("variant %d: hash %s != base %s", i, got, want)
+		}
+	}
+	changed := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[1];
+cx q[0],q[1];
+`
+	if mustParse(t, changed).Hash() == want {
+		t.Error("semantically different program collides with the base hash")
+	}
+}
+
+// TestCanonicalHashRoundTrip verifies Write∘Parse preserves the canonical
+// hash for circuits whose gates have native qelib1 spellings (the writer
+// lowers exotic gates to different-but-equivalent sequences, which
+// legitimately changes the gate list and so the hash).
+func TestCanonicalHashRoundTrip(t *testing.T) {
+	c := circuit.New("rt", 3).Append(
+		circuit.H(0), circuit.CX(0, 1), circuit.RZ(0.5, 2),
+		circuit.T(1), circuit.SWAP(0, 2),
+	)
+	src, err := ToString(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash() != c.Hash() {
+		t.Fatalf("round-trip hash changed:\n%s", src)
+	}
+}
+
+func mustParse(t *testing.T, src string) *circuit.Circuit {
+	t.Helper()
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

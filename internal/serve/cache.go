@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+	"sync"
+
+	"flatdd/internal/core"
+)
+
+// This file implements the canonical-circuit result cache and the
+// machinery behind single-flight shot batching (DESIGN.md §13).
+//
+// Key derivation: a cache key is (canonical circuit hash, normalized
+// engine options). The circuit hash (circuit.Hash) identifies what is
+// simulated; the options string covers exactly the request fields that
+// can change the simulated *state* or the reported engine statistics —
+// the DMAV cache mode, the fusion mode, and the fusion width k. Fields
+// that only shape the response (top, shots, seed) or the run's lifetime
+// (timeout) are deliberately excluded: those are recomputed per request
+// from the cached final state, which is what makes shot batching
+// possible in the first place.
+//
+// An entry stores the top maxTopAmps amplitudes (the response cap, so
+// any top= request can be served) and the cumulative probability
+// distribution for shot sampling. The distribution is the expensive
+// part — 8·2^n bytes — so it is only retained when it fits the per-entry
+// budget; an entry without it still serves shot-less requests, and a
+// shots>0 request against such an entry is a miss.
+
+// maxTopAmps matches the submit-time cap on top= (normalize); storing
+// this many amplitudes means every admissible request is servable.
+const maxTopAmps = 1024
+
+// cacheKey identifies one simulation outcome.
+type cacheKey struct {
+	circuit string // canonical circuit hash
+	options string // normalized result-affecting engine options
+}
+
+// optionsKey renders the result-affecting slice of a job's options.
+func optionsKey(o runOptions) string {
+	return fmt.Sprintf("cache=%d fusion=%d k=%d", o.cache, o.fusion, o.k)
+}
+
+// cacheEntry is one cached simulation outcome.
+type cacheEntry struct {
+	qubits int
+	// top holds the maxTopAmps largest-magnitude basis states, rendered
+	// once; per-request top= slices a prefix.
+	top []AmpView
+	// cum is the cumulative probability distribution (index-ordered) for
+	// seeded shot sampling; nil when the distribution was too large to
+	// retain, in which case the entry cannot serve shots>0 requests.
+	cum []float64
+	// stats is the producing run's engine statistics with the per-job
+	// Resources attribution stripped (a served hit did not spend them).
+	stats ResultStats
+	bytes int64
+	seq   uint64 // LRU recency stamp, maintained by resultCache
+}
+
+// servable reports whether the entry can answer a request with the given
+// shot count.
+func (e *cacheEntry) servable(shots int) bool {
+	return e != nil && (shots <= 0 || e.cum != nil)
+}
+
+// resultCache is a bounded LRU over cache entries. Lock ordering: the
+// server may call into the cache while holding Server.mu; the cache
+// never calls back out.
+type resultCache struct {
+	mu       sync.Mutex
+	budget   int64 // total byte budget; <= 0 disables the cache
+	maxEntry int64 // per-entry cap; larger results are not stored
+	entries  map[cacheKey]*cacheEntry
+	bytes    int64
+	seq      uint64
+	evicted  int64
+}
+
+func newResultCache(budget, maxEntry int64) *resultCache {
+	return &resultCache{
+		budget:   budget,
+		maxEntry: maxEntry,
+		entries:  make(map[cacheKey]*cacheEntry),
+	}
+}
+
+func (c *resultCache) enabled() bool { return c.budget > 0 }
+
+// get returns the entry for key if present and servable for the given
+// shot count, bumping its recency.
+func (c *resultCache) get(key cacheKey, shots int) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if !e.servable(shots) {
+		return nil
+	}
+	c.seq++
+	e.seq = c.seq
+	return e
+}
+
+// put stores an entry, evicting least-recently-used entries until the
+// budget holds. Oversized entries and a disabled cache are no-ops.
+func (c *resultCache) put(key cacheKey, e *cacheEntry) bool {
+	if e == nil || c.budget <= 0 || e.bytes > c.maxEntry || e.bytes > c.budget {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old := c.entries[key]; old != nil {
+		c.bytes -= old.bytes
+	}
+	c.seq++
+	e.seq = c.seq
+	c.entries[key] = e
+	c.bytes += e.bytes
+	for c.bytes > c.budget {
+		var lruKey cacheKey
+		var lru *cacheEntry
+		for k, v := range c.entries {
+			if v == e {
+				continue // never evict the entry just inserted
+			}
+			if lru == nil || v.seq < lru.seq {
+				lruKey, lru = k, v
+			}
+		}
+		if lru == nil {
+			break
+		}
+		delete(c.entries, lruKey)
+		c.bytes -= lru.bytes
+		c.evicted++
+	}
+	return true
+}
+
+// Stats returns (entries, bytes, evictions) for gauges and /healthz.
+func (c *resultCache) Stats() (int, int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.bytes, c.evicted
+}
+
+// buildCacheEntry captures a finished simulation as a cache entry. The
+// cumulative distribution is built only when withProbs is set (it is the
+// 8·2^n-byte part); the top-amplitude prefix is always captured.
+func buildCacheEntry(j *job, sim *core.Simulator, st core.Stats, withProbs bool) *cacheEntry {
+	n := j.circ.Qubits
+	entries := sim.TopAmplitudes(maxTopAmps)
+	top := make([]AmpView, 0, len(entries))
+	for _, e := range entries {
+		a := e.Amplitude
+		top = append(top, AmpView{
+			Basis:       fmt.Sprintf("%0*b", n, e.Index),
+			Probability: cmplx.Abs(a) * cmplx.Abs(a),
+			Re:          real(a),
+			Im:          imag(a),
+		})
+	}
+	e := &cacheEntry{
+		qubits: n,
+		top:    top,
+		stats:  resultStats(st),
+	}
+	e.stats.Resources = nil // per-job attribution does not transfer to hits
+	if withProbs {
+		probs := sim.Probabilities()
+		cum := make([]float64, len(probs))
+		acc := 0.0
+		for i, p := range probs {
+			acc += p
+			cum[i] = acc
+		}
+		e.cum = cum
+	}
+	// Entry footprint: the distribution dominates; the amplitude views
+	// cost ~64 B of numbers plus an n-char basis string each.
+	e.bytes = int64(len(e.cum))*8 + int64(len(e.top))*int64(64+n)
+	return e
+}
+
+// resultFromEntry assembles a job's result from a cache entry, applying
+// the job's own top= and drawing its own seeded shot stream.
+func resultFromEntry(j *job, e *cacheEntry) *JobResult {
+	top := e.top
+	if j.opts.top < len(top) {
+		top = top[:j.opts.top]
+	}
+	out := make([]AmpView, len(top))
+	copy(out, top)
+	res := &JobResult{
+		ID:      j.id,
+		Circuit: j.circ.Name,
+		Tenant:  j.tenant,
+		Cache:   j.cacheStatus,
+		Stats:   e.stats,
+		Top:     out,
+	}
+	if j.opts.shots > 0 {
+		res.Shots = sampleFromCum(e.cum, e.qubits, j.opts.shots, j.opts.seed)
+	}
+	return res
+}
+
+// sampleFromCum draws seeded measurement shots from a cumulative
+// distribution, matching core.Simulator.Sample's semantics (first index
+// with x < cum[i], falling through to the last state) so a cache hit's
+// shot stream is identical to a fresh simulation's for the same seed.
+func sampleFromCum(cum []float64, n, shots int, seed int64) map[string]int {
+	if shots <= 0 || len(cum) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	counts := make(map[string]int)
+	for k := 0; k < shots; k++ {
+		x := rng.Float64()
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if x < cum[mid] {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		counts[fmt.Sprintf("%0*b", n, uint64(lo))]++
+	}
+	return counts
+}
+
+// flight is one in-progress simulation with coalesced subscribers: the
+// leader runs the engine; subscribers are fully admitted jobs that never
+// enter the queue and are completed from the leader's entry, each with
+// its own top= prefix and seeded shot stream. If the leader fails or is
+// canceled, the oldest live subscriber is promoted to leader so the
+// remaining subscribers still get a result.
+type flight struct {
+	leader *job
+	subs   []*job
+}
+
+// maxCoalesced caps subscribers per flight so one hot circuit cannot
+// accumulate unbounded response state; requests beyond the cap are
+// rejected with 429/coalesce_limit.
+const maxCoalesced = 64

@@ -1,0 +1,309 @@
+// Package client is the typed Go client of the serve layer's v1 job API.
+// It wraps submit/status/result/cancel/list plus the tenant and health
+// views, decodes the structured error envelope into *APIError, and
+// passes W3C trace context through, so callers (tests, the bench
+// harness, operational tooling) never hand-build HTTP requests against
+// the service.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"flatdd/internal/serve"
+)
+
+// Client talks to one serve instance. The zero value is not usable;
+// construct with New.
+type Client struct {
+	base   string
+	http   *http.Client
+	tenant string
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithTenant sets the X-Tenant identity sent with every request. Without
+// it the server accounts the traffic to the default tenant ("anon").
+func WithTenant(name string) Option { return func(c *Client) { c.tenant = name } }
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// New builds a client for the service at base (e.g. "http://127.0.0.1:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: base, http: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response decoded from the service's structured
+// error envelope. Code is the closed enum (serve.Code*), Reason the
+// fine-grained cause, RetryAfter the server's backoff hint (0 if none).
+type APIError struct {
+	Status     int
+	Code       string
+	Message    string
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: %d %s (%s): %s", e.Status, e.Code, e.Reason, e.Message)
+}
+
+// IsRetryable reports whether the server asked the caller to retry
+// (rate-limited or temporarily unavailable).
+func (e *APIError) IsRetryable() bool {
+	return e.Code == serve.CodeRateLimited || e.Code == serve.CodeUnavailable
+}
+
+// SubmitOption configures one Submit call.
+type SubmitOption func(*submitOpts)
+
+type submitOpts struct {
+	idemKey     string
+	traceparent string
+}
+
+// WithIdempotencyKey makes the submission idempotent: resubmitting with
+// the same key replays the original job instead of admitting a new one.
+func WithIdempotencyKey(key string) SubmitOption {
+	return func(o *submitOpts) { o.idemKey = key }
+}
+
+// WithTraceParent propagates the caller's W3C trace context; the job's
+// span tree continues that trace.
+func WithTraceParent(tp string) SubmitOption {
+	return func(o *submitOpts) { o.traceparent = tp }
+}
+
+// SubmitResponse is the outcome of one Submit call.
+type SubmitResponse struct {
+	Job serve.JobView
+	// Replayed is true when an Idempotency-Key matched an earlier
+	// submission and Job is that original job.
+	Replayed bool
+	// TraceParent is the trace context the server handed back — the
+	// caller's own trace continued by the job, or a freshly minted one.
+	TraceParent string
+}
+
+// Submit posts a job (POST /v1/jobs).
+func (c *Client) Submit(ctx context.Context, req *serve.SubmitRequest, opts ...SubmitOption) (*SubmitResponse, error) {
+	var so submitOpts
+	for _, o := range opts {
+		o(&so)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encode submit request: %w", err)
+	}
+	hreq, err := c.newRequest(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if so.idemKey != "" {
+		hreq.Header.Set("Idempotency-Key", so.idemKey)
+	}
+	if so.traceparent != "" {
+		hreq.Header.Set("traceparent", so.traceparent)
+	}
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	out := &SubmitResponse{
+		Replayed:    resp.Header.Get("Idempotency-Replayed") == "true",
+		TraceParent: resp.Header.Get("traceparent"),
+	}
+	if err := decode(resp, &out.Job); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Job fetches a job's status (GET /v1/jobs/{id}).
+func (c *Client) Job(ctx context.Context, id string) (*serve.JobView, error) {
+	var v serve.JobView
+	if err := c.get(ctx, "/v1/jobs/"+url.PathEscape(id), &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Result fetches a done job's result (GET /v1/jobs/{id}/result). While
+// the job is still queued or running the call fails with an *APIError
+// carrying reason "not_ready".
+func (c *Client) Result(ctx context.Context, id string) (*serve.JobResult, error) {
+	var r serve.JobResult
+	if err := c.get(ctx, "/v1/jobs/"+url.PathEscape(id)+"/result", &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Cancel cancels a job (DELETE /v1/jobs/{id}) and returns its view.
+func (c *Client) Cancel(ctx context.Context, id string) (*serve.JobView, error) {
+	req, err := c.newRequest(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	var v serve.JobView
+	if err := decode(resp, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// JobsQuery filters and paginates List calls.
+type JobsQuery struct {
+	State  string // filter by job state ("" = all)
+	Tenant string // filter by tenant ("" = all)
+	Limit  int    // page size (0 = server default)
+	Cursor string // continuation from the previous page's NextCursor
+}
+
+// Jobs lists jobs newest-first (GET /v1/jobs), one page at a time.
+func (c *Client) Jobs(ctx context.Context, q JobsQuery) (*serve.JobList, error) {
+	vals := url.Values{}
+	if q.State != "" {
+		vals.Set("state", q.State)
+	}
+	if q.Tenant != "" {
+		vals.Set("tenant", q.Tenant)
+	}
+	if q.Limit > 0 {
+		vals.Set("limit", strconv.Itoa(q.Limit))
+	}
+	if q.Cursor != "" {
+		vals.Set("cursor", q.Cursor)
+	}
+	path := "/v1/jobs"
+	if enc := vals.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var l serve.JobList
+	if err := c.get(ctx, path, &l); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}
+
+// Tenants fetches the per-tenant accounting view (GET /v1/tenants).
+func (c *Client) Tenants(ctx context.Context) ([]serve.TenantView, error) {
+	var body struct {
+		Tenants []serve.TenantView `json:"tenants"`
+	}
+	if err := c.get(ctx, "/v1/tenants", &body); err != nil {
+		return nil, err
+	}
+	return body.Tenants, nil
+}
+
+// Health fetches /healthz as a generic document (its shape is
+// operational, not part of the typed v1 surface).
+func (c *Client) Health(ctx context.Context) (map[string]any, error) {
+	var m map[string]any
+	if err := c.get(ctx, "/healthz", &m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Wait polls a job until it reaches a terminal state (done, failed,
+// canceled) and returns the final view. poll <= 0 defaults to 25ms.
+// The context bounds the wait.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*serve.JobView, error) {
+	if poll <= 0 {
+		poll = 25 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		v, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch v.State {
+		case serve.StateDone, serve.StateFailed, serve.StateCanceled:
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return v, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.tenant != "" {
+		req.Header.Set(serve.TenantHeader, c.tenant)
+	}
+	return req, nil
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	return decode(resp, out)
+}
+
+// decode drains the response: 2xx unmarshals into out, anything else
+// into an *APIError built from the structured envelope (falling back to
+// the raw body for non-JSON errors, e.g. from intermediaries).
+func decode(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("read response: %w", err)
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil {
+			return nil
+		}
+		if err := json.Unmarshal(body, out); err != nil {
+			return fmt.Errorf("decode %d response: %w", resp.StatusCode, err)
+		}
+		return nil
+	}
+	apiErr := &APIError{Status: resp.StatusCode}
+	var env serve.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		apiErr.Code = env.Error.Code
+		apiErr.Message = env.Error.Message
+		apiErr.Reason = env.Error.Reason
+		apiErr.RetryAfter = time.Duration(env.Error.RetryAfterMS) * time.Millisecond
+	} else {
+		apiErr.Code = "unknown"
+		apiErr.Message = string(body)
+	}
+	return apiErr
+}

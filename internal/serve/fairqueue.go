@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"sync"
+)
+
+// fairQueue is the weighted-fair replacement for the server's former
+// global FIFO: jobs are queued per tenant (FIFO within a tenant) and
+// dispatched by stride scheduling, so tenants drain proportionally to
+// their weights instead of strictly by arrival order. A heavy tenant
+// that floods the queue no longer delays a light tenant's next job by
+// the whole backlog — only by the jobs already in flight plus at most
+// one dispatch round (DESIGN.md §13).
+//
+// Stride scheduling: every tenant carries a pass value; Pop picks the
+// eligible tenant with the smallest pass and advances it by
+// strideScale/weight. A tenant that goes idle and comes back re-enters
+// at the queue's current virtual time (never with banked credit), so it
+// cannot starve the tenants that kept submitting while it was away.
+//
+// The queue also enforces the per-tenant in-flight cap: Pop skips
+// tenants with maxInFlight jobs already running and blocks when no
+// tenant is eligible. Every Pop must be paired with exactly one Done for
+// the popped job's tenant — including jobs the caller discards (e.g.
+// canceled while queued).
+type fairQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	tenants map[string]*tenantQueue
+	queued  int // total queued jobs across tenants
+	virt    uint64
+	closed  bool
+
+	maxInFlight int // per-tenant running cap; <=0 disables
+	weightOf    func(tenant string) int
+}
+
+// tenantQueue is one tenant's FIFO plus its scheduling state.
+type tenantQueue struct {
+	jobs    []*job
+	running int
+	pass    uint64
+	stride  uint64
+}
+
+// strideScale is the stride numerator: a weight-w tenant advances its
+// pass by strideScale/w per dispatch, so relative dispatch rates are
+// proportional to weights.
+const strideScale = 1 << 20
+
+// newFairQueue builds an empty queue. weightOf maps a tenant to its
+// scheduling weight (values < 1 are treated as 1); maxInFlight is the
+// per-tenant running cap (<= 0 for none).
+func newFairQueue(maxInFlight int, weightOf func(string) int) *fairQueue {
+	q := &fairQueue{
+		tenants:     make(map[string]*tenantQueue),
+		maxInFlight: maxInFlight,
+		weightOf:    weightOf,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *fairQueue) tenantLocked(name string) *tenantQueue {
+	tq := q.tenants[name]
+	if tq == nil {
+		w := 1
+		if q.weightOf != nil {
+			if got := q.weightOf(name); got > 0 {
+				w = got
+			}
+		}
+		tq = &tenantQueue{stride: strideScale / uint64(w)}
+		q.tenants[name] = tq
+	}
+	return tq
+}
+
+// Push appends a job to its tenant's FIFO and wakes one waiter. It never
+// rejects — quota checks happen at admission, before Push. Returns false
+// only after Close.
+func (q *fairQueue) Push(j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	tq := q.tenantLocked(j.tenant)
+	if len(tq.jobs) == 0 {
+		// (Re-)activation: enter at the current virtual time so an idle
+		// spell never banks priority.
+		if tq.pass < q.virt {
+			tq.pass = q.virt
+		}
+	}
+	tq.jobs = append(tq.jobs, j)
+	q.queued++
+	q.cond.Signal()
+	return true
+}
+
+// Pop blocks until a job is dispatchable and returns it, or returns nil
+// once the queue is closed. The popped job's tenant is accounted as
+// running until Done is called for it.
+func (q *fairQueue) Pop() *job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return nil
+		}
+		if tq := q.pickLocked(); tq != nil {
+			j := tq.jobs[0]
+			tq.jobs = tq.jobs[1:]
+			q.queued--
+			q.virt = tq.pass
+			tq.pass += tq.stride
+			tq.running++
+			return j
+		}
+		q.cond.Wait()
+	}
+}
+
+// pickLocked returns the eligible tenant with the smallest pass value
+// (non-empty FIFO, under the in-flight cap), or nil.
+func (q *fairQueue) pickLocked() *tenantQueue {
+	var best *tenantQueue
+	for _, tq := range q.tenants {
+		if len(tq.jobs) == 0 {
+			continue
+		}
+		if q.maxInFlight > 0 && tq.running >= q.maxInFlight {
+			continue
+		}
+		if best == nil || tq.pass < best.pass {
+			best = tq
+		}
+	}
+	return best
+}
+
+// Done releases one running slot of a tenant (paired with the Pop that
+// returned its job) and wakes waiters that may now be eligible.
+func (q *fairQueue) Done(tenant string) {
+	q.mu.Lock()
+	if tq := q.tenants[tenant]; tq != nil && tq.running > 0 {
+		tq.running--
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Len returns the total number of queued jobs.
+func (q *fairQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}
+
+// TenantQueued returns how many jobs one tenant has queued.
+func (q *fairQueue) TenantQueued(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if tq := q.tenants[tenant]; tq != nil {
+		return len(tq.jobs)
+	}
+	return 0
+}
+
+// TenantRunning returns how many popped-but-not-Done jobs a tenant has.
+func (q *fairQueue) TenantRunning(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if tq := q.tenants[tenant]; tq != nil {
+		return tq.running
+	}
+	return 0
+}
+
+// Close wakes every Pop waiter with nil. Jobs still queued are abandoned
+// in place (the server has already marked them canceled by the time it
+// closes the queue).
+func (q *fairQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

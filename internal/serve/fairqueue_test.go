@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fairness and cap behavior of the stride queue, exercised directly —
+// the e2e counterpart lives in tenants_test.go.
+
+func fqJob(tenant string) *job { return &job{tenant: tenant} }
+
+// popN pops n jobs, releasing each immediately so per-tenant in-flight
+// caps never bite, and returns the dispatch counts per tenant.
+func popN(t *testing.T, q *fairQueue, n int) map[string]int {
+	t.Helper()
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		j := q.Pop()
+		if j == nil {
+			t.Fatalf("Pop %d returned nil on an open queue", i)
+		}
+		counts[j.tenant]++
+		q.Done(j.tenant)
+	}
+	return counts
+}
+
+func TestFairQueueWeightedShare(t *testing.T) {
+	weights := map[string]int{"gold": 2, "bronze": 1}
+	q := newFairQueue(1, func(name string) int { return weights[name] })
+	for i := 0; i < 30; i++ {
+		q.Push(fqJob("gold"))
+		q.Push(fqJob("bronze"))
+	}
+	counts := popN(t, q, 30)
+	// Stride scheduling gives gold twice bronze's dispatch rate; ties on
+	// equal pass values may fall either way, hence the ±1 slack.
+	if counts["gold"] < 19 || counts["gold"] > 21 {
+		t.Errorf("gold dispatched %d of 30, want 20±1 (bronze %d)", counts["gold"], counts["bronze"])
+	}
+	if counts["gold"]+counts["bronze"] != 30 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestFairQueueEqualWeightsInterleave(t *testing.T) {
+	q := newFairQueue(1, func(string) int { return 1 })
+	for i := 0; i < 10; i++ {
+		q.Push(fqJob("a"))
+		q.Push(fqJob("b"))
+	}
+	counts := popN(t, q, 20)
+	if counts["a"] != 10 || counts["b"] != 10 {
+		t.Errorf("equal weights dispatched %v, want 10/10", counts)
+	}
+}
+
+// TestFairQueueReactivationNoBurst pins the re-activation rule: a tenant
+// that was idle while others ran re-enters at the current virtual time
+// instead of replaying its missed share as a burst.
+func TestFairQueueReactivationNoBurst(t *testing.T) {
+	q := newFairQueue(1, func(string) int { return 1 })
+	for i := 0; i < 6; i++ {
+		q.Push(fqJob("a"))
+	}
+	popN(t, q, 3) // a advances the virtual clock alone
+	q.Push(fqJob("b"))
+	q.Push(fqJob("b"))
+
+	// b re-enters at the current virtual time, so it goes next — but only
+	// once before a gets its turn back; no catch-up burst of b's.
+	if j := q.Pop(); j.tenant != "b" {
+		t.Fatalf("first pop after reactivation = %q, want b", j.tenant)
+	}
+	q.Done("b")
+	next := popN(t, q, 2)
+	if next["a"] != 1 || next["b"] != 1 {
+		t.Errorf("pops after b's first turn = %v, want one each", next)
+	}
+}
+
+func TestFairQueuePerTenantInFlightCap(t *testing.T) {
+	q := newFairQueue(1, func(string) int { return 1 })
+	q.Push(fqJob("a"))
+	q.Push(fqJob("a"))
+	q.Push(fqJob("b"))
+
+	first := q.Pop()
+	second := q.Pop()
+	if first.tenant == second.tenant {
+		t.Fatalf("cap 1 dispatched %q twice without Done", first.tenant)
+	}
+	// Both tenants are now at their cap; a's second job must wait for a
+	// Done even though it is queued and the queue is open.
+	got := make(chan *job, 1)
+	go func() { got <- q.Pop() }()
+	select {
+	case j := <-got:
+		t.Fatalf("Pop dispatched %q past the per-tenant cap", j.tenant)
+	case <-time.After(50 * time.Millisecond):
+	}
+	q.Done("b")
+	select {
+	case j := <-got:
+		// Only a has work left; releasing b's slot does not admit a.
+		t.Fatalf("Pop returned %q after Done(b); a is still at cap", j.tenant)
+	case <-time.After(50 * time.Millisecond):
+	}
+	q.Done("a")
+	select {
+	case j := <-got:
+		if j.tenant != "a" {
+			t.Fatalf("unblocked pop = %q, want a", j.tenant)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pop still blocked after Done(a)")
+	}
+}
+
+func TestFairQueueCloseUnblocks(t *testing.T) {
+	q := newFairQueue(1, func(string) int { return 1 })
+	got := make(chan *job, 1)
+	go func() { got <- q.Pop() }()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case j := <-got:
+		if j != nil {
+			t.Fatalf("Pop on closed queue = %+v, want nil", j)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock Pop")
+	}
+	if q.Push(fqJob("a")) {
+		t.Fatal("Push accepted a job after Close")
+	}
+	if q.Pop() != nil {
+		t.Fatal("Pop on a closed empty queue did not return nil")
+	}
+}
+
+func TestFairQueueAccounting(t *testing.T) {
+	q := newFairQueue(2, func(string) int { return 1 })
+	q.Push(fqJob("a"))
+	q.Push(fqJob("a"))
+	q.Push(fqJob("b"))
+	if q.Len() != 3 || q.TenantQueued("a") != 2 || q.TenantQueued("b") != 1 {
+		t.Fatalf("len=%d a=%d b=%d", q.Len(), q.TenantQueued("a"), q.TenantQueued("b"))
+	}
+	j := q.Pop()
+	if q.Len() != 2 || q.TenantRunning(j.tenant) != 1 {
+		t.Fatalf("after pop: len=%d running(%s)=%d", q.Len(), j.tenant, q.TenantRunning(j.tenant))
+	}
+	q.Done(j.tenant)
+	if q.TenantRunning(j.tenant) != 0 {
+		t.Fatalf("running(%s) after Done = %d", j.tenant, q.TenantRunning(j.tenant))
+	}
+}

@@ -38,19 +38,29 @@ type SubmitRequest struct {
 
 // JobView is the wire form of a job's status.
 type JobView struct {
-	ID            string     `json:"id"`
-	Trace         string     `json:"trace,omitempty"` // trace ID; key into /debug/jobs?id=
-	State         string     `json:"state"`
-	Circuit       string     `json:"circuit"`
-	Qubits        int        `json:"qubits"`
-	Gates         int        `json:"gates"`
+	ID      string `json:"id"`
+	Trace   string `json:"trace,omitempty"` // trace ID; key into /debug/jobs?id=
+	State   string `json:"state"`
+	Tenant  string `json:"tenant"`          // submitting tenant (X-Tenant header; "anon" default)
+	Cache   string `json:"cache,omitempty"` // admission disposition: hit | miss | coalesced
+	Circuit string `json:"circuit"`
+	Qubits  int    `json:"qubits"`
+	Gates   int    `json:"gates"`
+
 	SubmittedAt   time.Time  `json:"submitted_at"`
 	StartedAt     *time.Time `json:"started_at,omitempty"`
 	FinishedAt    *time.Time `json:"finished_at,omitempty"`
 	Error         string     `json:"error,omitempty"`
 	Reason        string     `json:"reason,omitempty"`         // failure classification (failed jobs)
 	Attempts      int        `json:"attempts,omitempty"`       // >1 when transient faults were retried
-	QueuePosition int        `json:"queue_position,omitempty"` // 1-based; queued jobs only
+	QueuePosition int        `json:"queue_position,omitempty"` // 1-based estimate; queued non-coalesced jobs only
+}
+
+// JobList is the wire form of GET /v1/jobs: one page of job views,
+// newest first, plus the cursor of the next page ("" on the last page).
+type JobList struct {
+	Jobs       []JobView `json:"jobs"`
+	NextCursor string    `json:"next_cursor,omitempty"`
 }
 
 // AmpView is one basis state of the result's top-amplitude list.
@@ -87,9 +97,34 @@ type ResultStats struct {
 type JobResult struct {
 	ID      string         `json:"id"`
 	Circuit string         `json:"circuit"`
+	Tenant  string         `json:"tenant"`
+	Cache   string         `json:"cache,omitempty"` // hit | miss | coalesced
 	Stats   ResultStats    `json:"stats"`
 	Top     []AmpView      `json:"top_amplitudes"`
 	Shots   map[string]int `json:"shots,omitempty"`
+}
+
+// resultStats renders the engine statistics of a finished run.
+func resultStats(st core.Stats) ResultStats {
+	phase := core.PhaseDD
+	if st.ConvertedAtGate >= 0 {
+		phase = core.PhaseDMAV
+	}
+	return ResultStats{
+		Gates:           st.Gates,
+		ConvertedAtGate: st.ConvertedAtGate,
+		FinalPhase:      phase.String(),
+		TotalMS:         float64(st.TotalTime) / float64(time.Millisecond),
+		DDMS:            float64(st.DDTime) / float64(time.Millisecond),
+		ConversionMS:    float64(st.ConversionTime) / float64(time.Millisecond),
+		DMAVMS:          float64(st.DMAVTime) / float64(time.Millisecond),
+		PeakDDNodes:     st.PeakDDNodes,
+		MemoryBytes:     st.MemoryBytes,
+		Fidelity:        st.Fidelity,
+		Degraded:        st.Degraded,
+		DegradedReason:  st.DegradedReason,
+		Resources:       st.Resources,
+	}
 }
 
 // buildResult assembles the result payload from a finished simulator.
@@ -105,30 +140,14 @@ func buildResult(j *job, sim *core.Simulator, st core.Stats) *JobResult {
 			Im:          imag(a),
 		})
 	}
-	phase := core.PhaseDD
-	if st.ConvertedAtGate >= 0 {
-		phase = core.PhaseDMAV
-	}
 	return &JobResult{
 		ID:      j.id,
 		Circuit: j.circ.Name,
-		Stats: ResultStats{
-			Gates:           st.Gates,
-			ConvertedAtGate: st.ConvertedAtGate,
-			FinalPhase:      phase.String(),
-			TotalMS:         float64(st.TotalTime) / float64(time.Millisecond),
-			DDMS:            float64(st.DDTime) / float64(time.Millisecond),
-			ConversionMS:    float64(st.ConversionTime) / float64(time.Millisecond),
-			DMAVMS:          float64(st.DMAVTime) / float64(time.Millisecond),
-			PeakDDNodes:     st.PeakDDNodes,
-			MemoryBytes:     st.MemoryBytes,
-			Fidelity:        st.Fidelity,
-			Degraded:        st.Degraded,
-			DegradedReason:  st.DegradedReason,
-			Resources:       st.Resources,
-		},
-		Top:   top,
-		Shots: sampleShots(sim, n, j.opts.shots, j.opts.seed),
+		Tenant:  j.tenant,
+		Cache:   j.cacheStatus,
+		Stats:   resultStats(st),
+		Top:     top,
+		Shots:   sampleShots(sim, n, j.opts.shots, j.opts.seed),
 	}
 }
 
@@ -138,6 +157,8 @@ func (s *Server) viewLocked(j *job) JobView {
 		ID:          j.id,
 		Trace:       j.span.Trace().String(),
 		State:       j.state,
+		Tenant:      j.tenant,
+		Cache:       j.cacheStatus,
 		Circuit:     j.circ.Name,
 		Qubits:      j.circ.Qubits,
 		Gates:       j.circ.GateCount(),
@@ -154,10 +175,14 @@ func (s *Server) viewLocked(j *job) JobView {
 		t := j.finished
 		v.FinishedAt = &t
 	}
-	if j.state == StateQueued {
+	// Queue position is a submission-order estimate: the weighted-fair
+	// scheduler may dispatch across tenants in a different order.
+	// Coalesced subscribers are not in the queue at all.
+	if j.state == StateQueued && j.cacheStatus != CacheCoalesced {
 		pos := 0
 		for _, id := range s.order {
-			if s.jobs[id].state == StateQueued {
+			jj := s.jobs[id]
+			if jj.state == StateQueued && jj.cacheStatus != CacheCoalesced {
 				pos++
 			}
 			if id == j.id {
@@ -171,12 +196,17 @@ func (s *Server) viewLocked(j *job) JobView {
 
 // Handler returns the service's HTTP mux:
 //
-//	POST   /v1/jobs             — submit (SubmitRequest → JobView, 202)
-//	GET    /v1/jobs             — list (?state= filters)
+//	POST   /v1/jobs             — submit (SubmitRequest → JobView; 202, or
+//	                              200 replaying an Idempotency-Key)
+//	GET    /v1/jobs             — list (JobList, newest first; ?state= and
+//	                              ?tenant= filter, ?limit= and ?cursor= paginate)
 //	GET    /v1/jobs/{id}        — status
 //	GET    /v1/jobs/{id}/result — result of a done job
 //	DELETE /v1/jobs/{id}        — cancel (POST /v1/jobs/{id}/cancel works too)
-//	GET    /healthz             — liveness, capacity, uptime, latency SLOs
+//	GET    /v1/tenants          — per-tenant accounting: queue/running state,
+//	                              quotas, cache hit/coalesce/miss counts
+//	GET    /healthz             — liveness, capacity, uptime, latency SLOs,
+//	                              result-cache occupancy
 //	GET    /debug/jobs          — flight recorder: last N job span trees (?id= for one)
 //	GET    /debug/ledger        — memory-admission ledger: budget, reservations,
 //	                              observed footprints, per-job resource costs
@@ -184,6 +214,18 @@ func (s *Server) viewLocked(j *job) JobView {
 //	                              ?file= downloads one profile)
 //	/debug/*                    — metrics, expvar, pprof (internal/obs);
 //	                              /debug/metrics?format=prometheus for text exposition
+//
+// Tenancy: requests carry their tenant in the X-Tenant header (default
+// "anon"). POST /v1/jobs additionally accepts an Idempotency-Key header —
+// resubmitting with the same key returns the original job (200, header
+// Idempotency-Replayed: true) instead of admitting a duplicate, and a
+// key reuse with a different request body is a 409/idempotency_mismatch.
+//
+// Every non-2xx response body is the structured envelope of errors.go:
+// {"error":{"code","message","reason","retry_after_ms"}} with code one of
+// invalid_request (400), not_found (404), conflict (409),
+// payload_too_large (413), rate_limited (429), internal (500),
+// unavailable (503).
 //
 // POST /v1/jobs accepts a W3C `traceparent` header and returns one: the
 // job's span tree continues the caller's trace (a fresh trace is minted
@@ -196,6 +238,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /debug/jobs", s.flight.Handler())
 	mux.HandleFunc("GET /debug/ledger", s.handleLedger)
@@ -281,42 +324,36 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	b, err := json.MarshalIndent(v, "", "  ")
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	if err != nil {
+		// Hand-rolled envelope: ErrorEnvelope itself always marshals, but
+		// this path must not recurse into the encoder that just failed.
 		w.WriteHeader(http.StatusInternalServerError)
-		fmt.Fprintf(w, "{\n  \"error\": %q\n}\n", "encode response: "+err.Error())
+		fmt.Fprintf(w, "{\n  \"error\": {\n    \"code\": %q,\n    \"message\": %q\n  }\n}\n",
+			CodeInternal, "encode response: "+err.Error())
 		return
 	}
 	w.WriteHeader(status)
 	w.Write(append(b, '\n')) //nolint:errcheck // best-effort HTTP write
 }
 
-type errorBody struct {
-	Error  string `json:"error"`
-	Reason string `json:"reason,omitempty"` // machine-readable, e.g. "queue_full", "memory_budget"
-}
-
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorBody{Error: msg})
-}
-
-func writeErrorReason(w http.ResponseWriter, status int, msg, reason string) {
-	writeJSON(w, status, errorBody{Error: msg, Reason: reason})
-}
-
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant, terr := tenantFromRequest(r)
+	if terr != nil {
+		s.met.rejectInvalid.Inc()
+		writeAPIError(w, http.StatusBadRequest, terr.Error(), "invalid_tenant", 0)
+		return
+	}
 	var req SubmitRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.met.rejectInvalid.Inc()
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		writeAPIError(w, http.StatusBadRequest, "bad request body: "+err.Error(), "invalid", 0)
 		return
 	}
-	j, aerr := s.submit(&req, r.Header.Get("traceparent"))
+	j, replayed, aerr := s.submit(&req, r.Header.Get("traceparent"), tenant,
+		r.Header.Get("Idempotency-Key"))
 	if aerr != nil {
-		if aerr.retryAfter > 0 {
-			w.Header().Set("Retry-After", strconv.Itoa(aerr.retryAfter))
-		}
-		writeErrorReason(w, aerr.status, aerr.msg, aerr.reason)
+		writeAPIError(w, aerr.status, aerr.msg, aerr.reason, aerr.retryAfter)
 		return
 	}
 	s.mu.Lock()
@@ -325,22 +362,87 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Hand the caller its trace context back: the trace it sent (now
 	// continued by the job's span tree) or the one minted here.
 	w.Header().Set("traceparent", obs.TraceParent(j.span.Trace(), j.span.ID()))
-	writeJSON(w, http.StatusAccepted, v)
+	status := http.StatusAccepted
+	if replayed {
+		// An idempotent replay did not admit anything new: 200, flagged.
+		w.Header().Set("Idempotency-Replayed", "true")
+		status = http.StatusOK
+	}
+	writeJSON(w, status, v)
 }
 
+// listDefaultLimit and listMaxLimit bound GET /v1/jobs pages; before
+// pagination the endpoint returned the server's entire (append-only) job
+// index on every call.
+const (
+	listDefaultLimit = 100
+	listMaxLimit     = 1000
+)
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	filter := r.URL.Query().Get("state")
+	q := r.URL.Query()
+	stateFilter := q.Get("state")
+	tenantFilter := q.Get("tenant")
+	limit := listDefaultLimit
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeAPIError(w, http.StatusBadRequest,
+				"limit must be a positive integer", "invalid", 0)
+			return
+		}
+		limit = n
+		if limit > listMaxLimit {
+			limit = listMaxLimit
+		}
+	}
+	cursor := q.Get("cursor")
+
 	s.mu.Lock()
-	out := make([]JobView, 0, len(s.order))
-	for _, id := range s.order {
-		j := s.jobs[id]
-		if filter != "" && j.state != filter {
+	// Newest first over the append-only submission order; the cursor is
+	// the last job id of the previous page, so a page boundary stays
+	// stable while new jobs arrive (they appear before the cursor and are
+	// simply not part of an older listing's continuation).
+	start := len(s.order) - 1
+	if cursor != "" {
+		start = -1
+		for i := len(s.order) - 1; i >= 0; i-- {
+			if s.order[i] == cursor {
+				start = i - 1
+				break
+			}
+		}
+		if start == -1 && (len(s.order) == 0 || s.order[0] != cursor) {
+			s.mu.Unlock()
+			writeAPIError(w, http.StatusBadRequest,
+				fmt.Sprintf("unknown cursor %q", cursor), "invalid_cursor", 0)
+			return
+		}
+	}
+	out := JobList{Jobs: []JobView{}}
+	for i := start; i >= 0; i-- {
+		j := s.jobs[s.order[i]]
+		if stateFilter != "" && j.state != stateFilter {
 			continue
 		}
-		out = append(out, s.viewLocked(j))
+		if tenantFilter != "" && j.tenant != tenantFilter {
+			continue
+		}
+		if len(out.Jobs) == limit {
+			// One more match exists beyond the page: resume after the last
+			// job actually returned.
+			out.NextCursor = out.Jobs[len(out.Jobs)-1].ID
+			break
+		}
+		out.Jobs = append(out.Jobs, s.viewLocked(j))
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTenants serves the per-tenant accounting view.
+func (s *Server) handleTenants(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": s.Tenants()})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -348,7 +450,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs[r.PathValue("id")]
 	if !ok {
 		s.mu.Unlock()
-		writeError(w, http.StatusNotFound, "no such job")
+		writeAPIError(w, http.StatusNotFound, "no such job", "unknown_job", 0)
 		return
 	}
 	v := s.viewLocked(j)
@@ -361,7 +463,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs[r.PathValue("id")]
 	if !ok {
 		s.mu.Unlock()
-		writeError(w, http.StatusNotFound, "no such job")
+		writeAPIError(w, http.StatusNotFound, "no such job", "unknown_job", 0)
 		return
 	}
 	state, errMsg, res := j.state, j.errMsg, j.result
@@ -370,10 +472,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case StateDone:
 		writeJSON(w, http.StatusOK, res)
 	case StateQueued, StateRunning:
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; retry later", state))
+		writeAPIError(w, http.StatusConflict,
+			fmt.Sprintf("job is %s; retry later", state), "not_ready", 1)
 	default: // failed | canceled
-		writeError(w, http.StatusConflict, fmt.Sprintf("job %s: %s", state, errMsg))
+		writeAPIError(w, http.StatusConflict,
+			fmt.Sprintf("job %s: %s", state, errMsg), "job_"+state, 0)
 	}
 }
 
@@ -381,11 +484,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	found, canceled := s.Cancel(id)
 	if !found {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeAPIError(w, http.StatusNotFound, "no such job", "unknown_job", 0)
 		return
 	}
 	if !canceled {
-		writeError(w, http.StatusConflict, "job already finished")
+		writeAPIError(w, http.StatusConflict, "job already finished", "job_finished", 0)
 		return
 	}
 	s.mu.Lock()
@@ -411,6 +514,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if s.draining {
 		status = "draining"
 	}
+	hits, misses := s.met.cacheHits.Value(), s.met.cacheMisses.Value()
+	coal := s.met.cacheCoalesced.Value()
+	hitRate := 0.0
+	if total := hits + coal + misses; total > 0 {
+		// Coalesced submissions count as absorbed work: they did not run
+		// the engine either.
+		hitRate = float64(hits+coal) / float64(total)
+	}
+	entries, bytes, evictions := s.cache.Stats()
 	body := map[string]any{
 		"status":   status,
 		"uptime_s": time.Since(s.started).Seconds(),
@@ -419,11 +531,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"degraded": s.met.degraded.Value(),
 		"retried":  s.met.retried.Value(),
 		"faults":   s.met.faults.Value(),
+		"tenants":  len(s.tenants),
 		"capacity": map[string]any{
 			"queue_depth":         s.cfg.QueueDepth,
 			"max_inflight":        s.cfg.MaxInFlight,
 			"memory_budget_bytes": s.cfg.MemoryBudget,
 			"max_qubits":          s.cfg.MaxQubits,
+			"tenant_max_queued":   s.cfg.TenantMaxQueued,
+			"tenant_max_inflight": s.cfg.TenantMaxInFlight,
+		},
+		"cache": map[string]any{
+			"enabled":      s.cache.enabled(),
+			"budget_bytes": s.cfg.ResultCacheBudget,
+			"entries":      entries,
+			"bytes":        bytes,
+			"evictions":    evictions,
+			"hits":         hits,
+			"misses":       misses,
+			"coalesced":    coal,
+			"hit_rate":     hitRate,
 		},
 		// Quantiles come from the windowed (recent-traffic) histograms, so
 		// a deploy's regression shows within one window instead of being

@@ -1,21 +1,23 @@
-package serve
+package serve_test
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"testing"
 	"time"
 
 	"flatdd/internal/obs"
+	"flatdd/internal/serve"
 )
 
 // ledgerBurst submits count qv-16 jobs (cache=never so the projected
 // footprint undershoots the static worst case) and waits for all of
 // them to finish, returning the observed peak of concurrently running
 // jobs.
-func ledgerBurst(t *testing.T, mode string, budget uint64, count int) (peak int64, srv *Server) {
+func ledgerBurst(t *testing.T, mode string, budget uint64, count int) (peak int64, srv *serve.Server) {
 	t.Helper()
-	h := newTestServer(t, Config{
+	h := newTestServer(t, serve.Config{
 		Threads:           2,
 		MaxInFlight:       8,
 		AdmissionMode:     mode,
@@ -23,12 +25,12 @@ func ledgerBurst(t *testing.T, mode string, budget uint64, count int) (peak int6
 	})
 	ids := make([]string, 0, count)
 	for i := 0; i < count; i++ {
-		v := h.submit(&SubmitRequest{Circuit: "qv", N: 16, Seed: int64(i + 1),
+		v := h.submit(&serve.SubmitRequest{Circuit: "qv", N: 16, Seed: int64(i + 1),
 			Cache: "never", TimeoutMS: 60_000})
 		ids = append(ids, v.ID)
 	}
 	for _, id := range ids {
-		if v := h.waitState(id, StateDone, StateFailed); v.State != StateDone {
+		if v := h.waitState(id, serve.StateDone, serve.StateFailed); v.State != serve.StateDone {
 			t.Fatalf("job %s finished %s: %s", id, v.State, v.Error)
 		}
 	}
@@ -53,15 +55,15 @@ func TestLedgerAdmissionHigherConcurrency(t *testing.T) {
 	if testing.Short() {
 		t.Skip("burst of qv-16 jobs in -short mode")
 	}
-	budget := WorstCaseBytes(16)*4 - 300_000
+	budget := serve.WorstCaseBytes(16)*4 - 300_000
 
-	worstPeak, wsrv := ledgerBurst(t, AdmissionWorstCase, budget, 8)
+	worstPeak, wsrv := ledgerBurst(t, serve.AdmissionWorstCase, budget, 8)
 	if worstPeak > 3 {
 		t.Fatalf("worstcase mode admitted %d concurrent jobs; budget allows 3", worstPeak)
 	}
 	wsrv.Shutdown()
 
-	ledgerPeak, lsrv := ledgerBurst(t, AdmissionLedger, budget, 8)
+	ledgerPeak, lsrv := ledgerBurst(t, serve.AdmissionLedger, budget, 8)
 	if ledgerPeak <= worstPeak {
 		t.Errorf("ledger mode peak %d not above worstcase peak %d under the same budget",
 			ledgerPeak, worstPeak)
@@ -77,10 +79,10 @@ func TestLedgerAdmissionHigherConcurrency(t *testing.T) {
 // full once every job is done, in both modes: leaked reservations would
 // strangle a long-lived server.
 func TestReservationsReleasedAtTerminal(t *testing.T) {
-	for _, mode := range []string{AdmissionWorstCase, AdmissionLedger} {
-		h := newTestServer(t, Config{Threads: 2, AdmissionMode: mode})
-		v := h.submit(&SubmitRequest{Circuit: "ghz", N: 10})
-		h.waitState(v.ID, StateDone)
+	for _, mode := range []string{serve.AdmissionWorstCase, serve.AdmissionLedger} {
+		h := newTestServer(t, serve.Config{Threads: 2, AdmissionMode: mode})
+		v := h.submit(&serve.SubmitRequest{Circuit: "ghz", N: 10})
+		h.waitState(v.ID, serve.StateDone)
 		reg := h.srv.Registry()
 		if got := reg.Gauge("serve.mem.reserved").Value(); got != 0 {
 			t.Errorf("%s: serve.mem.reserved = %d after all jobs done", mode, got)
@@ -94,17 +96,19 @@ func TestReservationsReleasedAtTerminal(t *testing.T) {
 
 // TestAnomalyCaptureRateLimited asserts the exactly-once contract: a
 // burst of SLO-breaching jobs produces exactly one pprof capture within
-// the rate window.
+// the rate window. The result cache is disabled so every job actually
+// runs (and breaches) on the engine.
 func TestAnomalyCaptureRateLimited(t *testing.T) {
-	h := newTestServer(t, Config{
-		Threads:       2,
-		SLOTarget:     time.Nanosecond, // every job breaches
-		ProfileDir:    t.TempDir(),
-		ProfileWindow: time.Hour, // one capture per test run
+	h := newTestServer(t, serve.Config{
+		Threads:           2,
+		SLOTarget:         time.Nanosecond, // every job breaches
+		ProfileDir:        t.TempDir(),
+		ProfileWindow:     time.Hour, // one capture per test run
+		ResultCacheBudget: -1,
 	})
 	for i := 0; i < 5; i++ {
-		v := h.submit(&SubmitRequest{Circuit: "ghz", N: 8})
-		h.waitState(v.ID, StateDone)
+		v := h.submit(&serve.SubmitRequest{Circuit: "ghz", N: 8})
+		h.waitState(v.ID, serve.StateDone)
 	}
 	// The capture runs on its own goroutine off the server lock; wait for
 	// the first one to land, then confirm the storm stayed at one.
@@ -133,21 +137,17 @@ func TestAnomalyCaptureRateLimited(t *testing.T) {
 	}
 }
 
-// TestDebugLedgerAndResultResources walks the tentpole's observability
-// surface: the job result carries the per-phase resource snapshot and
-// /debug/ledger exposes the process-wide accounting.
+// TestDebugLedgerAndResultResources walks the resource-accounting
+// observability surface: the job result carries the per-phase resource
+// snapshot and /debug/ledger exposes the process-wide accounting.
 func TestDebugLedgerAndResultResources(t *testing.T) {
-	h := newTestServer(t, Config{Threads: 2})
-	v := h.submit(&SubmitRequest{Circuit: "qv", N: 12, TimeoutMS: 60_000})
-	h.waitState(v.ID, StateDone)
+	h := newTestServer(t, serve.Config{Threads: 2})
+	v := h.submit(&serve.SubmitRequest{Circuit: "qv", N: 12, TimeoutMS: 60_000})
+	h.waitState(v.ID, serve.StateDone)
 
-	code, body := h.do("GET", "/v1/jobs/"+v.ID+"/result", nil)
-	if code != http.StatusOK {
-		t.Fatalf("result: %d %s", code, body)
-	}
-	var res JobResult
-	if err := json.Unmarshal(body, &res); err != nil {
-		t.Fatal(err)
+	res, err := h.c.Result(context.Background(), v.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
 	}
 	r := res.Stats.Resources
 	if r == nil || len(r.Phases) == 0 {
@@ -169,21 +169,21 @@ func TestDebugLedgerAndResultResources(t *testing.T) {
 		}
 	}
 
-	code, body = h.do("GET", "/debug/ledger", nil)
+	code, body := h.do("GET", "/debug/ledger", nil)
 	if code != http.StatusOK {
 		t.Fatalf("/debug/ledger: %d %s", code, body)
 	}
 	var led struct {
-		AdmissionMode string        `json:"admission_mode"`
-		BudgetBytes   uint64        `json:"budget_bytes"`
-		ReservedBytes uint64        `json:"reserved_bytes"`
-		PeakBytes     uint64        `json:"observed_peak_bytes"`
-		Jobs          []LedgerEntry `json:"jobs"`
+		AdmissionMode string              `json:"admission_mode"`
+		BudgetBytes   uint64              `json:"budget_bytes"`
+		ReservedBytes uint64              `json:"reserved_bytes"`
+		PeakBytes     uint64              `json:"observed_peak_bytes"`
+		Jobs          []serve.LedgerEntry `json:"jobs"`
 	}
 	if err := json.Unmarshal(body, &led); err != nil {
 		t.Fatal(err)
 	}
-	if led.AdmissionMode != AdmissionWorstCase {
+	if led.AdmissionMode != serve.AdmissionWorstCase {
 		t.Errorf("admission_mode = %q", led.AdmissionMode)
 	}
 	if led.BudgetBytes == 0 || led.ReservedBytes != 0 {
@@ -214,12 +214,12 @@ func TestDebugLedgerAndResultResources(t *testing.T) {
 // budget still dispatches when nothing else is reserved — the gate
 // degrades to serial execution instead of deadlocking.
 func TestOversizeJobRunsAlone(t *testing.T) {
-	h := newTestServer(t, Config{
+	h := newTestServer(t, serve.Config{
 		Threads:           2,
 		TotalMemoryBudget: 1, // absurdly small; per-job MemoryBudget still admits
 	})
-	v := h.submit(&SubmitRequest{Circuit: "ghz", N: 10})
-	if got := h.waitState(v.ID, StateDone, StateFailed); got.State != StateDone {
+	v := h.submit(&serve.SubmitRequest{Circuit: "ghz", N: 10})
+	if got := h.waitState(v.ID, serve.StateDone, serve.StateFailed); got.State != serve.StateDone {
 		t.Fatalf("oversize-vs-budget job %s: %s", got.State, got.Error)
 	}
 }

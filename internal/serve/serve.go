@@ -1,17 +1,25 @@
-// Package serve implements a long-lived simulation job service on top of
-// the FlatDD engine: circuits are submitted over HTTP/JSON, admitted
-// against a memory budget, queued on a bounded FIFO, executed on one
-// shared work-stealing scheduler pool, and driven through the
-// context-first core.RunContext API so per-job deadlines and client
-// cancellations propagate into the engine within one gate.
+// Package serve implements a long-lived, multi-tenant simulation job
+// service on top of the FlatDD engine: circuits are submitted over
+// HTTP/JSON, admitted against memory and per-tenant quotas, scheduled by
+// a weighted-fair queue, executed on one shared work-stealing scheduler
+// pool, and driven through the context-first core.RunContext API so
+// per-job deadlines and client cancellations propagate into the engine
+// within one gate.
 //
 // The lifecycle is queued → running → done | failed | canceled. Admission
 // control happens at submit time: a job whose 2^n-amplitude flat-array
 // worst case (WorstCaseBytes) exceeds the configured budget is rejected
-// with 413, a full queue rejects with 429, and a draining server with
-// 503. Everything is instrumented through internal/obs under the serve.*
-// metric names (DESIGN.md §8) and the /debug/metrics + pprof mux of the
-// observability layer is mounted on the same handler.
+// with 413, a full queue (global or per-tenant) rejects with 429, and a
+// draining server with 503. Before a job is queued at all, the service
+// consults the canonical-circuit result cache: a submission whose
+// (circuit hash, engine options) key matches a cached outcome completes
+// instantly without touching the engine, and one that matches a
+// simulation already in flight coalesces onto it — one engine run, many
+// subscribers, each with its own top-amplitude prefix and seeded shot
+// stream (DESIGN.md §13). Everything is instrumented through
+// internal/obs under the serve.* metric names (DESIGN.md §8) and the
+// /debug/metrics + pprof mux of the observability layer is mounted on
+// the same handler.
 package serve
 
 import (
@@ -42,6 +50,16 @@ const (
 	StateDone     = "done"
 	StateFailed   = "failed"
 	StateCanceled = "canceled"
+)
+
+// Cache dispositions of an admitted job (JobView.Cache): a hit was
+// served from the result cache without running the engine, a coalesced
+// job subscribed to an in-flight simulation of the same circuit, a miss
+// ran (or will run) the engine itself.
+const (
+	CacheHit       = "hit"
+	CacheMiss      = "miss"
+	CacheCoalesced = "coalesced"
 )
 
 // maxSimQubits is the engine's hard register-size ceiling (the DMAV
@@ -158,6 +176,29 @@ type Config struct {
 	ProfileCapacity    int
 	ProfileWindow      time.Duration
 	ProfileCPUDuration time.Duration
+
+	// ResultCacheBudget is the total byte budget of the canonical-circuit
+	// result cache (default 64 MiB; negative disables caching and
+	// in-flight coalescing entirely). Entries are evicted LRU.
+	ResultCacheBudget int64
+	// ResultCacheMaxEntry caps one entry's footprint (default 16 MiB).
+	// The dominant cost is the 8·2^n-byte cumulative distribution that
+	// backs cached shot sampling, so this cap decides up to which
+	// register size cache hits can serve shots>0 requests (n ≤ 21 at the
+	// default).
+	ResultCacheMaxEntry int64
+	// TenantMaxQueued caps one tenant's queued jobs (default: QueueDepth,
+	// i.e. no per-tenant constraint beyond the global one). Submissions
+	// over the cap reject with 429/tenant_queue_full.
+	TenantMaxQueued int
+	// TenantMaxInFlight caps one tenant's concurrently running jobs
+	// (default: MaxInFlight). The fair queue skips a tenant at its cap,
+	// dispatching other tenants' work instead.
+	TenantMaxInFlight int
+	// TenantWeights assigns weighted-fair scheduling weights by tenant
+	// name (default 1 each): a weight-4 tenant is dispatched 4× as often
+	// as a weight-1 tenant while both have work queued.
+	TenantWeights map[string]int
 }
 
 // Admission modes (Config.AdmissionMode, the -admission flag).
@@ -227,6 +268,21 @@ func (c Config) withDefaults() Config {
 	if c.LatencyWindow <= 0 {
 		c.LatencyWindow = 5 * time.Minute
 	}
+	switch {
+	case c.ResultCacheBudget == 0:
+		c.ResultCacheBudget = 64 << 20
+	case c.ResultCacheBudget < 0:
+		c.ResultCacheBudget = 0 // disabled
+	}
+	if c.ResultCacheMaxEntry <= 0 {
+		c.ResultCacheMaxEntry = 16 << 20
+	}
+	if c.TenantMaxQueued < 1 {
+		c.TenantMaxQueued = c.QueueDepth
+	}
+	if c.TenantMaxInFlight < 1 {
+		c.TenantMaxInFlight = c.MaxInFlight
+	}
 	return c
 }
 
@@ -244,6 +300,15 @@ type job struct {
 	id   string
 	circ *circuit.Circuit
 	opts runOptions
+
+	// tenant is the submitting tenant (DefaultTenant when the request
+	// carried no X-Tenant header); key is the job's result-cache identity
+	// (canonical circuit hash + engine options); cacheStatus is the
+	// admission disposition (CacheHit/CacheMiss/CacheCoalesced).
+	tenant      string
+	key         cacheKey
+	cacheStatus string
+	idemKey     string // Idempotency-Key the job was submitted under ("" if none)
 
 	state     string
 	errMsg    string
@@ -306,6 +371,19 @@ type serveMetrics struct {
 	latencyNs     *obs.Histogram
 	queueWaitNs   *obs.Histogram
 	runNs         *obs.Histogram
+
+	// Result-cache and multi-tenant instrumentation. engineRuns counts
+	// actual engine executions; submitted − engineRuns is the work the
+	// cache and coalescing absorbed. rejectQuota counts per-tenant quota
+	// rejections (tenant_queue_full, coalesce_limit).
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheCoalesced *obs.Counter
+	cacheEntries   *obs.Gauge
+	cacheBytes     *obs.Gauge
+	cacheEvictions *obs.Gauge
+	engineRuns     *obs.Counter
+	rejectQuota    *obs.Counter
 }
 
 // Server is the simulation job service. Create with New, expose
@@ -339,9 +417,20 @@ type Server struct {
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string // submission order, for the list endpoint
-	queue    chan *job
 	nextID   int
 	draining bool
+
+	// fq is the weighted-fair dispatch queue (replacing the former global
+	// FIFO channel); cache the canonical-circuit result cache; flights
+	// the in-progress simulations open for coalescing, keyed like the
+	// cache; tenants the per-tenant accounting; idem the Idempotency-Key
+	// replay index ("tenant\x00key" → job id). All but fq and cache (which
+	// have their own locks and never call back out) are guarded by mu.
+	fq      *fairQueue
+	cache   *resultCache
+	flights map[cacheKey]*flight
+	tenants map[string]*tenantStats
+	idem    map[string]string
 
 	// memReserved is the sum of in-flight reservations against
 	// TotalMemoryBudget; memCond is signaled whenever a reservation
@@ -364,12 +453,16 @@ func New(cfg Config) *Server {
 		started: time.Now(),
 		jobs:    make(map[string]*job),
 		flight:  obs.NewFlightRecorder(cfg.FlightRecorderSize),
+		cache:   newResultCache(cfg.ResultCacheBudget, cfg.ResultCacheMaxEntry),
+		flights: make(map[cacheKey]*flight),
+		tenants: make(map[string]*tenantStats),
+		idem:    make(map[string]string),
 	}
 	if cfg.TraceJSONL != nil {
 		s.tw = obs.NewTraceWriter(cfg.TraceJSONL)
 	}
 	s.tracer = obs.NewTracer(s.tw)
-	s.queue = make(chan *job, cfg.QueueDepth)
+	s.fq = newFairQueue(cfg.TenantMaxInFlight, s.tenantWeight)
 	if cfg.Pool != nil {
 		s.pool = cfg.Pool
 	} else {
@@ -405,6 +498,15 @@ func New(cfg Config) *Server {
 		latencyNs:     r.Histogram("serve.job.latency_ns", obs.DurationBuckets()),
 		queueWaitNs:   r.Histogram("serve.job.queue_wait_ns", obs.DurationBuckets()),
 		runNs:         r.Histogram("serve.job.run_ns", obs.DurationBuckets()),
+
+		cacheHits:      r.Counter("serve.cache.hits"),
+		cacheMisses:    r.Counter("serve.cache.misses"),
+		cacheCoalesced: r.Counter("serve.cache.coalesced"),
+		cacheEntries:   r.Gauge("serve.cache.entries"),
+		cacheBytes:     r.Gauge("serve.cache.bytes"),
+		cacheEvictions: r.Gauge("serve.cache.evictions"),
+		engineRuns:     r.Counter("serve.engine.runs"),
+		rejectQuota:    r.Counter("serve.jobs.rejected.quota"),
 	}
 	r.Gauge("serve.max_inflight").Set(int64(cfg.MaxInFlight))
 	r.Gauge("serve.mem.budget").Set(int64(cfg.TotalMemoryBudget))
@@ -519,50 +621,70 @@ func (s *Server) normalize(req *SubmitRequest) (runOptions, error) {
 	return o, nil
 }
 
-// submit runs admission control and either enqueues a new job or returns
-// an *admissionError. It is the only producer on s.queue. traceparent is
-// the caller's W3C trace context header ("" or malformed mints a fresh
-// trace); the admitted job's root span continues that trace.
-func (s *Server) submit(req *SubmitRequest, traceparent string) (*job, *admissionError) {
+// submit runs admission control and either admits a job — served from
+// cache, coalesced onto an in-flight simulation, or queued for the fair
+// scheduler — or returns an *admissionError. traceparent is the caller's
+// W3C trace context header ("" or malformed mints a fresh trace); the
+// admitted job's root span continues that trace. tenant is the validated
+// tenant identity; idemKey, when non-empty, makes the submission
+// idempotent: a repeat with the same key replays the original job
+// (replayed=true) instead of admitting a new one.
+func (s *Server) submit(req *SubmitRequest, traceparent, tenant, idemKey string) (j *job, replayed bool, aerr *admissionError) {
 	c, err := buildCircuit(req)
 	if err != nil {
 		s.met.rejectInvalid.Inc()
-		return nil, &admissionError{status: 400, msg: err.Error(), reason: "invalid"}
+		return nil, false, &admissionError{status: 400, msg: err.Error(), reason: "invalid"}
 	}
 	opts, err := s.normalize(req)
 	if err != nil {
 		s.met.rejectInvalid.Inc()
-		return nil, &admissionError{status: 400, msg: err.Error(), reason: "invalid"}
+		return nil, false, &admissionError{status: 400, msg: err.Error(), reason: "invalid"}
 	}
 	if c.Qubits < 1 {
 		s.met.rejectInvalid.Inc()
-		return nil, &admissionError{status: 400, msg: "circuit has no qubits", reason: "invalid"}
+		return nil, false, &admissionError{status: 400, msg: "circuit has no qubits", reason: "invalid"}
 	}
 	if c.Qubits > s.cfg.MaxQubits {
 		s.met.rejectBudget.Inc()
-		return nil, &admissionError{status: 413, msg: fmt.Sprintf(
+		return nil, false, &admissionError{status: 413, msg: fmt.Sprintf(
 			"circuit has %d qubits, server cap is %d", c.Qubits, s.cfg.MaxQubits),
 			reason: "qubit_cap"}
 	}
 	if w := WorstCaseBytes(c.Qubits); w > s.cfg.MemoryBudget {
 		s.met.rejectBudget.Inc()
-		return nil, &admissionError{status: 413, msg: fmt.Sprintf(
+		return nil, false, &admissionError{status: 413, msg: fmt.Sprintf(
 			"flat-array worst case for %d qubits is %d bytes, over the %d-byte budget",
 			c.Qubits, w, s.cfg.MemoryBudget),
 			reason: "memory_budget"}
 	}
+	key := cacheKey{circuit: c.Hash(), options: optionsKey(opts)}
 
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.draining {
-		s.mu.Unlock()
-		return nil, &admissionError{status: 503, msg: "server is draining",
+		return nil, false, &admissionError{status: 503, msg: "server is draining",
 			reason: "draining", retryAfter: 5}
 	}
+	ts := s.tenantLocked(tenant)
+	if idemKey != "" {
+		if prev, ok := s.idem[tenant+"\x00"+idemKey]; ok {
+			pj := s.jobs[prev]
+			if pj.key != key {
+				return nil, false, &admissionError{status: 409, msg: fmt.Sprintf(
+					"idempotency key %q was used for a different request (job %s)", idemKey, pj.id),
+					reason: "idempotency_mismatch"}
+			}
+			return pj, true, nil
+		}
+	}
 	s.nextID++
-	j := &job{
+	j = &job{
 		id:        fmt.Sprintf("j-%06d", s.nextID),
 		circ:      c,
 		opts:      opts,
+		tenant:    tenant,
+		key:       key,
+		idemKey:   idemKey,
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
@@ -572,43 +694,129 @@ func (s *Server) submit(req *SubmitRequest, traceparent string) (*job, *admissio
 	j.span.SetAttr("circuit", c.Name)
 	j.span.SetAttr("qubits", c.Qubits)
 	j.span.SetAttr("gates", c.GateCount())
-	j.queuedSpan = j.span.Child("queued")
-	select {
-	case s.queue <- j:
-	default:
-		s.mu.Unlock()
+	j.span.SetAttr("tenant", tenant)
+
+	// Disposition: cache hit ≻ coalesce onto an in-flight leader ≻ queue
+	// as a fresh leader. Hits and subscribers bypass the queue entirely,
+	// so quota checks apply only to the miss path.
+	if entry := s.cache.get(key, opts.shots); entry != nil {
+		j.cacheStatus = CacheHit
+		j.span.SetAttr("cache", CacheHit)
+		j.state = StateDone
+		j.result = resultFromEntry(j, entry)
+		s.met.cacheHits.Inc()
+		s.met.completed.Inc()
+		ts.cacheHits++
+		ts.completed++
+		s.registerLocked(j, ts)
+		s.finishJobLocked(j)
+		e2e := j.finished.Sub(j.submitted).Nanoseconds()
+		s.met.latencyNs.Observe(e2e)
+		s.wLatency.Observe(e2e)
+		return j, false, nil
+	}
+	if f := s.flights[key]; f != nil && s.coalescable(j) {
+		if len(f.subs) >= maxCoalesced {
+			s.met.rejectQuota.Inc()
+			ts.rejected++
+			return nil, false, &admissionError{status: 429, msg: fmt.Sprintf(
+				"simulation already has %d coalesced subscribers", maxCoalesced),
+				reason: "coalesce_limit", retryAfter: 1}
+		}
+		j.cacheStatus = CacheCoalesced
+		j.span.SetAttr("cache", CacheCoalesced)
+		j.queuedSpan = j.span.Child("queued")
+		j.queuedSpan.SetAttr("coalesced", true)
+		f.subs = append(f.subs, j)
+		s.met.cacheCoalesced.Inc()
+		ts.coalesced++
+		s.registerLocked(j, ts)
+		return j, false, nil
+	}
+	if s.fq.Len() >= s.cfg.QueueDepth {
 		s.met.rejectQueue.Inc()
-		return nil, &admissionError{status: 429, msg: fmt.Sprintf(
+		return nil, false, &admissionError{status: 429, msg: fmt.Sprintf(
 			"queue full (%d jobs)", s.cfg.QueueDepth),
 			reason: "queue_full", retryAfter: 1}
 	}
-	s.jobs[j.id] = j
-	s.order = append(s.order, j.id)
-	s.met.submitted.Inc()
-	s.met.queueDepth.Set(int64(len(s.queue)))
-	s.mu.Unlock()
-	s.log.Info("job submitted",
-		"job", j.id, "trace", j.span.Trace().String(),
-		"circuit", c.Name, "qubits", c.Qubits, "gates", c.GateCount())
-	return j, nil
+	if s.fq.TenantQueued(tenant) >= s.cfg.TenantMaxQueued {
+		s.met.rejectQuota.Inc()
+		ts.rejected++
+		return nil, false, &admissionError{status: 429, msg: fmt.Sprintf(
+			"tenant %q already has %d jobs queued", tenant, s.cfg.TenantMaxQueued),
+			reason: "tenant_queue_full", retryAfter: 1}
+	}
+	j.cacheStatus = CacheMiss
+	j.span.SetAttr("cache", CacheMiss)
+	j.queuedSpan = j.span.Child("queued")
+	if s.cache.enabled() {
+		// Open the job for coalescing: identical submissions arriving
+		// before it finishes subscribe instead of queueing.
+		if _, taken := s.flights[key]; !taken {
+			s.flights[key] = &flight{leader: j}
+		}
+	}
+	s.fq.Push(j)
+	s.met.cacheMisses.Inc()
+	ts.misses++
+	s.registerLocked(j, ts)
+	s.met.queueDepth.Set(int64(s.fq.Len()))
+	return j, false, nil
 }
 
+// registerLocked records an admitted job in the server's indexes and
+// bumps the submission accounting. Caller holds s.mu.
+func (s *Server) registerLocked(j *job, ts *tenantStats) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if idemKey := j.idemKey; idemKey != "" {
+		s.idem[j.tenant+"\x00"+idemKey] = j.id
+	}
+	s.met.submitted.Inc()
+	ts.submitted++
+	s.log.Info("job submitted",
+		"job", j.id, "trace", j.span.Trace().String(), "tenant", j.tenant,
+		"circuit", j.circ.Name, "qubits", j.circ.Qubits, "gates", j.circ.GateCount(),
+		"cache", j.cacheStatus)
+}
+
+// coalescable reports whether a job may subscribe to an in-flight
+// simulation: a shots>0 request needs the leader's entry to carry the
+// cumulative distribution, which is only built when it fits the
+// per-entry cap — otherwise the job runs standalone.
+func (s *Server) coalescable(j *job) bool {
+	if j.opts.shots <= 0 {
+		return true
+	}
+	return probsBytes(j.circ.Qubits) <= s.cfg.ResultCacheMaxEntry
+}
+
+// probsBytes is the footprint of an n-qubit cumulative distribution.
+func probsBytes(n int) int64 { return 8 << uint(n) }
+
 // runner is one of the MaxInFlight executor goroutines: it pops jobs off
-// the FIFO until the queue is closed by Shutdown. The goroutine count is
-// the in-flight cap.
+// the weighted-fair queue until Shutdown closes it. The goroutine count
+// is the global in-flight cap; the queue itself enforces the per-tenant
+// one. Every Pop is paired with exactly one Done — including jobs that
+// turn out to be canceled — so tenant in-flight accounting stays sound.
 func (s *Server) runner() {
 	defer s.runWG.Done()
-	for j := range s.queue {
+	for {
+		j := s.fq.Pop()
+		if j == nil {
+			return
+		}
 		s.runJob(j)
+		s.fq.Done(j.tenant)
 	}
 }
 
 // runJob executes one job through core.RunContext on the shared pool.
 func (s *Server) runJob(j *job) {
 	s.mu.Lock()
-	s.met.queueDepth.Set(int64(len(s.queue)))
+	s.met.queueDepth.Set(int64(s.fq.Len()))
 	if j.state != StateQueued {
-		// Canceled (or drain-canceled) while still in the FIFO.
+		// Canceled (or drain-canceled) while still queued.
 		s.mu.Unlock()
 		return
 	}
@@ -652,7 +860,7 @@ func (s *Server) runJob(j *job) {
 	s.mu.Unlock()
 	defer cancel()
 
-	res, runErr := s.execute(ctx, j)
+	res, entry, runErr := s.execute(ctx, j)
 	runNs := time.Since(j.started).Nanoseconds()
 	s.met.runNs.Observe(runNs)
 	s.wRun.Observe(runNs)
@@ -669,20 +877,28 @@ func (s *Server) runJob(j *job) {
 		j.state = StateDone
 		j.result = res
 		s.met.completed.Inc()
+		s.tenantLocked(j.tenant).completed++
 		if res.Stats.Degraded {
 			s.met.degraded.Inc()
+		}
+		s.completeFlightLocked(j, entry)
+		if s.cache.put(j.key, entry) {
+			s.updateCacheGaugesLocked()
 		}
 	case isCancel(runErr):
 		j.state = StateCanceled
 		j.errMsg = runErr.Error()
 		s.met.canceled.Inc()
+		s.tenantLocked(j.tenant).canceled++
+		s.promoteFlightLocked(j)
 	default:
 		if errors.Is(runErr, core.ErrEngineFault) {
 			s.met.faults.Inc()
 		}
 		if core.IsTransient(runErr) && j.attempts <= s.cfg.MaxRetries && !s.draining {
 			// Transient engine fault: back off and re-queue rather than
-			// fail. The job is observable as queued again in the meantime.
+			// fail. The job is observable as queued again in the meantime,
+			// and its flight (if any) keeps collecting subscribers.
 			j.state = StateQueued
 			j.errMsg = runErr.Error()
 			j.queuedSpan = j.span.Child("queued")
@@ -696,6 +912,8 @@ func (s *Server) runJob(j *job) {
 		j.errMsg = runErr.Error()
 		j.reason = failureReason(runErr)
 		s.met.failed.Inc()
+		s.tenantLocked(j.tenant).failed++
+		s.promoteFlightLocked(j)
 	}
 	if j.state != StateQueued {
 		s.finishJobLocked(j)
@@ -764,6 +982,77 @@ func (s *Server) finishJobLocked(j *job) {
 		attrs = append(attrs, "degraded", true)
 	}
 	s.log.Info("job finished", attrs...)
+}
+
+// completeFlightLocked closes job j's flight after a successful run:
+// every subscriber still waiting is completed from the leader's entry —
+// its own top= prefix, its own seeded shot stream, no engine time.
+// A subscriber the entry cannot serve (it wants shots but the
+// distribution was too large to build) is re-queued as a standalone job;
+// coalescable() makes that path unreachable in practice, but the
+// fallback keeps a bookkeeping slip from wedging a job forever. Caller
+// holds s.mu.
+func (s *Server) completeFlightLocked(j *job, entry *cacheEntry) {
+	f := s.flights[j.key]
+	if f == nil || f.leader != j {
+		return
+	}
+	delete(s.flights, j.key)
+	for _, sub := range f.subs {
+		if sub.state != StateQueued {
+			continue // canceled while coalesced
+		}
+		if !entry.servable(sub.opts.shots) {
+			sub.cacheStatus = CacheMiss
+			s.fq.Push(sub)
+			continue
+		}
+		sub.state = StateDone
+		sub.result = resultFromEntry(sub, entry)
+		s.met.completed.Inc()
+		s.tenantLocked(sub.tenant).completed++
+		s.finishJobLocked(sub)
+		e2e := sub.finished.Sub(sub.submitted).Nanoseconds()
+		s.met.latencyNs.Observe(e2e)
+		s.wLatency.Observe(e2e)
+	}
+}
+
+// promoteFlightLocked handles a leader leaving without an entry (failed,
+// canceled, or its retry was abandoned): the oldest subscriber still
+// queued is promoted to leader of a fresh flight over the remaining
+// subscribers and enters the fair queue, so coalesced jobs never inherit
+// their leader's fate. Caller holds s.mu.
+func (s *Server) promoteFlightLocked(j *job) {
+	f := s.flights[j.key]
+	if f == nil || f.leader != j {
+		return
+	}
+	delete(s.flights, j.key)
+	if s.draining {
+		return // Shutdown cancels the subscribers itself
+	}
+	for i, sub := range f.subs {
+		if sub.state != StateQueued {
+			continue
+		}
+		sub.cacheStatus = CacheMiss
+		sub.span.SetAttr("cache", CacheMiss)
+		sub.queuedSpan.SetAttr("promoted", true)
+		s.flights[j.key] = &flight{leader: sub, subs: f.subs[i+1:]}
+		s.fq.Push(sub)
+		s.met.queueDepth.Set(int64(s.fq.Len()))
+		return
+	}
+}
+
+// updateCacheGaugesLocked refreshes the serve.cache.* gauges. Caller
+// holds s.mu.
+func (s *Server) updateCacheGaugesLocked() {
+	n, b, ev := s.cache.Stats()
+	s.met.cacheEntries.Set(int64(n))
+	s.met.cacheBytes.Set(b)
+	s.met.cacheEvictions.Set(ev)
 }
 
 // anomalyReasonLocked classifies a finished job as profile-worthy (a
@@ -893,10 +1182,10 @@ func (s *Server) retryDelay(attempt int) time.Duration {
 	return d + time.Duration(rand.Int63n(int64(d)/2+1))
 }
 
-// enqueueRetry puts a backoff-expired job back on the FIFO. It re-checks
-// the world under s.mu: a drain that began while the timer ran has
-// already canceled the job (and closed the queue), and a client cancel
-// wins over the retry.
+// enqueueRetry puts a backoff-expired job back on the fair queue. It
+// re-checks the world under s.mu: a drain that began while the timer ran
+// has already canceled the job (and closed the queue), and a client
+// cancel wins over the retry.
 func (s *Server) enqueueRetry(j *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -905,33 +1194,39 @@ func (s *Server) enqueueRetry(j *job) {
 	}
 	if s.draining {
 		// Shutdown marks queued jobs canceled before closing the queue,
-		// so this branch is a narrow race guard; never touch the channel.
+		// so this branch is a narrow race guard; never touch the queue.
 		j.state = StateCanceled
 		j.errMsg = core.ErrCanceled.Error() + " (server draining)"
 		s.finishJobLocked(j)
 		s.met.canceled.Inc()
+		s.tenantLocked(j.tenant).canceled++
 		return
 	}
-	select {
-	case s.queue <- j:
-		s.met.queueDepth.Set(int64(len(s.queue)))
-	default:
+	if s.fq.Len() >= s.cfg.QueueDepth {
 		j.state = StateFailed
 		j.errMsg = "retry abandoned: queue full"
 		j.reason = "queue_full"
 		s.finishJobLocked(j)
 		s.met.failed.Inc()
+		s.tenantLocked(j.tenant).failed++
+		s.promoteFlightLocked(j)
+		return
 	}
+	s.fq.Push(j)
+	s.met.queueDepth.Set(int64(s.fq.Len()))
 }
 
-// execute runs the simulation and assembles the result payload. A panic
-// in the engine fails the job instead of the server.
-func (s *Server) execute(ctx context.Context, j *job) (res *JobResult, err error) {
+// execute runs the simulation and assembles the result payload plus —
+// when caching is on — the cache entry that serves this flight's
+// subscribers and future hits. A panic in the engine fails the job
+// instead of the server.
+func (s *Server) execute(ctx context.Context, j *job) (res *JobResult, entry *cacheEntry, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			res, err = nil, fmt.Errorf("engine panic: %v", r)
+			res, entry, err = nil, nil, fmt.Errorf("engine panic: %v", r)
 		}
 	}()
+	s.met.engineRuns.Inc()
 	sim := core.New(j.circ.Qubits, core.Options{
 		Pool:           s.pool,
 		CacheMode:      j.opts.cache,
@@ -946,9 +1241,14 @@ func (s *Server) execute(ctx context.Context, j *job) (res *JobResult, err error
 	})
 	st, err := sim.RunContext(ctx, j.circ)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return buildResult(j, sim, st), nil
+	res = buildResult(j, sim, st)
+	if s.cache.enabled() {
+		entry = buildCacheEntry(j, sim, st,
+			probsBytes(j.circ.Qubits) <= s.cfg.ResultCacheMaxEntry)
+	}
+	return res, entry, nil
 }
 
 // countLocked counts jobs in one state. Caller holds s.mu.
@@ -980,6 +1280,9 @@ func (s *Server) Cancel(id string) (found, canceled bool) {
 		j.errMsg = core.ErrCanceled.Error()
 		s.finishJobLocked(j)
 		s.met.canceled.Inc()
+		s.tenantLocked(j.tenant).canceled++
+		// A canceled leader must not strand its coalesced subscribers.
+		s.promoteFlightLocked(j)
 		// The job may be parked in the dispatch gate's memory wait; wake it
 		// so its runner observes the cancel and moves on.
 		s.memCond.Broadcast()
@@ -1012,9 +1315,14 @@ func (s *Server) Shutdown() {
 			j.errMsg = core.ErrCanceled.Error() + " (server draining)"
 			s.finishJobLocked(j)
 			s.met.canceled.Inc()
+			s.tenantLocked(j.tenant).canceled++
 		}
 	}
-	close(s.queue)
+	// Coalesced subscribers were just canceled with everything else; the
+	// flights are moot and the fair queue's remaining jobs are already
+	// terminal, so closing it only wakes the runners to exit.
+	s.flights = make(map[cacheKey]*flight)
+	s.fq.Close()
 	// Wake any runner parked in the dispatch gate: its job was just
 	// canceled above and it must observe that and exit.
 	s.memCond.Broadcast()

@@ -1,8 +1,14 @@
-package serve
+// Package serve_test drives the serve layer end to end over HTTP through
+// the typed client (internal/serve/client) — the same way operational
+// tooling consumes the v1 API. Unit tests of unexported internals
+// (fair queue, result cache) live in-package instead.
+package serve_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -12,6 +18,8 @@ import (
 	"time"
 
 	"flatdd/internal/core"
+	"flatdd/internal/serve"
+	"flatdd/internal/serve/client"
 )
 
 const bellQASM = `
@@ -24,20 +32,22 @@ cx q[0],q[1];
 
 // slowSubmit is a workload heavy enough to stay running for a while on
 // the test server (QV scrambles, converts early, and then pushes a few
-// hundred DMAV gates over 2^16 amplitudes).
-func slowSubmit() *SubmitRequest {
-	return &SubmitRequest{Circuit: "qv", N: 16, Seed: 1, TimeoutMS: 60_000}
+// hundred DMAV gates over 2^16 amplitudes). Distinct seeds make distinct
+// canonical circuits — identical submissions would coalesce.
+func slowSubmit(seed int64) *serve.SubmitRequest {
+	return &serve.SubmitRequest{Circuit: "qv", N: 16, Seed: seed, TimeoutMS: 60_000}
 }
 
 type testServer struct {
-	srv *Server
+	srv *serve.Server
 	ts  *httptest.Server
+	c   *client.Client
 	t   *testing.T
 }
 
-func newTestServer(t *testing.T, cfg Config) *testServer {
+func newTestServer(t *testing.T, cfg serve.Config) *testServer {
 	t.Helper()
-	srv := New(cfg)
+	srv := serve.New(cfg)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -45,9 +55,11 @@ func newTestServer(t *testing.T, cfg Config) *testServer {
 			srv.Shutdown()
 		}
 	})
-	return &testServer{srv: srv, ts: ts, t: t}
+	return &testServer{srv: srv, ts: ts, c: client.New(ts.URL), t: t}
 }
 
+// do issues a raw HTTP request — for the endpoints outside the typed v1
+// surface (/healthz details, /debug/*) and for wire-shape assertions.
 func (h *testServer) do(method, path string, body any) (int, []byte) {
 	h.t.Helper()
 	var rd *bytes.Reader
@@ -74,35 +86,40 @@ func (h *testServer) do(method, path string, body any) (int, []byte) {
 	return resp.StatusCode, buf.Bytes()
 }
 
-func (h *testServer) submit(req *SubmitRequest) JobView {
+func (h *testServer) submit(req *serve.SubmitRequest) serve.JobView {
 	h.t.Helper()
-	code, body := h.do("POST", "/v1/jobs", req)
-	if code != http.StatusAccepted {
-		h.t.Fatalf("submit: %d %s", code, body)
+	resp, err := h.c.Submit(context.Background(), req)
+	if err != nil {
+		h.t.Fatalf("submit: %v", err)
 	}
-	var v JobView
-	if err := json.Unmarshal(body, &v); err != nil {
-		h.t.Fatal(err)
+	return resp.Job
+}
+
+func (h *testServer) cancel(id string) *serve.JobView {
+	h.t.Helper()
+	v, err := h.c.Cancel(context.Background(), id)
+	if err != nil {
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.Code == serve.CodeConflict {
+			return nil // already finished
+		}
+		h.t.Fatalf("cancel %s: %v", id, err)
 	}
 	return v
 }
 
 // waitState polls a job until it reaches one of the wanted states.
-func (h *testServer) waitState(id string, want ...string) JobView {
+func (h *testServer) waitState(id string, want ...string) serve.JobView {
 	h.t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		code, body := h.do("GET", "/v1/jobs/"+id, nil)
-		if code != http.StatusOK {
-			h.t.Fatalf("status %s: %d %s", id, code, body)
-		}
-		var v JobView
-		if err := json.Unmarshal(body, &v); err != nil {
-			h.t.Fatal(err)
+		v, err := h.c.Job(context.Background(), id)
+		if err != nil {
+			h.t.Fatalf("status %s: %v", id, err)
 		}
 		for _, w := range want {
 			if v.State == w {
-				return v
+				return *v
 			}
 		}
 		if time.Now().After(deadline) {
@@ -113,28 +130,34 @@ func (h *testServer) waitState(id string, want ...string) JobView {
 }
 
 func TestAdmissionRejections(t *testing.T) {
-	h := newTestServer(t, Config{
+	h := newTestServer(t, serve.Config{
 		Threads:      2,
-		MemoryBudget: WorstCaseBytes(14), // admits up to 14 qubits
+		MemoryBudget: serve.WorstCaseBytes(14), // admits up to 14 qubits
 		MaxQubits:    20,
 	})
 	cases := []struct {
 		name string
-		req  SubmitRequest
+		req  *serve.SubmitRequest
 		code int
 	}{
-		{"over budget", SubmitRequest{Circuit: "ghz", N: 15}, http.StatusRequestEntityTooLarge},
-		{"over qubit cap", SubmitRequest{Circuit: "ghz", N: 24}, http.StatusRequestEntityTooLarge},
-		{"no source", SubmitRequest{}, http.StatusBadRequest},
-		{"both sources", SubmitRequest{QASM: bellQASM, Circuit: "ghz", N: 4}, http.StatusBadRequest},
-		{"bad qasm", SubmitRequest{QASM: "qreg q[2]; bogus"}, http.StatusBadRequest},
-		{"unknown workload", SubmitRequest{Circuit: "nope", N: 4}, http.StatusBadRequest},
-		{"bad cache mode", SubmitRequest{Circuit: "ghz", N: 4, Cache: "sometimes"}, http.StatusBadRequest},
-		{"negative shots", SubmitRequest{Circuit: "ghz", N: 4, Shots: -1}, http.StatusBadRequest},
+		{"over budget", &serve.SubmitRequest{Circuit: "ghz", N: 15}, http.StatusRequestEntityTooLarge},
+		{"over qubit cap", &serve.SubmitRequest{Circuit: "ghz", N: 24}, http.StatusRequestEntityTooLarge},
+		{"no source", &serve.SubmitRequest{}, http.StatusBadRequest},
+		{"both sources", &serve.SubmitRequest{QASM: bellQASM, Circuit: "ghz", N: 4}, http.StatusBadRequest},
+		{"bad qasm", &serve.SubmitRequest{QASM: "qreg q[2]; bogus"}, http.StatusBadRequest},
+		{"unknown workload", &serve.SubmitRequest{Circuit: "nope", N: 4}, http.StatusBadRequest},
+		{"bad cache mode", &serve.SubmitRequest{Circuit: "ghz", N: 4, Cache: "sometimes"}, http.StatusBadRequest},
+		{"negative shots", &serve.SubmitRequest{Circuit: "ghz", N: 4, Shots: -1}, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
-		if code, body := h.do("POST", "/v1/jobs", tc.req); code != tc.code {
-			t.Errorf("%s: got %d (%s), want %d", tc.name, code, body, tc.code)
+		_, err := h.c.Submit(context.Background(), tc.req)
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) {
+			t.Errorf("%s: err = %v, want *client.APIError", tc.name, err)
+			continue
+		}
+		if apiErr.Status != tc.code {
+			t.Errorf("%s: got %d (%s), want %d", tc.name, apiErr.Status, apiErr.Message, tc.code)
 		}
 	}
 	if got := h.srv.Registry().Counter("serve.jobs.rejected.budget").Value(); got != 2 {
@@ -145,21 +168,85 @@ func TestAdmissionRejections(t *testing.T) {
 	}
 }
 
+// TestErrorEnvelopeOnEveryRejection is the wire-shape contract: every
+// non-2xx body of the v1 API parses as the structured envelope with the
+// status-matched code and a non-empty message.
+func TestErrorEnvelopeOnEveryRejection(t *testing.T) {
+	h := newTestServer(t, serve.Config{
+		Threads:      2,
+		MaxInFlight:  1,
+		QueueDepth:   1,
+		MemoryBudget: serve.WorstCaseBytes(16),
+	})
+	// Occupy the runner and the queue so 429s are reachable.
+	running := h.submit(slowSubmit(1))
+	h.waitState(running.ID, serve.StateRunning)
+	h.submit(slowSubmit(2))
+
+	cases := []struct {
+		name     string
+		method   string
+		path     string
+		body     any
+		status   int
+		code     string
+		reason   string
+		retryHdr bool
+	}{
+		{"invalid submit", "POST", "/v1/jobs", &serve.SubmitRequest{}, 400, serve.CodeInvalidRequest, "invalid", false},
+		{"bad body", "POST", "/v1/jobs", "not json", 400, serve.CodeInvalidRequest, "invalid", false},
+		{"over budget", "POST", "/v1/jobs", &serve.SubmitRequest{Circuit: "ghz", N: 20}, 413, serve.CodePayloadTooLarge, "memory_budget", false},
+		{"queue full", "POST", "/v1/jobs", slowSubmit(3), 429, serve.CodeRateLimited, "queue_full", true},
+		{"unknown status", "GET", "/v1/jobs/j-999999", nil, 404, serve.CodeNotFound, "unknown_job", false},
+		{"unknown result", "GET", "/v1/jobs/j-999999/result", nil, 404, serve.CodeNotFound, "unknown_job", false},
+		{"unknown cancel", "DELETE", "/v1/jobs/j-999999", nil, 404, serve.CodeNotFound, "unknown_job", false},
+		{"result not ready", "GET", "/v1/jobs/" + running.ID + "/result", nil, 409, serve.CodeConflict, "not_ready", true},
+		{"bad list limit", "GET", "/v1/jobs?limit=zero", nil, 400, serve.CodeInvalidRequest, "invalid", false},
+		{"bad list cursor", "GET", "/v1/jobs?cursor=j-404404", nil, 400, serve.CodeInvalidRequest, "invalid_cursor", false},
+	}
+	for _, tc := range cases {
+		code, raw := h.do(tc.method, tc.path, tc.body)
+		if code != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, code, tc.status, raw)
+			continue
+		}
+		var env serve.ErrorEnvelope
+		if err := json.Unmarshal(raw, &env); err != nil {
+			t.Errorf("%s: body does not parse as the envelope: %v (%s)", tc.name, err, raw)
+			continue
+		}
+		if env.Error.Code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.name, env.Error.Code, tc.code)
+		}
+		if tc.reason != "" && env.Error.Reason != tc.reason {
+			t.Errorf("%s: reason %q, want %q", tc.name, env.Error.Reason, tc.reason)
+		}
+		if env.Error.Message == "" {
+			t.Errorf("%s: empty message", tc.name)
+		}
+		if tc.retryHdr && env.Error.RetryAfterMS <= 0 {
+			t.Errorf("%s: retry_after_ms = %d, want > 0", tc.name, env.Error.RetryAfterMS)
+		}
+	}
+}
+
 func TestBellJobEndToEnd(t *testing.T) {
-	h := newTestServer(t, Config{Threads: 2})
-	v := h.submit(&SubmitRequest{QASM: bellQASM, Shots: 1000, Top: 4, Seed: 42})
+	h := newTestServer(t, serve.Config{Threads: 2})
+	v := h.submit(&serve.SubmitRequest{QASM: bellQASM, Shots: 1000, Top: 4, Seed: 42})
 	if v.Qubits != 2 || v.Gates != 2 {
 		t.Fatalf("view: %+v", v)
 	}
-	h.waitState(v.ID, StateDone)
-
-	code, body := h.do("GET", "/v1/jobs/"+v.ID+"/result", nil)
-	if code != http.StatusOK {
-		t.Fatalf("result: %d %s", code, body)
+	if v.Tenant != serve.DefaultTenant {
+		t.Fatalf("tenant = %q, want %q", v.Tenant, serve.DefaultTenant)
 	}
-	var res JobResult
-	if err := json.Unmarshal(body, &res); err != nil {
-		t.Fatal(err)
+	if v.Cache != serve.CacheMiss {
+		t.Fatalf("first submission cache = %q, want miss", v.Cache)
+	}
+	h.waitState(v.ID, serve.StateDone)
+
+	res, err := h.c.Result(context.Background(), v.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
 	}
 	if res.Stats.FinalPhase != "dd" || res.Stats.ConvertedAtGate != -1 {
 		t.Fatalf("bell circuit should finish in the DD phase: %+v", res.Stats)
@@ -188,63 +275,63 @@ func TestBellJobEndToEnd(t *testing.T) {
 }
 
 func TestResultNotReadyAndUnknown(t *testing.T) {
-	h := newTestServer(t, Config{Threads: 2})
-	if code, _ := h.do("GET", "/v1/jobs/j-999999", nil); code != http.StatusNotFound {
-		t.Fatalf("unknown job status: %d", code)
+	h := newTestServer(t, serve.Config{Threads: 2})
+	var apiErr *client.APIError
+	if _, err := h.c.Job(context.Background(), "j-999999"); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("unknown job status: %v", err)
 	}
-	if code, _ := h.do("GET", "/v1/jobs/j-999999/result", nil); code != http.StatusNotFound {
-		t.Fatalf("unknown job result: %d", code)
+	if _, err := h.c.Result(context.Background(), "j-999999"); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("unknown job result: %v", err)
 	}
-	v := h.submit(slowSubmit())
-	if code, _ := h.do("GET", "/v1/jobs/"+v.ID+"/result", nil); code != http.StatusConflict {
-		t.Fatalf("unfinished result: %d, want 409", code)
+	v := h.submit(slowSubmit(1))
+	if _, err := h.c.Result(context.Background(), v.ID); !errors.As(err, &apiErr) ||
+		apiErr.Status != 409 || apiErr.Reason != "not_ready" {
+		t.Fatalf("unfinished result: %v, want 409 not_ready", err)
 	}
-	h.do("DELETE", "/v1/jobs/"+v.ID, nil)
-	h.waitState(v.ID, StateCanceled, StateDone)
+	h.cancel(v.ID)
+	h.waitState(v.ID, serve.StateCanceled, serve.StateDone)
 }
 
 func TestCancelQueuedJob(t *testing.T) {
-	h := newTestServer(t, Config{Threads: 2, MaxInFlight: 1, QueueDepth: 4})
-	running := h.submit(slowSubmit())
-	h.waitState(running.ID, StateRunning)
-	queued := h.submit(slowSubmit())
+	h := newTestServer(t, serve.Config{Threads: 2, MaxInFlight: 1, QueueDepth: 4})
+	running := h.submit(slowSubmit(1))
+	h.waitState(running.ID, serve.StateRunning)
+	queued := h.submit(slowSubmit(2))
 
-	code, body := h.do("DELETE", "/v1/jobs/"+queued.ID, nil)
-	if code != http.StatusOK {
-		t.Fatalf("cancel queued: %d %s", code, body)
+	if got := h.cancel(queued.ID); got == nil {
+		t.Fatalf("cancel queued job reported already-finished")
 	}
-	v := h.waitState(queued.ID, StateCanceled)
+	v := h.waitState(queued.ID, serve.StateCanceled)
 	if !strings.Contains(v.Error, core.ErrCanceled.Error()) {
 		t.Fatalf("canceled job error = %q, want the core sentinel", v.Error)
 	}
 	// The withdrawn job must be skipped by the runner, not executed: cancel
 	// the running one and verify the queued one never starts.
-	h.do("DELETE", "/v1/jobs/"+running.ID, nil)
-	h.waitState(running.ID, StateCanceled, StateDone)
+	h.cancel(running.ID)
+	h.waitState(running.ID, serve.StateCanceled, serve.StateDone)
 	time.Sleep(20 * time.Millisecond)
-	if v := h.waitState(queued.ID, StateCanceled); v.StartedAt != nil {
+	if v := h.waitState(queued.ID, serve.StateCanceled); v.StartedAt != nil {
 		t.Fatal("withdrawn job was started anyway")
 	}
 }
 
 func TestCancelRunningJobReturnsSentinel(t *testing.T) {
-	h := newTestServer(t, Config{Threads: 2})
-	v := h.submit(slowSubmit())
-	h.waitState(v.ID, StateRunning)
-	code, body := h.do("POST", "/v1/jobs/"+v.ID+"/cancel", nil)
-	if code != http.StatusOK {
-		t.Fatalf("cancel running: %d %s", code, body)
+	h := newTestServer(t, serve.Config{Threads: 2})
+	v := h.submit(slowSubmit(1))
+	h.waitState(v.ID, serve.StateRunning)
+	if got := h.cancel(v.ID); got == nil {
+		t.Fatalf("cancel running job reported already-finished")
 	}
-	got := h.waitState(v.ID, StateCanceled, StateDone)
-	if got.State == StateDone {
+	got := h.waitState(v.ID, serve.StateCanceled, serve.StateDone)
+	if got.State == serve.StateDone {
 		t.Skip("job finished before the cancel landed")
 	}
 	if !strings.Contains(got.Error, core.ErrCanceled.Error()) {
 		t.Fatalf("error = %q, want core.ErrCanceled's message", got.Error)
 	}
 	// Double cancel of a finished job conflicts.
-	if code, _ := h.do("DELETE", "/v1/jobs/"+v.ID, nil); code != http.StatusConflict {
-		t.Fatalf("cancel finished job: %d, want 409", code)
+	if h.cancel(v.ID) != nil {
+		t.Fatal("cancel of a finished job did not conflict")
 	}
 	if got := h.srv.Registry().Counter("serve.jobs.canceled").Value(); got != 1 {
 		t.Fatalf("serve.jobs.canceled = %d, want 1", got)
@@ -252,45 +339,45 @@ func TestCancelRunningJobReturnsSentinel(t *testing.T) {
 }
 
 func TestQueueFullRejects(t *testing.T) {
-	h := newTestServer(t, Config{Threads: 2, MaxInFlight: 1, QueueDepth: 1})
-	running := h.submit(slowSubmit())
-	h.waitState(running.ID, StateRunning)
-	queued := h.submit(slowSubmit()) // fills the FIFO
+	h := newTestServer(t, serve.Config{Threads: 2, MaxInFlight: 1, QueueDepth: 1})
+	running := h.submit(slowSubmit(1))
+	h.waitState(running.ID, serve.StateRunning)
+	queued := h.submit(slowSubmit(2)) // fills the queue
 
-	code, body := h.do("POST", "/v1/jobs", slowSubmit())
-	if code != http.StatusTooManyRequests {
-		t.Fatalf("over-depth submit: %d %s, want 429", code, body)
+	_, err := h.c.Submit(context.Background(), slowSubmit(3))
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("over-depth submit: %v, want 429", err)
+	}
+	if apiErr.Reason != "queue_full" || !apiErr.IsRetryable() || apiErr.RetryAfter <= 0 {
+		t.Fatalf("queue-full rejection: %+v", apiErr)
 	}
 	if got := h.srv.Registry().Counter("serve.jobs.rejected.queue_full").Value(); got != 1 {
 		t.Fatalf("serve.jobs.rejected.queue_full = %d, want 1", got)
 	}
-	h.do("DELETE", "/v1/jobs/"+queued.ID, nil)
-	h.do("DELETE", "/v1/jobs/"+running.ID, nil)
-	h.waitState(running.ID, StateCanceled, StateDone)
+	h.cancel(queued.ID)
+	h.cancel(running.ID)
+	h.waitState(running.ID, serve.StateCanceled, serve.StateDone)
 }
 
 func TestInFlightCapRespected(t *testing.T) {
 	const inflight = 2
-	h := newTestServer(t, Config{Threads: 2, MaxInFlight: inflight, QueueDepth: 8})
+	h := newTestServer(t, serve.Config{Threads: 2, MaxInFlight: inflight, QueueDepth: 8})
 	ids := make([]string, 0, 5)
 	for i := 0; i < 5; i++ {
-		ids = append(ids, h.submit(slowSubmit()).ID)
+		ids = append(ids, h.submit(slowSubmit(int64(i+1))).ID)
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	sawParallel := false
 	for {
-		code, body := h.do("GET", "/v1/jobs?state="+StateRunning, nil)
-		if code != http.StatusOK {
-			t.Fatalf("list: %d %s", code, body)
+		l, err := h.c.Jobs(context.Background(), client.JobsQuery{State: serve.StateRunning})
+		if err != nil {
+			t.Fatalf("list: %v", err)
 		}
-		var running []JobView
-		if err := json.Unmarshal(body, &running); err != nil {
-			t.Fatal(err)
+		if len(l.Jobs) > inflight {
+			t.Fatalf("%d jobs running, cap is %d", len(l.Jobs), inflight)
 		}
-		if len(running) > inflight {
-			t.Fatalf("%d jobs running, cap is %d", len(running), inflight)
-		}
-		if len(running) == inflight {
+		if len(l.Jobs) == inflight {
 			sawParallel = true
 			break
 		}
@@ -303,20 +390,20 @@ func TestInFlightCapRespected(t *testing.T) {
 		t.Fatal("never saw the in-flight cap reached")
 	}
 	for _, id := range ids {
-		h.do("DELETE", "/v1/jobs/"+id, nil)
+		h.cancel(id)
 	}
 	for _, id := range ids {
-		h.waitState(id, StateCanceled, StateDone)
+		h.waitState(id, serve.StateCanceled, serve.StateDone)
 	}
 }
 
 func TestJobTimeoutFails(t *testing.T) {
-	h := newTestServer(t, Config{Threads: 2})
-	req := slowSubmit()
+	h := newTestServer(t, serve.Config{Threads: 2})
+	req := slowSubmit(1)
 	req.TimeoutMS = 30 // far below the QV runtime
 	v := h.submit(req)
-	got := h.waitState(v.ID, StateFailed, StateDone)
-	if got.State == StateDone {
+	got := h.waitState(v.ID, serve.StateFailed, serve.StateDone)
+	if got.State == serve.StateDone {
 		t.Skip("machine fast enough to beat a 30ms deadline")
 	}
 	if !strings.Contains(got.Error, core.ErrDeadlineExceeded.Error()) {
@@ -325,13 +412,13 @@ func TestJobTimeoutFails(t *testing.T) {
 }
 
 func TestDrainSemantics(t *testing.T) {
-	h := newTestServer(t, Config{
+	h := newTestServer(t, serve.Config{
 		Threads: 2, MaxInFlight: 1, QueueDepth: 4,
 		DrainGrace: 50 * time.Millisecond,
 	})
-	running := h.submit(slowSubmit())
-	h.waitState(running.ID, StateRunning)
-	queued := h.submit(slowSubmit())
+	running := h.submit(slowSubmit(1))
+	h.waitState(running.ID, serve.StateRunning)
+	queued := h.submit(slowSubmit(2))
 
 	done := make(chan struct{})
 	go func() { h.srv.Shutdown(); close(done) }()
@@ -341,71 +428,145 @@ func TestDrainSemantics(t *testing.T) {
 		t.Fatal("Shutdown did not drain")
 	}
 
-	v := h.waitState(queued.ID, StateCanceled)
+	v := h.waitState(queued.ID, serve.StateCanceled)
 	if !strings.Contains(v.Error, "draining") {
 		t.Fatalf("drained queued job error = %q", v.Error)
 	}
-	r := h.waitState(running.ID, StateCanceled, StateDone)
-	if r.State == StateCanceled && !strings.Contains(r.Error, core.ErrCanceled.Error()) {
+	r := h.waitState(running.ID, serve.StateCanceled, serve.StateDone)
+	if r.State == serve.StateCanceled && !strings.Contains(r.Error, core.ErrCanceled.Error()) {
 		t.Fatalf("drained running job error = %q", r.Error)
 	}
-	if code, _ := h.do("POST", "/v1/jobs", &SubmitRequest{Circuit: "ghz", N: 4}); code != http.StatusServiceUnavailable {
-		t.Fatalf("post-drain submit: %d, want 503", code)
+	_, err := h.c.Submit(context.Background(), &serve.SubmitRequest{Circuit: "ghz", N: 4})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: %v, want 503", err)
 	}
-	code, body := h.do("GET", "/healthz", nil)
-	if code != http.StatusOK || !strings.Contains(string(body), "draining") {
-		t.Fatalf("healthz after drain: %d %s", code, body)
+	health, err := h.c.Health(context.Background())
+	if err != nil || health["status"] != "draining" {
+		t.Fatalf("healthz after drain: %v %v", health["status"], err)
 	}
 }
 
 func TestWorstCaseBytes(t *testing.T) {
 	// 3 arrays of 16-byte amplitudes: state, scratch, shared partial.
-	if got, want := WorstCaseBytes(10), uint64(3*16*1024); got != want {
+	if got, want := serve.WorstCaseBytes(10), uint64(3*16*1024); got != want {
 		t.Fatalf("WorstCaseBytes(10) = %d, want %d", got, want)
 	}
 	for n := 1; n < 30; n++ {
-		if WorstCaseBytes(n+1) != 2*WorstCaseBytes(n) {
+		if serve.WorstCaseBytes(n+1) != 2*serve.WorstCaseBytes(n) {
 			t.Fatalf("WorstCaseBytes not doubling at n=%d", n)
 		}
 	}
 }
 
 func TestListFilterAndQueuePosition(t *testing.T) {
-	h := newTestServer(t, Config{Threads: 2, MaxInFlight: 1, QueueDepth: 4})
-	running := h.submit(slowSubmit())
-	h.waitState(running.ID, StateRunning)
-	q1 := h.submit(slowSubmit())
-	q2 := h.submit(slowSubmit())
+	h := newTestServer(t, serve.Config{Threads: 2, MaxInFlight: 1, QueueDepth: 4})
+	running := h.submit(slowSubmit(1))
+	h.waitState(running.ID, serve.StateRunning)
+	q1 := h.submit(slowSubmit(2))
+	q2 := h.submit(slowSubmit(3))
 
-	code, body := h.do("GET", "/v1/jobs?state="+StateQueued, nil)
-	if code != http.StatusOK {
-		t.Fatalf("list queued: %d", code)
+	l, err := h.c.Jobs(context.Background(), client.JobsQuery{State: serve.StateQueued})
+	if err != nil {
+		t.Fatalf("list queued: %v", err)
 	}
-	var queued []JobView
-	if err := json.Unmarshal(body, &queued); err != nil {
-		t.Fatal(err)
+	// Newest first: q2 leads, then q1.
+	if len(l.Jobs) != 2 || l.Jobs[0].ID != q2.ID || l.Jobs[1].ID != q1.ID {
+		t.Fatalf("queued list: %+v", l.Jobs)
 	}
-	if len(queued) != 2 || queued[0].ID != q1.ID || queued[1].ID != q2.ID {
-		t.Fatalf("queued list: %+v", queued)
-	}
-	if queued[0].QueuePosition != 1 || queued[1].QueuePosition != 2 {
-		t.Fatalf("queue positions: %d, %d", queued[0].QueuePosition, queued[1].QueuePosition)
+	if l.Jobs[0].QueuePosition != 2 || l.Jobs[1].QueuePosition != 1 {
+		t.Fatalf("queue positions: %d, %d", l.Jobs[0].QueuePosition, l.Jobs[1].QueuePosition)
 	}
 	for _, id := range []string{q2.ID, q1.ID, running.ID} {
-		h.do("DELETE", "/v1/jobs/"+id, nil)
+		h.cancel(id)
 	}
-	h.waitState(running.ID, StateCanceled, StateDone)
+	h.waitState(running.ID, serve.StateCanceled, serve.StateDone)
+}
+
+// TestListPagination walks GET /v1/jobs page by page: stable newest-first
+// order, no duplicates, no gaps, and a bounded default page.
+func TestListPagination(t *testing.T) {
+	h := newTestServer(t, serve.Config{Threads: 2, QueueDepth: 16})
+	ids := make([]string, 0, 7)
+	for i := 0; i < 7; i++ {
+		v := h.submit(&serve.SubmitRequest{Circuit: "ghz", N: 4, Seed: int64(i + 1)})
+		ids = append(ids, v.ID)
+	}
+	for _, id := range ids {
+		h.waitState(id, serve.StateDone)
+	}
+
+	var got []string
+	cursor := ""
+	pages := 0
+	for {
+		l, err := h.c.Jobs(context.Background(), client.JobsQuery{Limit: 3, Cursor: cursor})
+		if err != nil {
+			t.Fatalf("page %d: %v", pages, err)
+		}
+		if len(l.Jobs) > 3 {
+			t.Fatalf("page %d has %d jobs, limit 3", pages, len(l.Jobs))
+		}
+		for _, j := range l.Jobs {
+			got = append(got, j.ID)
+		}
+		pages++
+		if l.NextCursor == "" {
+			break
+		}
+		cursor = l.NextCursor
+	}
+	if pages != 3 {
+		t.Errorf("pages = %d, want 3 (3+3+1)", pages)
+	}
+	if len(got) != 7 {
+		t.Fatalf("paged through %d jobs, want 7: %v", len(got), got)
+	}
+	for i, id := range got {
+		// Newest first: the last submitted id comes back first.
+		if want := ids[len(ids)-1-i]; id != want {
+			t.Fatalf("position %d: %s, want %s (full: %v)", i, id, want, got)
+		}
+	}
+}
+
+// TestListTenantFilter pins ?tenant= on the list endpoint.
+func TestListTenantFilter(t *testing.T) {
+	h := newTestServer(t, serve.Config{Threads: 2, QueueDepth: 16})
+	alice := client.New(h.ts.URL, client.WithTenant("alice"))
+	bob := client.New(h.ts.URL, client.WithTenant("bob"))
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := alice.Submit(ctx, &serve.SubmitRequest{Circuit: "ghz", N: 4, Seed: int64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := bob.Submit(ctx, &serve.SubmitRequest{Circuit: "ghz", N: 5}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := h.c.Jobs(ctx, client.JobsQuery{Tenant: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Jobs) != 2 {
+		t.Fatalf("alice's jobs: %d, want 2", len(l.Jobs))
+	}
+	for _, j := range l.Jobs {
+		if j.Tenant != "alice" {
+			t.Fatalf("tenant filter leaked job of %q", j.Tenant)
+		}
+	}
 }
 
 func TestMetricsEndpointExposed(t *testing.T) {
-	h := newTestServer(t, Config{Threads: 2})
-	v := h.submit(&SubmitRequest{QASM: bellQASM})
-	h.waitState(v.ID, StateDone)
+	h := newTestServer(t, serve.Config{Threads: 2})
+	v := h.submit(&serve.SubmitRequest{QASM: bellQASM})
+	h.waitState(v.ID, serve.StateDone)
 	code, body := h.do("GET", "/debug/metrics", nil)
 	if code != http.StatusOK {
 		t.Fatalf("/debug/metrics: %d", code)
 	}
-	for _, name := range []string{"serve.jobs.submitted", "serve.jobs.completed", "serve.queue.depth"} {
+	for _, name := range []string{"serve.jobs.submitted", "serve.jobs.completed", "serve.queue.depth", "serve.cache.hits", "serve.engine.runs"} {
 		if !bytes.Contains(body, []byte(fmt.Sprintf("%q", name))) {
 			t.Fatalf("/debug/metrics missing %s: %s", name, body)
 		}

@@ -1,0 +1,219 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"flatdd/internal/serve"
+	"flatdd/internal/serve/client"
+)
+
+// TestTenantHeaderValidation pins the identity rules: empty maps to the
+// default tenant, the charset is enforced.
+func TestTenantHeaderValidation(t *testing.T) {
+	h := newTestServer(t, serve.Config{Threads: 2})
+	ctx := context.Background()
+
+	v := h.submit(&serve.SubmitRequest{Circuit: "ghz", N: 4})
+	if v.Tenant != serve.DefaultTenant {
+		t.Errorf("headerless submit tenant = %q, want %q", v.Tenant, serve.DefaultTenant)
+	}
+
+	named := client.New(h.ts.URL, client.WithTenant("team-a.prod_1"))
+	resp, err := named.Submit(ctx, &serve.SubmitRequest{Circuit: "ghz", N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Job.Tenant != "team-a.prod_1" {
+		t.Errorf("tenant = %q", resp.Job.Tenant)
+	}
+
+	for _, bad := range []string{"has space", "semi;colon", "sl/ash", strings.Repeat("a", 80)} {
+		c := client.New(h.ts.URL, client.WithTenant(bad))
+		_, err := c.Submit(ctx, &serve.SubmitRequest{Circuit: "ghz", N: 4})
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest || apiErr.Reason != "invalid_tenant" {
+			t.Errorf("tenant %q: %v, want 400 invalid_tenant", bad, err)
+		}
+	}
+}
+
+// TestTenantQueueQuota pins the per-tenant admission limit: one tenant
+// filling its own queue allowance is rejected with tenant_queue_full
+// while the global queue still has room — and another tenant gets in.
+func TestTenantQueueQuota(t *testing.T) {
+	h := newTestServer(t, serve.Config{
+		Threads:         2,
+		MaxInFlight:     1,
+		QueueDepth:      16,
+		TenantMaxQueued: 2,
+	})
+	ctx := context.Background()
+	heavy := client.New(h.ts.URL, client.WithTenant("heavy"))
+
+	// First job runs, the next two sit queued — that exhausts the quota.
+	ids := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		resp, err := heavy.Submit(ctx, slowSubmit(int64(i+1)))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, resp.Job.ID)
+	}
+	h.waitState(ids[0], serve.StateRunning)
+
+	_, err := heavy.Submit(ctx, slowSubmit(4))
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests || apiErr.Reason != "tenant_queue_full" {
+		t.Fatalf("over-quota submit: %v, want 429 tenant_queue_full", err)
+	}
+	if !apiErr.IsRetryable() || apiErr.RetryAfter <= 0 {
+		t.Errorf("quota rejection not marked retryable: %+v", apiErr)
+	}
+	if got := h.srv.Registry().Counter("serve.jobs.rejected.quota").Value(); got != 1 {
+		t.Errorf("serve.jobs.rejected.quota = %d, want 1", got)
+	}
+
+	// The global queue still admits other tenants.
+	light := client.New(h.ts.URL, client.WithTenant("light"))
+	lresp, err := light.Submit(ctx, slowSubmit(5))
+	if err != nil {
+		t.Fatalf("light tenant blocked by heavy's quota: %v", err)
+	}
+
+	// The accounting view reflects all of it.
+	views, err := h.c.Tenants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]serve.TenantView{}
+	for _, tv := range views {
+		byName[tv.Name] = tv
+	}
+	hv := byName["heavy"]
+	if hv.Submitted != 3 || hv.Rejected != 1 || hv.Queued != 2 || hv.Running != 1 {
+		t.Errorf("heavy view = %+v, want 3 submitted, 1 rejected, 2 queued, 1 running", hv)
+	}
+	if hv.MaxQueued != 2 {
+		t.Errorf("heavy MaxQueued = %d, want 2", hv.MaxQueued)
+	}
+	if lv := byName["light"]; lv.Submitted != 1 || lv.Queued != 1 {
+		t.Errorf("light view = %+v, want 1 submitted, 1 queued", lv)
+	}
+
+	for _, id := range append(ids, lresp.Job.ID) {
+		h.cancel(id)
+	}
+	h.waitState(ids[0], serve.StateCanceled, serve.StateDone)
+}
+
+// TestWeightedFairSchedulingE2E is the fairness acceptance test: a
+// heavy tenant floods the queue behind a blocker, a light tenant adds
+// one job last, and the fair queue still dispatches the light job ahead
+// of (almost all of) the heavy backlog — under a FIFO it would run
+// dead last.
+func TestWeightedFairSchedulingE2E(t *testing.T) {
+	h := newTestServer(t, serve.Config{
+		Threads:     2,
+		MaxInFlight: 1,
+		QueueDepth:  32,
+		// The cache cannot shortcut this test: every job is a distinct
+		// QV circuit, but belt and suspenders.
+		ResultCacheBudget: -1,
+	})
+	ctx := context.Background()
+	heavy := client.New(h.ts.URL, client.WithTenant("heavy"))
+	light := client.New(h.ts.URL, client.WithTenant("light"))
+
+	// Hold the single runner so every submission below queues up.
+	blocker := h.submit(slowSubmit(50))
+	h.waitState(blocker.ID, serve.StateRunning)
+
+	heavyIDs := make([]string, 0, 6)
+	for i := 0; i < 6; i++ {
+		resp, err := heavy.Submit(ctx, &serve.SubmitRequest{
+			Circuit: "qv", N: 12, Seed: int64(i + 1), TimeoutMS: 60_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		heavyIDs = append(heavyIDs, resp.Job.ID)
+	}
+	lresp, err := light.Submit(ctx, &serve.SubmitRequest{
+		Circuit: "qv", N: 12, Seed: 99, TimeoutMS: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.cancel(blocker.ID)
+
+	h.waitState(lresp.Job.ID, serve.StateDone)
+	for _, id := range heavyIDs {
+		h.waitState(id, serve.StateDone)
+	}
+	// Dispatch order: both tenants re-entered the stride clock together,
+	// so the light job goes first or second — at most one heavy job may
+	// win the opening tie. Submitted last, it would have started seventh
+	// under the old FIFO.
+	lv, err := h.c.Job(ctx, lresp.Job.ID)
+	if err != nil || lv.StartedAt == nil {
+		t.Fatalf("light job view: %+v err %v", lv, err)
+	}
+	before := 0
+	for _, id := range heavyIDs {
+		hv, err := h.c.Job(ctx, id)
+		if err != nil || hv.StartedAt == nil {
+			t.Fatalf("heavy job view: %+v err %v", hv, err)
+		}
+		if hv.StartedAt.Before(*lv.StartedAt) {
+			before++
+		}
+	}
+	if before > 1 {
+		t.Errorf("%d of 6 heavy jobs dispatched before the light tenant's; the fair queue allows at most 1", before)
+	}
+
+	views, err := h.c.Tenants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tv := range views {
+		switch tv.Name {
+		case "heavy":
+			if tv.Completed != 6 {
+				t.Errorf("heavy completed = %d, want 6", tv.Completed)
+			}
+		case "light":
+			if tv.Completed != 1 {
+				t.Errorf("light completed = %d, want 1", tv.Completed)
+			}
+		}
+		if tv.Weight != 1 {
+			t.Errorf("tenant %s weight = %d, want default 1", tv.Name, tv.Weight)
+		}
+	}
+}
+
+// TestConfiguredTenantWeights pins that Config.TenantWeights reaches
+// both the scheduler's view and the wire.
+func TestConfiguredTenantWeights(t *testing.T) {
+	h := newTestServer(t, serve.Config{
+		Threads:       2,
+		TenantWeights: map[string]int{"gold": 4},
+	})
+	ctx := context.Background()
+	gold := client.New(h.ts.URL, client.WithTenant("gold"))
+	if _, err := gold.Submit(ctx, &serve.SubmitRequest{Circuit: "ghz", N: 4}); err != nil {
+		t.Fatal(err)
+	}
+	views, err := h.c.Tenants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tv := range views {
+		if tv.Name == "gold" && tv.Weight != 4 {
+			t.Errorf("gold weight = %d, want 4", tv.Weight)
+		}
+	}
+}

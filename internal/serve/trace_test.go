@@ -1,14 +1,16 @@
-package serve
+package serve_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
-	"net/http"
 	"strings"
 	"sync"
 	"testing"
 
 	"flatdd/internal/obs"
+	"flatdd/internal/serve"
+	"flatdd/internal/serve/client"
 )
 
 // syncBuffer is a goroutine-safe bytes.Buffer for capturing the server's
@@ -35,31 +37,21 @@ func (b *syncBuffer) String() string {
 // flight recorder's span tree, and the JSONL sink.
 func TestTraceEndToEnd(t *testing.T) {
 	sink := &syncBuffer{}
-	h := newTestServer(t, Config{Threads: 2, TraceJSONL: sink})
+	h := newTestServer(t, serve.Config{Threads: 2, TraceJSONL: sink})
 
 	const callerTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
 	const callerSpan = "00f067aa0ba902b7"
-	body, _ := json.Marshal(&SubmitRequest{QASM: bellQASM})
-	req, err := http.NewRequest("POST", h.ts.URL+"/v1/jobs", bytes.NewReader(body))
+	resp, err := h.c.Submit(context.Background(), &serve.SubmitRequest{QASM: bellQASM},
+		client.WithTraceParent("00-"+callerTrace+"-"+callerSpan+"-01"))
 	if err != nil {
-		t.Fatal(err)
-	}
-	req.Header.Set("traceparent", "00-"+callerTrace+"-"+callerSpan+"-01")
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit status %d", resp.StatusCode)
+		t.Fatalf("submit: %v", err)
 	}
 
 	// The response hands the trace context back: same trace, the job's
 	// own (fresh) span as the new parent.
-	tp := resp.Header.Get("traceparent")
-	gotTrace, gotSpan, ok := obs.ParseTraceParent(tp)
+	gotTrace, gotSpan, ok := obs.ParseTraceParent(resp.TraceParent)
 	if !ok {
-		t.Fatalf("response traceparent %q does not parse", tp)
+		t.Fatalf("response traceparent %q does not parse", resp.TraceParent)
 	}
 	if gotTrace.String() != callerTrace {
 		t.Errorf("response trace = %s, want caller's %s", gotTrace, callerTrace)
@@ -67,23 +59,16 @@ func TestTraceEndToEnd(t *testing.T) {
 	if gotSpan.String() == callerSpan {
 		t.Error("response span id did not change from the caller's")
 	}
-	var v JobView
-	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-		t.Fatal(err)
-	}
+	v := resp.Job
 	if v.Trace != callerTrace {
 		t.Errorf("JobView.Trace = %q, want %q", v.Trace, callerTrace)
 	}
 
-	h.waitState(v.ID, StateDone)
+	h.waitState(v.ID, serve.StateDone)
 
 	// The flight recorder holds the whole span tree, addressable by job
 	// ID and by trace ID.
-	code, raw := h.do("GET", "/v1/jobs/"+v.ID, nil) // ensure terminal view first
-	if code != 200 {
-		t.Fatalf("status: %d %s", code, raw)
-	}
-	code, raw = h.do("GET", "/debug/jobs?id="+v.ID, nil)
+	code, raw := h.do("GET", "/debug/jobs?id="+v.ID, nil)
 	if code != 200 {
 		t.Fatalf("/debug/jobs?id=: %d %s", code, raw)
 	}
@@ -91,7 +76,7 @@ func TestTraceEndToEnd(t *testing.T) {
 	if err := json.Unmarshal(raw, &jt); err != nil {
 		t.Fatal(err)
 	}
-	if jt.Trace != callerTrace || jt.State != StateDone || jt.Pinned {
+	if jt.Trace != callerTrace || jt.State != serve.StateDone || jt.Pinned {
 		t.Errorf("JobTrace = {trace %s, state %s, pinned %v}, want {%s, done, false}",
 			jt.Trace, jt.State, jt.Pinned, callerTrace)
 	}
@@ -143,12 +128,12 @@ func names(spans []obs.SpanRecord) []string {
 // TestTraceMintedWithoutHeader pins that a submission without (or with a
 // malformed) traceparent still gets a valid fresh trace.
 func TestTraceMintedWithoutHeader(t *testing.T) {
-	h := newTestServer(t, Config{Threads: 1})
-	v := h.submit(&SubmitRequest{QASM: bellQASM})
+	h := newTestServer(t, serve.Config{Threads: 1})
+	v := h.submit(&serve.SubmitRequest{QASM: bellQASM})
 	if len(v.Trace) != 32 || v.Trace == strings.Repeat("0", 32) {
 		t.Errorf("minted trace = %q, want 32 hex chars, nonzero", v.Trace)
 	}
-	h.waitState(v.ID, StateDone)
+	h.waitState(v.ID, serve.StateDone)
 	if code, _ := h.do("GET", "/debug/jobs?id="+v.Trace, nil); code != 200 {
 		t.Errorf("flight recorder lookup by minted trace: %d", code)
 	}
@@ -157,13 +142,15 @@ func TestTraceMintedWithoutHeader(t *testing.T) {
 // TestFlightRecorderPinsFailures pins that a failed job's trace is
 // retained as pinned and survives subsequent healthy traffic.
 func TestFlightRecorderPinsFailures(t *testing.T) {
-	h := newTestServer(t, Config{Threads: 2, FlightRecorderSize: 2})
+	h := newTestServer(t, serve.Config{Threads: 2, FlightRecorderSize: 2})
 	// A 1ms deadline on a real workload fails with timeout.
-	bad := h.submit(&SubmitRequest{Circuit: "qv", N: 14, Seed: 1, TimeoutMS: 1})
-	h.waitState(bad.ID, StateFailed)
+	bad := h.submit(&serve.SubmitRequest{Circuit: "qv", N: 14, Seed: 1, TimeoutMS: 1})
+	h.waitState(bad.ID, serve.StateFailed)
 	for i := 0; i < 4; i++ {
-		ok := h.submit(&SubmitRequest{QASM: bellQASM})
-		h.waitState(ok.ID, StateDone)
+		// Distinct register sizes: result-cache hits of one circuit would
+		// not keep minting fresh recorder slots.
+		ok := h.submit(&serve.SubmitRequest{Circuit: "ghz", N: 4 + i})
+		h.waitState(ok.ID, serve.StateDone)
 	}
 	code, raw := h.do("GET", "/debug/jobs?id="+bad.ID, nil)
 	if code != 200 {
@@ -173,18 +160,19 @@ func TestFlightRecorderPinsFailures(t *testing.T) {
 	if err := json.Unmarshal(raw, &jt); err != nil {
 		t.Fatal(err)
 	}
-	if !jt.Pinned || jt.State != StateFailed || jt.Reason != "timeout" {
+	if !jt.Pinned || jt.State != serve.StateFailed || jt.Reason != "timeout" {
 		t.Errorf("JobTrace = {pinned %v, state %s, reason %s}, want pinned failed timeout",
 			jt.Pinned, jt.State, jt.Reason)
 	}
 }
 
 // TestHealthzCapacityAndLatency pins the extended /healthz shape:
-// capacity limits, uptime, and the p50/p95/p99 latency summaries.
+// capacity limits, uptime, the p50/p95/p99 latency summaries, and the
+// result-cache block.
 func TestHealthzCapacityAndLatency(t *testing.T) {
-	h := newTestServer(t, Config{Threads: 1, QueueDepth: 7, MaxInFlight: 3, MaxQubits: 21})
-	v := h.submit(&SubmitRequest{QASM: bellQASM})
-	h.waitState(v.ID, StateDone)
+	h := newTestServer(t, serve.Config{Threads: 1, QueueDepth: 7, MaxInFlight: 3, MaxQubits: 21})
+	v := h.submit(&serve.SubmitRequest{QASM: bellQASM})
+	h.waitState(v.ID, serve.StateDone)
 
 	code, raw := h.do("GET", "/healthz", nil)
 	if code != 200 {
@@ -203,6 +191,11 @@ func TestHealthzCapacityAndLatency(t *testing.T) {
 			P50   float64 `json:"p50"`
 			P99   float64 `json:"p99"`
 		} `json:"latency"`
+		Cache struct {
+			Enabled     bool  `json:"enabled"`
+			BudgetBytes int64 `json:"budget_bytes"`
+			Entries     int   `json:"entries"`
+		} `json:"cache"`
 	}
 	if err := json.Unmarshal(raw, &body); err != nil {
 		t.Fatal(err)
@@ -218,5 +211,8 @@ func TestHealthzCapacityAndLatency(t *testing.T) {
 		if !ok || l.Count < 1 || l.P99 < l.P50 || l.P50 <= 0 {
 			t.Errorf("latency[%s] = %+v (present %v)", k, l, ok)
 		}
+	}
+	if !body.Cache.Enabled || body.Cache.BudgetBytes <= 0 || body.Cache.Entries != 1 {
+		t.Errorf("cache block = %+v, want enabled with the bell entry", body.Cache)
 	}
 }
