@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK ?= staticcheck
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: build test check staticcheck profile-smoke faults dd-race fuzz serve-smoke trace-schema bench-obs bench-record bench-gate csv
+.PHONY: build test check staticcheck profile-smoke faults dd-race fuzz serve-smoke chaos trace-schema bench-obs bench-record bench-gate csv
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,7 @@ check:
 	$(GO) test -race -short ./...
 	$(MAKE) dd-race
 	$(MAKE) faults
+	$(MAKE) chaos
 	$(MAKE) serve-smoke
 	$(MAKE) profile-smoke
 	$(MAKE) trace-schema
@@ -77,12 +78,26 @@ dd-race:
 	$(GO) test -race -run 'Par|Concurrent' -count=2 \
 		./internal/dd/... ./internal/ddsim/... ./internal/cnum/...
 
-# serve-smoke builds the flatdd-serve binary race-enabled and drives it
-# end to end over HTTP: admission control (413 over budget), bell + randct
-# jobs to completion, client cancellation of a running QV job, the
-# in-flight cap under concurrent submits, and a SIGTERM drain to exit 0.
+# serve-smoke builds the flatdd-serve and flatdd-coord binaries
+# race-enabled and drives them end to end over HTTP: admission control
+# (413 over budget), bell + randct jobs to completion, client
+# cancellation of a running QV job, the in-flight cap under concurrent
+# submits, SIGTERM drains to exit 0, and — through the coordinator — a
+# two-replica cluster with hash-routed cache locality, a replica kill
+# surfacing in /healthz membership, and post-failover serving.
 serve-smoke:
 	$(GO) test -race -run TestServeSmoke -count=1 ./cmd/flatdd-serve
+	$(GO) test -race -run TestCoordSmoke -count=1 ./cmd/flatdd-coord
+
+# chaos runs the cluster chaos suite under the race detector: a
+# three-replica in-process fleet behind the coordinator with seeded
+# fault injection (replica down, RPC timeout, slow RPC) — kill/revive
+# mid-burst with zero lost acknowledged jobs, breaker open/half-open
+# recovery, and terminal views served through a total outage. The seed
+# comes from FLATDD_CHAOS_SEED (default 1) so failures replay exactly;
+# -timeout bounds the whole suite well under the per-test waits.
+chaos:
+	FLATDD_CHAOS_SEED=$${FLATDD_CHAOS_SEED:-1} $(GO) test -race -count=1 -timeout 300s ./internal/cluster/
 
 # trace-schema pins the span JSONL wire format (the golden file under
 # internal/obs/testdata) and the TraceWriter's sticky-error contract:
@@ -100,11 +115,12 @@ fuzz:
 
 # bench-record emits a machine-readable perf record (BENCH_<n>.json at the
 # repo root) from a tiny-scale Table 1 run, the parallel-DD-phase thread
-# sweep, and the multi-tenant serving experiment: 2 repetitions per cell
-# plus sampled time series. Run it once per meaningful commit to grow the
-# performance history benchdiff compares against.
+# sweep, and the multi-tenant and cluster serving experiments: 2
+# repetitions per cell plus sampled time series. Run it once per
+# meaningful commit to grow the performance history benchdiff compares
+# against.
 bench-record:
-	$(GO) run ./cmd/flatdd-bench -exp table1,ddpar,tenants -scale tiny -reps 2 -timeout 60s -out auto
+	$(GO) run ./cmd/flatdd-bench -exp table1,ddpar,tenants,cluster -scale tiny -reps 2 -timeout 60s -out auto
 
 # bench-gate diffs the newest record against the one before it and fails
 # on any wall-time regression beyond the noise guard (CI gate). With only

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-replica circuit breaker over coordinator→replica
+// calls. Replica-level failures (network errors, timeouts — not HTTP
+// rejections, which prove the replica is answering) count toward a
+// consecutive-failure threshold; at the threshold the breaker opens and
+// calls fail fast without touching the wire, shedding load from a
+// replica that is down or drowning. After a cooldown the breaker goes
+// half-open and admits exactly one probe call: success closes it,
+// failure re-opens it for another cooldown.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that open the breaker
+	cooldown  time.Duration // open → half-open delay
+
+	state    breakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // last transition to open
+	probing  bool      // a half-open probe is in flight
+	opens    int64     // cumulative open transitions
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a call may proceed now. In the half-open state
+// only one probe is admitted at a time; a caller granted the probe MUST
+// resolve it with Success or Failure.
+func (b *breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a completed call: any state collapses back to closed.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure records a replica-level call failure. It returns true when
+// this failure opened the breaker (for the caller's metrics/logging).
+func (b *breaker) Failure(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case breakerHalfOpen:
+		// The probe failed: straight back to open for another cooldown.
+		b.state = breakerOpen
+		b.openedAt = now
+		b.opens++
+		return true
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.opens++
+			return true
+		}
+	}
+	return false
+}
+
+// State returns the current state and the cumulative open count.
+func (b *breaker) State() (breakerState, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := newBreaker(3, time.Minute)
+	now := time.Now()
+	for i := 0; i < 2; i++ {
+		if opened := b.Failure(now); opened {
+			t.Fatalf("breaker opened after %d failures (threshold 3)", i+1)
+		}
+		if !b.Allow(now) {
+			t.Fatalf("closed breaker denied a call after %d failures", i+1)
+		}
+	}
+	if opened := b.Failure(now); !opened {
+		t.Fatal("third failure did not open the breaker")
+	}
+	if b.Allow(now) {
+		t.Fatal("open breaker admitted a call before the cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := newBreaker(3, time.Minute)
+	now := time.Now()
+	b.Failure(now)
+	b.Failure(now)
+	b.Success()
+	// The consecutive count restarted: two more failures must not open.
+	b.Failure(now)
+	if opened := b.Failure(now); opened {
+		t.Fatal("breaker opened although a success reset the streak")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := newBreaker(1, 10*time.Millisecond)
+	now := time.Now()
+	b.Failure(now) // opens
+	if b.Allow(now) {
+		t.Fatal("open breaker admitted a call immediately")
+	}
+	after := now.Add(20 * time.Millisecond)
+	if !b.Allow(after) {
+		t.Fatal("cooldown elapsed but probe was denied")
+	}
+	// Exactly one probe: a second caller is shed while it is in flight.
+	if b.Allow(after) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Success()
+	if st, _ := b.State(); st != breakerClosed {
+		t.Fatalf("successful probe left breaker %v, want closed", st)
+	}
+	if !b.Allow(after) {
+		t.Fatal("closed breaker denied a call after recovery")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b := newBreaker(1, 10*time.Millisecond)
+	now := time.Now()
+	b.Failure(now)
+	after := now.Add(20 * time.Millisecond)
+	if !b.Allow(after) {
+		t.Fatal("probe denied after cooldown")
+	}
+	if opened := b.Failure(after); !opened {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if b.Allow(after.Add(5 * time.Millisecond)) {
+		t.Fatal("re-opened breaker admitted a call inside the fresh cooldown")
+	}
+	if _, opens := b.State(); opens != 2 {
+		t.Fatalf("open count = %d, want 2", opens)
+	}
+}

@@ -43,6 +43,24 @@ const (
 	// DMAVComputeCorrupt corrupts one output amplitude of the uncached
 	// DMAV path (Algorithm 1) after a row chunk computes it.
 	DMAVComputeCorrupt = "dmav.compute.corrupt"
+
+	// Cluster network-level injection points (internal/cluster). The
+	// coordinator checks both the bare point and the per-replica variant
+	// "<point>.<replica-name>", so a test can take down one replica or
+	// degrade the whole fleet with the same catalog name.
+
+	// ClusterReplicaDown makes coordinator→replica calls (RPCs and health
+	// probes alike) fail as if the replica process were unreachable:
+	// K consecutive probe failures walk the replica through suspect→dead
+	// and trigger failover without killing anything for real.
+	ClusterReplicaDown = "cluster.replica.down"
+	// ClusterRPCTimeout fails one coordinator→replica RPC with a
+	// deadline-style error before it reaches the wire (exercises the
+	// retry/backoff and circuit-breaker paths; probes are unaffected).
+	ClusterRPCTimeout = "cluster.rpc.timeout"
+	// ClusterRPCSlow delays a coordinator→replica RPC by the trigger's
+	// Delay (stragglers for tail-latency and breaker half-open tests).
+	ClusterRPCSlow = "cluster.rpc.slow"
 )
 
 // Injected is the value a firing point produces: the panic value at

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"time"
+
+	"flatdd/internal/cluster"
+	"flatdd/internal/perf"
+	"flatdd/internal/serve"
+	"flatdd/internal/serve/client"
+)
+
+// Cluster runs the fault-tolerant cluster serving experiment: three
+// in-process flatdd-serve replicas behind the coordinator take a
+// zipf-skewed stream of QV jobs routed by consistent hashing on the
+// canonical circuit hash, and the table reports per-replica job counts,
+// cache absorption, and end-to-end latency percentiles. The skew means
+// a few circuits dominate the stream; hash routing pins each of them to
+// one replica, so the per-replica result caches absorb repeats exactly
+// as a single server's would — the cluster scales the cache, it does
+// not dilute it.
+func Cluster(cfg Config) {
+	cfg = cfg.withDefaults()
+	var jobs, qubits int
+	switch cfg.Scale {
+	case ScaleTiny:
+		jobs, qubits = 24, 8
+	case ScalePaper:
+		jobs, qubits = 240, 16
+	default:
+		jobs, qubits = 80, 12
+	}
+	const nReplicas = 3
+
+	specs := make([]cluster.ReplicaSpec, 0, nReplicas)
+	for i := 0; i < nReplicas; i++ {
+		srv := serve.New(serve.Config{
+			Threads:        cfg.Threads,
+			MaxInFlight:    2,
+			QueueDepth:     jobs + 2,
+			DefaultTimeout: cfg.Timeout,
+		})
+		defer srv.Shutdown()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		specs = append(specs, cluster.ReplicaSpec{
+			Name: fmt.Sprintf("r%d", i+1), URL: ts.URL,
+		})
+	}
+	coord, err := cluster.New(cluster.Config{Replicas: specs})
+	if err != nil {
+		fmt.Fprintf(cfg.Out, "cluster: %v\n", err)
+		return
+	}
+	defer coord.Shutdown()
+	front := httptest.NewServer(coord.Handler())
+	defer front.Close()
+	c := client.New(front.URL)
+
+	// Zipf-skewed circuit popularity over a pool of distinct QV circuits:
+	// rank-1 dominates, so the stream is mostly repeats of a few keys.
+	zipf := rand.NewZipf(rand.New(rand.NewSource(1)), 1.2, 1, 15)
+	ctx := context.Background()
+	ids := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		resp, err := c.Submit(ctx, &serve.SubmitRequest{
+			Circuit: "qv", N: qubits, Seed: 1 + int64(zipf.Uint64()), Shots: 100,
+			TimeoutMS: cfg.Timeout.Milliseconds(),
+		})
+		if err != nil {
+			fmt.Fprintf(cfg.Out, "cluster: submit %d failed: %v\n", i, err)
+			continue
+		}
+		ids = append(ids, resp.Job.ID)
+	}
+
+	// Wait out every job and attribute its end-to-end latency (submission
+	// to terminal state, server-side) and cache disposition to the
+	// replica the coordinator routed it to.
+	latNs := map[string][]float64{}
+	absorbed := map[string]int{}
+	routed := map[string]int{}
+	for _, id := range ids {
+		wctx, cancel := context.WithTimeout(ctx, cfg.Timeout+30*time.Second)
+		v, err := c.Wait(wctx, id, 2*time.Millisecond)
+		cancel()
+		if err != nil || v.FinishedAt == nil {
+			fmt.Fprintf(cfg.Out, "cluster: wait %s: %v\n", id, err)
+			continue
+		}
+		name := v.Replica
+		if name == "" {
+			name = "?" // never routed (all candidates down)
+		}
+		routed[name]++
+		if v.Cache == serve.CacheHit || v.Cache == serve.CacheCoalesced {
+			absorbed[name]++
+		}
+		latNs[name] = append(latNs[name], float64(v.FinishedAt.Sub(v.SubmittedAt)))
+	}
+
+	tbl := NewTable("Cluster serving: zipf QV load over 3 hash-routed replicas, per-replica latency",
+		"Replica", "Jobs", "Cache absorbed", "p50", "p95", "p99")
+	for _, spec := range specs {
+		name := spec.Name
+		st := perf.NewStat(latNs[name])
+		rate := 0.0
+		if routed[name] > 0 {
+			rate = float64(absorbed[name]) / float64(routed[name])
+		}
+		tbl.AddRow(name, routed[name], fmt.Sprintf("%.0f%%", 100*rate),
+			fmtSeconds(time.Duration(st.P50Ns)),
+			fmtSeconds(time.Duration(st.P95Ns)),
+			fmtSeconds(time.Duration(st.P99Ns)))
+		if cfg.Record != nil {
+			cfg.Record.Add(perf.Cell{
+				Exp: "cluster", Circuit: name, Engine: "cluster",
+				Qubits: qubits, Wall: st,
+				ConvertedAt: -1, DMAVCacheHitRate: -1,
+				CacheHitRate: rate,
+			})
+		}
+	}
+	emit(cfg, "cluster", tbl)
+}

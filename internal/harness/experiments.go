@@ -443,6 +443,8 @@ func RunExperiment(id string, cfg Config) error {
 		DDPar(cfg)
 	case "tenants":
 		Tenants(cfg)
+	case "cluster":
+		Cluster(cfg)
 	case "all":
 		for _, e := range ExperimentIDs() {
 			if e == "all" {
@@ -460,7 +462,7 @@ func RunExperiment(id string, cfg Config) error {
 
 // ExperimentIDs lists the recognized experiment identifiers.
 func ExperimentIDs() []string {
-	return []string{"fig1", "fig3", "table1", "fig11", "fig12", "fig13", "fig14", "table2", "ablation", "metrics", "ddpar", "tenants", "all"}
+	return []string{"fig1", "fig3", "table1", "fig11", "fig12", "fig13", "fig14", "table2", "ablation", "metrics", "ddpar", "tenants", "cluster", "all"}
 }
 
 // Helpers.

@@ -58,7 +58,14 @@ type cacheEntry struct {
 	// Resources attribution stripped (a served hit did not spend them).
 	stats ResultStats
 	bytes int64
-	seq   uint64 // LRU recency stamp, maintained by resultCache
+	seq   uint64 // recency stamp, maintained by resultCache
+	// costNs is the ledger-observed engine cost of producing this entry
+	// (worker CPU time; wall time when no ledger ran). It feeds the
+	// cost-aware eviction priority: cheap-to-recompute entries go first.
+	costNs int64
+	// pri is the entry's GDSF priority (inflation + cost/size), assigned
+	// by resultCache on insert and on every hit.
+	pri float64
 }
 
 // servable reports whether the entry can answer a request with the given
@@ -67,17 +74,26 @@ func (e *cacheEntry) servable(shots int) bool {
 	return e != nil && (shots <= 0 || e.cum != nil)
 }
 
-// resultCache is a bounded LRU over cache entries. Lock ordering: the
-// server may call into the cache while holding Server.mu; the cache
-// never calls back out.
+// resultCache is a bounded cache with cost-aware (GDSF-style) eviction.
+// Each entry's priority is inflation + costNs/bytes: entries that were
+// cheap to compute relative to the space they occupy evict first. The
+// inflation term is the classic GreedyDual aging trick — it is raised to
+// the evicted entry's priority on every eviction, so entries that have
+// not been touched since long-ago insertions age out no matter how
+// expensive they once were. Hits re-stamp the priority at the current
+// inflation, which is what makes the scheme recency-aware: with uniform
+// costs it degenerates to exact LRU (the seq tiebreak orders equal
+// priorities by recency). Lock ordering: the server may call into the
+// cache while holding Server.mu; the cache never calls back out.
 type resultCache struct {
-	mu       sync.Mutex
-	budget   int64 // total byte budget; <= 0 disables the cache
-	maxEntry int64 // per-entry cap; larger results are not stored
-	entries  map[cacheKey]*cacheEntry
-	bytes    int64
-	seq      uint64
-	evicted  int64
+	mu        sync.Mutex
+	budget    int64 // total byte budget; <= 0 disables the cache
+	maxEntry  int64 // per-entry cap; larger results are not stored
+	entries   map[cacheKey]*cacheEntry
+	bytes     int64
+	seq       uint64
+	evicted   int64
+	inflation float64 // GDSF aging floor; rises to each evicted priority
 }
 
 func newResultCache(budget, maxEntry int64) *resultCache {
@@ -90,8 +106,20 @@ func newResultCache(budget, maxEntry int64) *resultCache {
 
 func (c *resultCache) enabled() bool { return c.budget > 0 }
 
+// priority computes an entry's GDSF eviction priority at the current
+// inflation. The cost/size ratio is "nanoseconds of engine work saved
+// per byte of cache spent"; zero-cost entries sit at the inflation
+// floor, where the seq tiebreak makes eviction pure LRU.
+func (c *resultCache) priority(e *cacheEntry) float64 {
+	if e.costNs <= 0 || e.bytes <= 0 {
+		return c.inflation
+	}
+	return c.inflation + float64(e.costNs)/float64(e.bytes)
+}
+
 // get returns the entry for key if present and servable for the given
-// shot count, bumping its recency.
+// shot count, bumping its recency and re-stamping its priority at the
+// current inflation.
 func (c *resultCache) get(key cacheKey, shots int) *cacheEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -101,11 +129,13 @@ func (c *resultCache) get(key cacheKey, shots int) *cacheEntry {
 	}
 	c.seq++
 	e.seq = c.seq
+	e.pri = c.priority(e)
 	return e
 }
 
-// put stores an entry, evicting least-recently-used entries until the
-// budget holds. Oversized entries and a disabled cache are no-ops.
+// put stores an entry, evicting lowest-priority entries until the
+// budget holds: cheap-to-recompute entries go first, ties broken by
+// recency. Oversized entries and a disabled cache are no-ops.
 func (c *resultCache) put(key cacheKey, e *cacheEntry) bool {
 	if e == nil || c.budget <= 0 || e.bytes > c.maxEntry || e.bytes > c.budget {
 		return false
@@ -117,25 +147,31 @@ func (c *resultCache) put(key cacheKey, e *cacheEntry) bool {
 	}
 	c.seq++
 	e.seq = c.seq
+	e.pri = c.priority(e)
 	c.entries[key] = e
 	c.bytes += e.bytes
 	for c.bytes > c.budget {
-		var lruKey cacheKey
-		var lru *cacheEntry
+		var vicKey cacheKey
+		var vic *cacheEntry
 		for k, v := range c.entries {
 			if v == e {
 				continue // never evict the entry just inserted
 			}
-			if lru == nil || v.seq < lru.seq {
-				lruKey, lru = k, v
+			if vic == nil || v.pri < vic.pri || (v.pri == vic.pri && v.seq < vic.seq) {
+				vicKey, vic = k, v
 			}
 		}
-		if lru == nil {
+		if vic == nil {
 			break
 		}
-		delete(c.entries, lruKey)
-		c.bytes -= lru.bytes
+		delete(c.entries, vicKey)
+		c.bytes -= vic.bytes
 		c.evicted++
+		// Age the cache: everything inserted or touched from now on must
+		// beat the priority this victim died at.
+		if vic.pri > c.inflation {
+			c.inflation = vic.pri
+		}
 	}
 	return true
 }
@@ -167,6 +203,7 @@ func buildCacheEntry(j *job, sim *core.Simulator, st core.Stats, withProbs bool)
 		qubits: n,
 		top:    top,
 		stats:  resultStats(st),
+		costNs: entryCost(st),
 	}
 	e.stats.Resources = nil // per-job attribution does not transfer to hits
 	if withProbs {
@@ -183,6 +220,16 @@ func buildCacheEntry(j *job, sim *core.Simulator, st core.Stats, withProbs bool)
 	// cost ~64 B of numbers plus an n-char basis string each.
 	e.bytes = int64(len(e.cum))*8 + int64(len(e.top))*int64(64+n)
 	return e
+}
+
+// entryCost is the engine cost of recomputing an entry: the ledger's
+// attributed worker CPU time when a ledger ran, otherwise the run's wall
+// time. This is what the eviction policy weighs against entry size.
+func entryCost(st core.Stats) int64 {
+	if st.Resources != nil && st.Resources.CPUNs > 0 {
+		return st.Resources.CPUNs
+	}
+	return st.TotalTime.Nanoseconds()
 }
 
 // resultFromEntry assembles a job's result from a cache entry, applying

@@ -7,7 +7,9 @@ import (
 	"math"
 	"reflect"
 	"testing"
+	"time"
 
+	"flatdd/internal/faults"
 	"flatdd/internal/obs"
 	"flatdd/internal/serve"
 	"flatdd/internal/serve/client"
@@ -178,6 +180,75 @@ func TestCacheCoalescing(t *testing.T) {
 	}
 	if results["subA"].Cache != serve.CacheCoalesced {
 		t.Errorf("subscriber result cache = %q, want coalesced", results["subA"].Cache)
+	}
+}
+
+// TestCacheCoalesceOntoRetryingLeader pins that a leader's flight
+// survives a transient engine fault: a duplicate submitted while the
+// leader sits in retry backoff coalesces onto it instead of queueing a
+// second engine run, and completes from the successful rerun's entry.
+func TestCacheCoalesceOntoRetryingLeader(t *testing.T) {
+	freg := faults.New(1)
+	freg.Arm(faults.SchedWorkerPanic, faults.Trigger{Nth: 1, Times: 1, Transient: true})
+	h := newTestServer(t, serve.Config{
+		Threads: 4,
+		// A wide backoff window so the duplicate reliably lands while the
+		// faulted leader is queued for its rerun.
+		RetryBaseDelay: 300 * time.Millisecond,
+		RetryMaxDelay:  300 * time.Millisecond,
+		Faults:         freg,
+	})
+	ctx := context.Background()
+
+	// Same seed twice: identical canonical circuit, one cache key.
+	leader := h.submit(pooledSubmit(8))
+	if leader.Cache != serve.CacheMiss {
+		t.Fatalf("leader cache = %q, want miss", leader.Cache)
+	}
+	// Wait for the fault: the leader is back in the queue with one burned
+	// attempt, sitting out its backoff.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, err := h.c.Job(ctx, leader.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State == serve.StateQueued && v.Attempts >= 1 {
+			break
+		}
+		if v.State == serve.StateDone || v.State == serve.StateFailed {
+			t.Fatalf("leader reached %q before the injected fault was observed", v.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leader never entered retry backoff (state %q, attempts %d)", v.State, v.Attempts)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	dup := h.submit(pooledSubmit(8))
+	if dup.Cache != serve.CacheCoalesced {
+		t.Fatalf("duplicate of a retrying leader: cache = %q, want coalesced", dup.Cache)
+	}
+
+	for _, id := range []string{leader.ID, dup.ID} {
+		if v := h.waitState(id, serve.StateDone, serve.StateFailed); v.State != serve.StateDone {
+			t.Fatalf("job %s: %s (%s)", id, v.State, v.Error)
+		}
+	}
+	// Two engine executions total — the faulted attempt and the rerun; the
+	// duplicate never ran.
+	if got := h.srv.Registry().Counter("serve.engine.runs").Value(); got != 2 {
+		t.Errorf("serve.engine.runs = %d, want 2 (fault + rerun)", got)
+	}
+	if got := h.srv.Registry().Counter("serve.cache.coalesced").Value(); got != 1 {
+		t.Errorf("serve.cache.coalesced = %d, want 1", got)
+	}
+	res, err := h.c.Result(ctx, dup.ID)
+	if err != nil {
+		t.Fatalf("duplicate result: %v", err)
+	}
+	if res.Cache != serve.CacheCoalesced {
+		t.Errorf("duplicate result cache = %q, want coalesced", res.Cache)
 	}
 }
 

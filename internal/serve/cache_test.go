@@ -3,6 +3,10 @@ package serve
 import (
 	"reflect"
 	"testing"
+	"time"
+
+	"flatdd/internal/core"
+	"flatdd/internal/obs"
 )
 
 // unit tests of the result cache's keying, LRU accounting, and shot
@@ -52,6 +56,60 @@ func TestResultCacheLRUEviction(t *testing.T) {
 	entries, bytes, evictions := c.Stats()
 	if entries != 2 || bytes != 250 || evictions != 1 {
 		t.Errorf("Stats() = %d entries, %d bytes, %d evictions; want 2, 250, 1", entries, bytes, evictions)
+	}
+}
+
+func TestResultCacheCostAwareEviction(t *testing.T) {
+	c := newResultCache(300, 300)
+	k := func(s string) cacheKey { return cacheKey{circuit: s} }
+
+	// cheap costs 1ns/byte to recompute, exp costs 1000ns/byte.
+	if !c.put(k("cheap"), &cacheEntry{bytes: 100, costNs: 100}) ||
+		!c.put(k("exp"), &cacheEntry{bytes: 100, costNs: 100_000}) {
+		t.Fatal("puts within budget rejected")
+	}
+	// Touch cheap so it is the most recently used; cost must still win.
+	if c.get(k("cheap"), 0) == nil {
+		t.Fatal("entry cheap missing before eviction")
+	}
+	if !c.put(k("new"), &cacheEntry{bytes: 150, costNs: 150}) {
+		t.Fatal("put new rejected")
+	}
+	if c.get(k("cheap"), 0) != nil {
+		t.Error("cheap-to-recompute entry survived though an expensive one was evictable")
+	}
+	if c.get(k("exp"), 0) == nil {
+		t.Error("expensive entry evicted ahead of a cheap one")
+	}
+}
+
+func TestResultCacheInflationAgesExpensiveEntries(t *testing.T) {
+	// An expensive entry that is never touched again must not pin its
+	// cache space forever: each eviction raises the inflation floor, so
+	// fresh cheap entries eventually out-rank it.
+	c := newResultCache(300, 300)
+	k := func(s string) cacheKey { return cacheKey{circuit: s} }
+	if !c.put(k("exp"), &cacheEntry{bytes: 100, costNs: 100_000}) {
+		t.Fatal("put exp rejected")
+	}
+	// Probing with get would re-stamp exp's priority (a hit is a hit), so
+	// the loop only inserts; exp must stay cold to age out.
+	for i := 0; i < 500; i++ {
+		c.put(cacheKey{circuit: "cheap", options: string(rune(i))}, &cacheEntry{bytes: 100, costNs: 1000})
+	}
+	if c.get(k("exp"), 0) != nil {
+		t.Error("cold expensive entry never aged out under sustained cheap inserts")
+	}
+}
+
+func TestEntryCostPrefersLedgerCPU(t *testing.T) {
+	st := core.Stats{TotalTime: 5 * time.Millisecond}
+	if got := entryCost(st); got != st.TotalTime.Nanoseconds() {
+		t.Errorf("entryCost without ledger = %d, want wall time %d", got, st.TotalTime.Nanoseconds())
+	}
+	st.Resources = &obs.LedgerSnapshot{CPUNs: 42_000}
+	if got := entryCost(st); got != 42_000 {
+		t.Errorf("entryCost with ledger = %d, want CPUNs 42000", got)
 	}
 }
 

@@ -10,8 +10,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -75,6 +77,7 @@ type SubmitOption func(*submitOpts)
 type submitOpts struct {
 	idemKey     string
 	traceparent string
+	tenant      string
 }
 
 // WithIdempotencyKey makes the submission idempotent: resubmitting with
@@ -87,6 +90,13 @@ func WithIdempotencyKey(key string) SubmitOption {
 // span tree continues that trace.
 func WithTraceParent(tp string) SubmitOption {
 	return func(o *submitOpts) { o.traceparent = tp }
+}
+
+// WithSubmitTenant overrides the client-level tenant for one submission.
+// The cluster coordinator uses it to forward each caller's own tenant
+// through a per-replica client shared by all tenants.
+func WithSubmitTenant(name string) SubmitOption {
+	return func(o *submitOpts) { o.tenant = name }
 }
 
 // SubmitResponse is the outcome of one Submit call.
@@ -121,6 +131,9 @@ func (c *Client) Submit(ctx context.Context, req *serve.SubmitRequest, opts ...S
 	if so.traceparent != "" {
 		hreq.Header.Set("traceparent", so.traceparent)
 	}
+	if so.tenant != "" {
+		hreq.Header.Set(serve.TenantHeader, so.tenant)
+	}
 	resp, err := c.http.Do(hreq)
 	if err != nil {
 		return nil, err
@@ -153,6 +166,30 @@ func (c *Client) Result(ctx context.Context, id string) (*serve.JobResult, error
 		return nil, err
 	}
 	return &r, nil
+}
+
+// ResultRaw fetches a done job's result as raw JSON. The cluster
+// coordinator uses it to relay and cache result payloads byte-for-byte
+// without a decode/re-encode round trip. Non-2xx responses decode into
+// *APIError exactly like Result.
+func (c *Client) ResultRaw(ctx context.Context, id string) ([]byte, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("read response: %w", err)
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return body, nil
+	}
+	return nil, errorFromBody(resp.StatusCode, body)
 }
 
 // Cancel cancels a job (DELETE /v1/jobs/{id}) and returns its view.
@@ -229,25 +266,46 @@ func (c *Client) Health(ctx context.Context) (map[string]any, error) {
 
 // Wait polls a job until it reaches a terminal state (done, failed,
 // canceled) and returns the final view. poll <= 0 defaults to 25ms.
-// The context bounds the wait.
+//
+// Sleeps between polls are jittered (up to +50% of the base interval) so
+// many waiters never poll in lockstep, and a retryable rejection
+// (429/503) does not fail the wait: the client honors the server's
+// Retry-After hint — sleeping max(poll, Retry-After) plus jitter — and
+// keeps polling. Non-retryable errors return immediately. The caller's
+// context caps the total wait, including the backoff sleeps.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*serve.JobView, error) {
 	if poll <= 0 {
 		poll = 25 * time.Millisecond
 	}
-	t := time.NewTicker(poll)
-	defer t.Stop()
+	var last *serve.JobView
 	for {
 		v, err := c.Job(ctx, id)
-		if err != nil {
-			return nil, err
+		delay := poll
+		switch {
+		case err == nil:
+			last = v
+			switch v.State {
+			case serve.StateDone, serve.StateFailed, serve.StateCanceled:
+				return v, nil
+			}
+		default:
+			var apiErr *APIError
+			if !errors.As(err, &apiErr) || !apiErr.IsRetryable() {
+				return nil, err
+			}
+			// 429/503: the server told us when to come back. A draining or
+			// overloaded server is a reason to slow down, not to give up —
+			// the context decides when the caller has waited long enough.
+			if apiErr.RetryAfter > delay {
+				delay = apiErr.RetryAfter
+			}
 		}
-		switch v.State {
-		case serve.StateDone, serve.StateFailed, serve.StateCanceled:
-			return v, nil
-		}
+		delay += time.Duration(rand.Int63n(int64(delay)/2 + 1))
+		t := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
-			return v, ctx.Err()
+			t.Stop()
+			return last, ctx.Err()
 		case <-t.C:
 		}
 	}
@@ -294,7 +352,13 @@ func decode(resp *http.Response, out any) error {
 		}
 		return nil
 	}
-	apiErr := &APIError{Status: resp.StatusCode}
+	return errorFromBody(resp.StatusCode, body)
+}
+
+// errorFromBody builds the *APIError for a non-2xx body, falling back
+// to the raw text for non-JSON errors (e.g. from intermediaries).
+func errorFromBody(status int, body []byte) *APIError {
+	apiErr := &APIError{Status: status}
 	var env serve.ErrorEnvelope
 	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
 		apiErr.Code = env.Error.Code

@@ -1,0 +1,126 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flatdd/internal/serve"
+	"flatdd/internal/serve/client"
+)
+
+// unit tests of the client's Wait backoff against a scripted server —
+// the happy path is exercised by every e2e suite that calls Wait.
+
+// scriptedJob serves GET /v1/jobs/<id> from a per-call script and counts
+// the calls.
+type scriptedJob struct {
+	calls  atomic.Int64
+	script func(call int64, w http.ResponseWriter)
+}
+
+func (s *scriptedJob) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.script(s.calls.Add(1), w)
+	})
+}
+
+func writeReject(w http.ResponseWriter, status int, retryAfter time.Duration) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(serve.ErrorEnvelope{Error: serve.ErrorInfo{ //nolint:errcheck
+		Code:         serve.CodeRateLimited,
+		Message:      "slow down",
+		Reason:       "queue_full",
+		RetryAfterMS: retryAfter.Milliseconds(),
+	}})
+}
+
+func writeView(w http.ResponseWriter, state string) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(serve.JobView{ID: "j-000001", State: state}) //nolint:errcheck
+}
+
+func TestWaitHonorsRetryAfter(t *testing.T) {
+	const hint = 150 * time.Millisecond
+	sj := &scriptedJob{script: func(call int64, w http.ResponseWriter) {
+		switch {
+		case call <= 2:
+			writeReject(w, http.StatusTooManyRequests, hint)
+		case call == 3:
+			writeView(w, serve.StateQueued)
+		default:
+			writeView(w, serve.StateDone)
+		}
+	}}
+	ts := httptest.NewServer(sj.handler())
+	defer ts.Close()
+
+	c := client.New(ts.URL)
+	start := time.Now()
+	v, err := c.Wait(context.Background(), "j-000001", 5*time.Millisecond)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if v.State != serve.StateDone {
+		t.Fatalf("Wait returned state %q, want done", v.State)
+	}
+	// Two rejections, each honored with at least the 150ms hint: the wait
+	// cannot finish faster than 300ms, and honoring the hint (instead of
+	// hammering at the 5ms poll interval) keeps the call count at exactly
+	// the scripted 4.
+	if elapsed < 2*hint {
+		t.Errorf("Wait finished in %v; two %v Retry-After hints demand >= %v", elapsed, hint, 2*hint)
+	}
+	if got := sj.calls.Load(); got != 4 {
+		t.Errorf("server saw %d polls, want exactly 4 (backoff must not busy-poll)", got)
+	}
+}
+
+func TestWaitContextCapsBackoffSleep(t *testing.T) {
+	// A server demanding a 30s backoff must not pin Wait past the
+	// caller's context: the deadline interrupts the sleep itself.
+	sj := &scriptedJob{script: func(call int64, w http.ResponseWriter) {
+		writeReject(w, http.StatusServiceUnavailable, 30*time.Second)
+	}}
+	ts := httptest.NewServer(sj.handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.New(ts.URL).Wait(ctx, "j-000001", 5*time.Millisecond)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Wait outlived its context by %v", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait under an expired context = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestWaitReturnsNonRetryableImmediately(t *testing.T) {
+	sj := &scriptedJob{script: func(call int64, w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(serve.ErrorEnvelope{Error: serve.ErrorInfo{ //nolint:errcheck
+			Code: serve.CodeNotFound, Message: "no such job", Reason: "unknown_job",
+		}})
+	}}
+	ts := httptest.NewServer(sj.handler())
+	defer ts.Close()
+
+	_, err := client.New(ts.URL).Wait(context.Background(), "j-missing", time.Millisecond)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("Wait on a 404 = %v, want the APIError straight back", err)
+	}
+	if got := sj.calls.Load(); got != 1 {
+		t.Errorf("server saw %d polls for a non-retryable error, want 1", got)
+	}
+}

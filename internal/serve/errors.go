@@ -60,9 +60,12 @@ func codeForStatus(status int) string {
 	return CodeInvalidRequest
 }
 
-// writeAPIError emits the envelope (and the Retry-After header when a
-// retry hint is given, in whole seconds as HTTP requires).
-func writeAPIError(w http.ResponseWriter, status int, msg, reason string, retryAfterSec int) {
+// WriteError emits the envelope (and the Retry-After header when a
+// retry hint is given, in whole seconds as HTTP requires). The code is
+// derived from the status, so any handler that fronts this API — the
+// server itself or the cluster coordinator relaying a replica's
+// rejection — produces the same envelope for the same status.
+func WriteError(w http.ResponseWriter, status int, msg, reason string, retryAfterSec int) {
 	info := ErrorInfo{
 		Code:    codeForStatus(status),
 		Message: msg,

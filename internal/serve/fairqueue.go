@@ -38,16 +38,23 @@ type fairQueue struct {
 
 // tenantQueue is one tenant's FIFO plus its scheduling state.
 type tenantQueue struct {
+	name    string
 	jobs    []*job
 	running int
 	pass    uint64
-	stride  uint64
 }
 
 // strideScale is the stride numerator: a weight-w tenant advances its
 // pass by strideScale/w per dispatch, so relative dispatch rates are
 // proportional to weights.
 const strideScale = 1 << 20
+
+// passRebaseThreshold triggers a rebase of the pass space long before
+// uint64 wraparound could reorder tenants: once the queue's virtual time
+// crosses it, the minimum pass across tenants (and the virtual time) is
+// subtracted from everything. Ordering — and therefore fairness — is
+// preserved exactly; only the absolute magnitude resets.
+const passRebaseThreshold = 1 << 62
 
 // newFairQueue builds an empty queue. weightOf maps a tenant to its
 // scheduling weight (values < 1 are treated as 1); maxInFlight is the
@@ -65,16 +72,25 @@ func newFairQueue(maxInFlight int, weightOf func(string) int) *fairQueue {
 func (q *fairQueue) tenantLocked(name string) *tenantQueue {
 	tq := q.tenants[name]
 	if tq == nil {
-		w := 1
-		if q.weightOf != nil {
-			if got := q.weightOf(name); got > 0 {
-				w = got
-			}
-		}
-		tq = &tenantQueue{stride: strideScale / uint64(w)}
+		tq = &tenantQueue{name: name}
 		q.tenants[name] = tq
 	}
 	return tq
+}
+
+// strideLocked resolves a tenant's current stride. The weight is looked
+// up on every dispatch rather than cached at first sight, so a weight
+// change takes effect from the very next Pop even while the tenant has
+// jobs queued. weightOf must not acquire locks ordered after q.mu (the
+// server's resolver only reads immutable config).
+func (q *fairQueue) strideLocked(tq *tenantQueue) uint64 {
+	w := 1
+	if q.weightOf != nil {
+		if got := q.weightOf(tq.name); got > 0 {
+			w = got
+		}
+	}
+	return strideScale / uint64(w)
 }
 
 // Push appends a job to its tenant's FIFO and wakes one waiter. It never
@@ -115,11 +131,39 @@ func (q *fairQueue) Pop() *job {
 			tq.jobs = tq.jobs[1:]
 			q.queued--
 			q.virt = tq.pass
-			tq.pass += tq.stride
+			tq.pass += q.strideLocked(tq)
 			tq.running++
+			if q.virt >= passRebaseThreshold {
+				q.rebaseLocked()
+			}
 			return j
 		}
 		q.cond.Wait()
+	}
+}
+
+// rebaseLocked shifts the whole pass space down by its minimum so the
+// counters stay far from uint64 wraparound. At one strideScale per
+// dispatch it takes ~2^42 dispatches to trip, but the behavior at the
+// boundary is defined (and tested) rather than a silent reordering.
+func (q *fairQueue) rebaseLocked() {
+	// Idle tenants carry stale low passes that would pin the base; apply
+	// the reactivation clamp (enter at current virtual time) eagerly —
+	// it is exactly what Push would do, so ordering is unaffected.
+	for _, tq := range q.tenants {
+		if len(tq.jobs) == 0 && tq.pass < q.virt {
+			tq.pass = q.virt
+		}
+	}
+	base := q.virt
+	for _, tq := range q.tenants {
+		if tq.pass < base {
+			base = tq.pass
+		}
+	}
+	q.virt -= base
+	for _, tq := range q.tenants {
+		tq.pass -= base
 	}
 }
 

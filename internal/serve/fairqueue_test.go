@@ -157,3 +157,127 @@ func TestFairQueueAccounting(t *testing.T) {
 		t.Fatalf("running(%s) after Done = %d", j.tenant, q.TenantRunning(j.tenant))
 	}
 }
+
+// TestFairQueueWeightChangeWhileQueued pins that a weight change takes
+// effect mid-backlog: the stride is resolved at every dispatch, not
+// cached when the tenant is first seen.
+func TestFairQueueWeightChangeWhileQueued(t *testing.T) {
+	weights := map[string]int{"a": 1, "b": 1}
+	q := newFairQueue(1, func(name string) int { return weights[name] })
+	for i := 0; i < 40; i++ {
+		q.Push(fqJob("a"))
+		q.Push(fqJob("b"))
+	}
+	// Equal weights for the first quarter of the backlog...
+	first := popN(t, q, 20)
+	if first["a"] != 10 || first["b"] != 10 {
+		t.Fatalf("equal-weight phase dispatched %v, want 10/10", first)
+	}
+	// ...then a is promoted while both still have jobs queued: from the
+	// next dispatch on it drains at 3× b's rate.
+	weights["a"] = 3
+	rest := popN(t, q, 40)
+	if rest["a"] < 27 || rest["a"] > 31 {
+		t.Errorf("after weight change a dispatched %d of 40, want ~30 (b %d)", rest["a"], rest["b"])
+	}
+}
+
+// TestFairQueueTenantRemovalWithInFlight pins the guards around a tenant
+// disappearing while it still has popped-but-not-Done work: the late
+// Done neither panics nor corrupts accounting, extra Dones do not
+// underflow, and the tenant can re-enter later as if new.
+func TestFairQueueTenantRemovalWithInFlight(t *testing.T) {
+	q := newFairQueue(2, func(string) int { return 1 })
+	q.Push(fqJob("a"))
+	if j := q.Pop(); j.tenant != "a" {
+		t.Fatalf("popped %q, want a", j.tenant)
+	}
+
+	// Simulate removal while a's job is in flight.
+	q.mu.Lock()
+	delete(q.tenants, "a")
+	q.mu.Unlock()
+
+	q.Done("a") // late completion of the removed tenant's job
+	q.Done("a") // double Done must not underflow anyone
+	if got := q.TenantRunning("a"); got != 0 {
+		t.Fatalf("TenantRunning(removed) = %d, want 0", got)
+	}
+	if got := q.TenantQueued("a"); got != 0 {
+		t.Fatalf("TenantQueued(removed) = %d, want 0", got)
+	}
+	// Done for a tenant the queue has never seen is equally harmless.
+	q.Done("ghost")
+
+	// The queue still schedules, and the removed tenant re-enters fresh
+	// at the current virtual time.
+	q.Push(fqJob("a"))
+	q.Push(fqJob("b"))
+	counts := popN(t, q, 2)
+	if counts["a"] != 1 || counts["b"] != 1 {
+		t.Fatalf("post-removal dispatches = %v, want one each", counts)
+	}
+}
+
+// TestFairQueuePassRebase pins the overflow behavior: when the virtual
+// clock crosses passRebaseThreshold the whole pass space shifts down,
+// preserving relative order — no tenant is suddenly favored or starved
+// by wraparound.
+func TestFairQueuePassRebase(t *testing.T) {
+	weights := map[string]int{"heavy": 4, "light": 1}
+	q := newFairQueue(1, func(name string) int { return weights[name] })
+	q.Push(fqJob("heavy"))
+	q.Push(fqJob("light"))
+	q.Push(fqJob("idle")) // establish an idle tenant with a stale pass
+	popN(t, q, 3)
+
+	// Advance the scheduler state to the eve of the threshold.
+	q.mu.Lock()
+	shift := uint64(passRebaseThreshold) - 1 - q.virt
+	q.virt += shift
+	for _, tq := range q.tenants {
+		tq.pass += shift
+	}
+	q.mu.Unlock()
+
+	for i := 0; i < 20; i++ {
+		q.Push(fqJob("heavy"))
+		q.Push(fqJob("light"))
+	}
+	counts := popN(t, q, 25)
+	q.mu.Lock()
+	virt := q.virt
+	var maxPass uint64
+	for _, tq := range q.tenants {
+		if tq.pass > maxPass {
+			maxPass = tq.pass
+		}
+	}
+	q.mu.Unlock()
+	if virt >= passRebaseThreshold || maxPass >= passRebaseThreshold {
+		t.Fatalf("rebase never fired: virt=%d maxPass=%d", virt, maxPass)
+	}
+	// Weighted fairness held straight through the rebase: heavy gets ~4/5
+	// of the 25 dispatches.
+	if counts["heavy"] < 18 || counts["heavy"] > 22 {
+		t.Errorf("dispatches across rebase = %v, want heavy ~20 of 25", counts)
+	}
+	if counts["idle"] != 0 {
+		t.Errorf("idle tenant dispatched %d jobs with none queued", counts["idle"])
+	}
+
+	// The idle tenant was clamped, not deleted: it re-enters at the new
+	// virtual time and is not owed 2^62 of catch-up credit.
+	q.Push(fqJob("idle"))
+	q.Push(fqJob("idle"))
+	q.Push(fqJob("heavy"))
+	if first := q.Pop(); first == nil {
+		t.Fatal("Pop after rebase returned nil")
+	} else {
+		q.Done(first.tenant)
+	}
+	after := popN(t, q, 2)
+	if after["idle"] == 2 {
+		t.Error("reactivated idle tenant dispatched back-to-back; it banked credit across the rebase")
+	}
+}

@@ -46,6 +46,11 @@ type JobView struct {
 	Circuit string `json:"circuit"`
 	Qubits  int    `json:"qubits"`
 	Gates   int    `json:"gates"`
+	// Replica is the serve replica executing the job. A single-process
+	// server leaves it empty; the cluster coordinator fills it in when
+	// proxying views, so clients and the bench harness can attribute
+	// latency per replica.
+	Replica string `json:"replica,omitempty"`
 
 	SubmittedAt   time.Time  `json:"submitted_at"`
 	StartedAt     *time.Time `json:"started_at,omitempty"`
@@ -339,7 +344,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	tenant, terr := tenantFromRequest(r)
 	if terr != nil {
 		s.met.rejectInvalid.Inc()
-		writeAPIError(w, http.StatusBadRequest, terr.Error(), "invalid_tenant", 0)
+		WriteError(w, http.StatusBadRequest, terr.Error(), "invalid_tenant", 0)
 		return
 	}
 	var req SubmitRequest
@@ -347,13 +352,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.met.rejectInvalid.Inc()
-		writeAPIError(w, http.StatusBadRequest, "bad request body: "+err.Error(), "invalid", 0)
+		WriteError(w, http.StatusBadRequest, "bad request body: "+err.Error(), "invalid", 0)
 		return
 	}
 	j, replayed, aerr := s.submit(&req, r.Header.Get("traceparent"), tenant,
 		r.Header.Get("Idempotency-Key"))
 	if aerr != nil {
-		writeAPIError(w, aerr.status, aerr.msg, aerr.reason, aerr.retryAfter)
+		WriteError(w, aerr.status, aerr.msg, aerr.reason, aerr.retryAfter)
 		return
 	}
 	s.mu.Lock()
@@ -387,7 +392,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	if raw := q.Get("limit"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n < 1 {
-			writeAPIError(w, http.StatusBadRequest,
+			WriteError(w, http.StatusBadRequest,
 				"limit must be a positive integer", "invalid", 0)
 			return
 		}
@@ -414,7 +419,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 		if start == -1 && (len(s.order) == 0 || s.order[0] != cursor) {
 			s.mu.Unlock()
-			writeAPIError(w, http.StatusBadRequest,
+			WriteError(w, http.StatusBadRequest,
 				fmt.Sprintf("unknown cursor %q", cursor), "invalid_cursor", 0)
 			return
 		}
@@ -450,7 +455,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs[r.PathValue("id")]
 	if !ok {
 		s.mu.Unlock()
-		writeAPIError(w, http.StatusNotFound, "no such job", "unknown_job", 0)
+		WriteError(w, http.StatusNotFound, "no such job", "unknown_job", 0)
 		return
 	}
 	v := s.viewLocked(j)
@@ -463,7 +468,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs[r.PathValue("id")]
 	if !ok {
 		s.mu.Unlock()
-		writeAPIError(w, http.StatusNotFound, "no such job", "unknown_job", 0)
+		WriteError(w, http.StatusNotFound, "no such job", "unknown_job", 0)
 		return
 	}
 	state, errMsg, res := j.state, j.errMsg, j.result
@@ -472,10 +477,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case StateDone:
 		writeJSON(w, http.StatusOK, res)
 	case StateQueued, StateRunning:
-		writeAPIError(w, http.StatusConflict,
+		WriteError(w, http.StatusConflict,
 			fmt.Sprintf("job is %s; retry later", state), "not_ready", 1)
 	default: // failed | canceled
-		writeAPIError(w, http.StatusConflict,
+		WriteError(w, http.StatusConflict,
 			fmt.Sprintf("job %s: %s", state, errMsg), "job_"+state, 0)
 	}
 }
@@ -484,11 +489,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	found, canceled := s.Cancel(id)
 	if !found {
-		writeAPIError(w, http.StatusNotFound, "no such job", "unknown_job", 0)
+		WriteError(w, http.StatusNotFound, "no such job", "unknown_job", 0)
 		return
 	}
 	if !canceled {
-		writeAPIError(w, http.StatusConflict, "job already finished", "job_finished", 0)
+		WriteError(w, http.StatusConflict, "job already finished", "job_finished", 0)
 		return
 	}
 	s.mu.Lock()

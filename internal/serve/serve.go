@@ -552,9 +552,11 @@ type admissionError struct {
 
 func (e *admissionError) Error() string { return e.msg }
 
-// buildCircuit materializes the submitted circuit from exactly one of
-// the two sources.
-func buildCircuit(req *SubmitRequest) (*circuit.Circuit, error) {
+// BuildCircuit materializes a submission's circuit from exactly one of
+// the two sources (inline QASM or a named workload). It is exported for
+// the cluster coordinator, which builds the circuit once to derive the
+// canonical routing hash before forwarding the submission to a replica.
+func BuildCircuit(req *SubmitRequest) (*circuit.Circuit, error) {
 	switch {
 	case req.QASM != "" && req.Circuit != "":
 		return nil, fmt.Errorf("pass either qasm or circuit, not both")
@@ -630,7 +632,7 @@ func (s *Server) normalize(req *SubmitRequest) (runOptions, error) {
 // idempotent: a repeat with the same key replays the original job
 // (replayed=true) instead of admitting a new one.
 func (s *Server) submit(req *SubmitRequest, traceparent, tenant, idemKey string) (j *job, replayed bool, aerr *admissionError) {
-	c, err := buildCircuit(req)
+	c, err := BuildCircuit(req)
 	if err != nil {
 		s.met.rejectInvalid.Inc()
 		return nil, false, &admissionError{status: 400, msg: err.Error(), reason: "invalid"}
@@ -988,23 +990,33 @@ func (s *Server) finishJobLocked(j *job) {
 // every subscriber still waiting is completed from the leader's entry —
 // its own top= prefix, its own seeded shot stream, no engine time.
 // A subscriber the entry cannot serve (it wants shots but the
-// distribution was too large to build) is re-queued as a standalone job;
-// coalescable() makes that path unreachable in practice, but the
-// fallback keeps a bookkeeping slip from wedging a job forever. Caller
-// holds s.mu.
+// distribution was too large to build) is not stranded standalone: the
+// first such subscriber becomes the leader of a fresh flight and the
+// rest ride it, so even this fallback costs at most one engine run at a
+// time and stays open to new duplicates. coalescable() makes the path
+// unreachable in practice; the re-flighting keeps a bookkeeping slip
+// from fanning out into N engine runs. Caller holds s.mu.
 func (s *Server) completeFlightLocked(j *job, entry *cacheEntry) {
 	f := s.flights[j.key]
 	if f == nil || f.leader != j {
 		return
 	}
 	delete(s.flights, j.key)
+	var reflight *flight
 	for _, sub := range f.subs {
 		if sub.state != StateQueued {
 			continue // canceled while coalesced
 		}
 		if !entry.servable(sub.opts.shots) {
-			sub.cacheStatus = CacheMiss
-			s.fq.Push(sub)
+			if reflight == nil {
+				sub.cacheStatus = CacheMiss
+				sub.span.SetAttr("cache", CacheMiss)
+				reflight = &flight{leader: sub}
+				s.flights[j.key] = reflight
+				s.fq.Push(sub)
+			} else {
+				reflight.subs = append(reflight.subs, sub)
+			}
 			continue
 		}
 		sub.state = StateDone
